@@ -1,0 +1,43 @@
+//! Ablation (Lemma 2): the O(d) aggregated linear-bound evaluation via the
+//! precomputed node statistics versus the naive O(n·d) re-aggregation over
+//! the node's points. The O(d) identity is what makes KARL's per-node cost
+//! independent of the node size.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_geom::{dist2, norm2};
+use karl_tree::KdTree;
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("home", &cfg);
+    let tree = KdTree::build(w.points.clone(), &w.weights, usize::MAX >> 1);
+    let node = tree.node(tree.root());
+    let q = w.queries.point(0).to_vec();
+    let qn = norm2(&q);
+    let gamma = w.kernel.gamma();
+    let (m, c0) = (-0.3, 0.9); // an arbitrary linear bound Lin_{m,c}
+
+    let mut group = c.benchmark_group("ablation_fl");
+    group.bench_function("aggregated_o_d", |b| {
+        b.iter(|| {
+            let s = node.stats.weighted_dist2_sum(black_box(&q), qn);
+            black_box(m * gamma * s + c0 * node.stats.weight_sum)
+        })
+    });
+    group.bench_function("naive_o_nd", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in node.start..node.end {
+                acc += tree.weights()[i]
+                    * (m * gamma * dist2(black_box(&q), tree.points().point(i)) + c0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,60 @@
+//! Ablation: gap-priority refinement (the paper's framework) versus plain
+//! breadth-first (FIFO) refinement, both with KARL bounds. Shows how much
+//! of the win comes from *where* the framework refines, not just from the
+//! bounds.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::fifo::FifoEvaluator;
+use karl_bench::workloads::build_type1;
+use karl_core::{BoundMethod, Evaluator};
+use karl_geom::Rect;
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("home", &cfg);
+    let gap =
+        Evaluator::<Rect>::build(&w.points, &w.weights, w.kernel, BoundMethod::Karl, 40);
+    let fifo = FifoEvaluator::build(&w.points, &w.weights, w.kernel, BoundMethod::Karl, 40);
+
+    // Report the iteration-count difference once.
+    let mut gap_iters = 0usize;
+    let mut fifo_iters = 0usize;
+    for q in w.queries.iter() {
+        gap_iters += gap
+            .run_query(q, karl_core::Query::Tkaq { tau: w.tau }, None)
+            .iterations;
+        fifo_iters += fifo.tkaq(q, w.tau).1;
+    }
+    eprintln!(
+        "ablation queue: gap-priority {:.1} iters/q vs FIFO {:.1} iters/q",
+        gap_iters as f64 / w.queries.len() as f64,
+        fifo_iters as f64 / w.queries.len() as f64
+    );
+
+    let mut group = c.benchmark_group("ablation_queue");
+    {
+        let queries = &w.queries;
+        let mut qi = 0usize;
+        group.bench_function("gap_priority", |b| {
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(gap.tkaq(queries.point(qi), w.tau))
+            })
+        });
+    }
+    {
+        let queries = &w.queries;
+        let mut qi = 0usize;
+        group.bench_function("fifo", |b| {
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(fifo.tkaq(queries.point(qi), w.tau))
+            })
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

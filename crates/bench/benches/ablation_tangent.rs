@@ -1,0 +1,70 @@
+//! Ablation (Figure 5a vs 5b): the tangent lower bound anchored at `x_max`
+//! versus the optimal tangent at the weighted mean `x̄`. Measures both the
+//! evaluation cost and (printed once) the tightness difference — the
+//! optimal tangent is what turns Lemma 4 from "no worse" into "much
+//! better".
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_core::{Curve, Kernel};
+use karl_geom::{norm2, BoundingShape};
+use karl_tree::KdTree;
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("home", &cfg);
+    let tree = KdTree::build(w.points.clone(), &w.weights, 64);
+    let q = w.queries.point(0).to_vec();
+    let qn = norm2(&q);
+    // Walk down to the leaf whose volume contains the query: with a local
+    // kernel that is the node whose bound actually decides queries (at the
+    // root both tangents underflow to ~0 and the contrast is invisible).
+    let mut node = tree.node(tree.root());
+    while let Some((a, b)) = node.children {
+        let (na, nb) = (tree.node(a), tree.node(b));
+        node = if na.shape.mindist2(&q) <= nb.shape.mindist2(&q) { na } else { nb };
+    }
+    let gamma = w.kernel.gamma();
+    let curve = Curve::NegExp;
+
+    let x_lo = gamma * node.shape.mindist2(&q);
+    let x_hi = gamma * node.shape.maxdist2(&q);
+    let x_agg = Kernel::gaussian(gamma).x_aggregate(&node.stats, &q, qn);
+    let wsum = node.stats.weight_sum;
+    let exact = Kernel::gaussian(gamma).eval_range(
+        tree.points(),
+        tree.weights(),
+        tree.norms2(),
+        node.start,
+        node.end,
+        &q,
+        qn,
+    );
+
+    let tangent_lb = |t: f64| -> f64 {
+        let m = curve.deriv(t);
+        let c0 = curve.value(t) - m * t;
+        m * x_agg + c0 * wsum
+    };
+    let lb_at_mean = tangent_lb((x_agg / wsum).clamp(x_lo, x_hi));
+    let lb_at_xmax = tangent_lb(x_hi);
+    eprintln!(
+        "ablation tangent LB (root node): at-mean {:.4e}, at-x_max {:.4e}, exact {:.4e} \
+         (gap ratio {:.1}x)",
+        lb_at_mean,
+        lb_at_xmax,
+        exact,
+        (exact - lb_at_xmax) / (exact - lb_at_mean).max(1e-300)
+    );
+
+    let mut group = c.benchmark_group("ablation_tangent");
+    group.bench_function("tangent_at_mean", |b| {
+        b.iter(|| black_box(tangent_lb((x_agg / wsum).clamp(x_lo, x_hi))))
+    });
+    group.bench_function("tangent_at_xmax", |b| b.iter(|| black_box(tangent_lb(x_hi))));
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,51 @@
+//! Micro-benchmark: cost of one per-node bound evaluation, SOTA vs KARL,
+//! for each kernel family. KARL's linear bounds must stay within a small
+//! constant factor of SOTA's constant bounds (both are O(d)) — this is the
+//! premise that lets the tighter bounds win overall.
+
+mod common;
+
+use criterion::{black_box, Criterion};
+use karl_bench::workloads::build_type1;
+use karl_core::{node_bounds, BoundMethod, Kernel};
+use karl_geom::norm2;
+use karl_tree::KdTree;
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = common::bench_config();
+    let w = build_type1("home", &cfg);
+    let tree = KdTree::build(w.points.clone(), &w.weights, 64);
+    let node = tree.node(tree.root());
+    let q = w.queries.point(0).to_vec();
+    let qn = norm2(&q);
+
+    let kernels = [
+        ("gaussian", w.kernel),
+        ("poly3", Kernel::polynomial(0.1, 0.0, 3)),
+        ("sigmoid", Kernel::sigmoid(0.1, 0.0)),
+    ];
+    let mut group = c.benchmark_group("node_bounds");
+    for (kname, kernel) in kernels {
+        for (mname, method) in [("sota", BoundMethod::Sota), ("karl", BoundMethod::Karl)] {
+            group.bench_function(format!("{kname}/{mname}"), |b| {
+                b.iter(|| {
+                    black_box(node_bounds(
+                        method,
+                        &kernel,
+                        &node.shape,
+                        &node.stats,
+                        black_box(&q),
+                        qn,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}

@@ -1,0 +1,27 @@
+//! Shared setup for the Criterion benches: a laptop-instant configuration
+//! (2 000-point datasets, 50 queries) and short measurement windows so the
+//! whole `cargo bench --workspace` suite stays in CI territory. The
+//! experiment *binaries* (`cargo run -p karl-bench --bin exp_*`) are the
+//! full-fidelity versions of the same measurements.
+
+use criterion::Criterion;
+use karl_bench::Config;
+
+/// The tiny benchmark configuration.
+#[allow(dead_code)]
+pub fn bench_config() -> Config {
+    Config {
+        scale: 1e-9, // clamps every dataset to the 2 000-point floor
+        queries: 50,
+        train_cap: 400,
+    }
+}
+
+/// Criterion tuned for a fast suite.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .configure_from_args()
+}

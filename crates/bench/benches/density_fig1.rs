@@ -1,0 +1,42 @@
+//! Figure 1 (bench-sized): cost of one ε-approximate density evaluation on
+//! the 2-d miniboone slice — the unit of work behind the paper's density
+//! heat map.
+
+mod common;
+
+use criterion::black_box;
+use karl_core::BoundMethod;
+use karl_data::by_name;
+use karl_geom::PointSet;
+use karl_kde::Kde;
+
+fn main() {
+    let mut c = common::criterion();
+    let ds = by_name("miniboone").unwrap().generate_n(2_000);
+    let mut plane_data = Vec::with_capacity(ds.points.len() * 2);
+    for p in ds.points.iter() {
+        plane_data.push(p[0]);
+        plane_data.push(p[1]);
+    }
+    let plane = PointSet::new(2, plane_data);
+    let kde = Kde::with_gamma(plane.clone(), karl_kde::scotts_gamma(&plane));
+    let eval = kde.evaluator(BoundMethod::Karl, 80);
+
+    let mut group = c.benchmark_group("fig1_density");
+    group.bench_function("ekaq_0.05", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t = (t + 0.37) % 1.0;
+            black_box(eval.ekaq(&[t, 1.0 - t], 0.05))
+        })
+    });
+    group.bench_function("exact", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t = (t + 0.37) % 1.0;
+            black_box(kde.density_exact(&[t, 1.0 - t]))
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Figure 12 (bench-sized): I-τ query cost vs PCA dimensionality on a
+//! small mnist sample, SOTA vs KARL.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1_from_points;
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind};
+use karl_data::{by_name, normalize_unit, Pca};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    // A small mnist draw keeps the 784-d PCA fit to a couple of seconds.
+    let ds = by_name("mnist").unwrap().generate_n(1_500);
+    let pca = Pca::fit(&ds.points);
+    let mut group = c.benchmark_group("fig12_dims");
+    for dims in [16usize, 64, 256] {
+        let pts = normalize_unit(&pca.project(&ds.points, dims));
+        let w = build_type1_from_points("mnist", pts, &cfg);
+        for (mname, method) in [("sota", BoundMethod::Sota), ("karl", BoundMethod::Karl)] {
+            let eval = AnyEvaluator::build(
+                IndexKind::Kd,
+                &w.points,
+                &w.weights,
+                w.kernel,
+                method,
+                80,
+            );
+            let queries = w.queries.clone();
+            let tau = w.tau;
+            let mut qi = 0usize;
+            group.bench_function(format!("d{dims}/{mname}"), move |b| {
+                b.iter(|| {
+                    qi = (qi + 1) % queries.len();
+                    black_box(eval.tkaq(queries.point(qi), tau))
+                })
+            });
+        }
+    }
+    group.finish();
+    c.final_summary();
+}

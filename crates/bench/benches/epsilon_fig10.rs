@@ -1,0 +1,37 @@
+//! Figure 10 (bench-sized): I-ε query cost across ε ∈ {0.05, 0.3}, SOTA vs
+//! KARL.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("home", &cfg);
+    let mut group = c.benchmark_group("fig10_epsilon");
+    for eps in [0.05, 0.3] {
+        for (mname, method) in [("sota", BoundMethod::Sota), ("karl", BoundMethod::Karl)] {
+            let eval = AnyEvaluator::build(
+                IndexKind::Kd,
+                &w.points,
+                &w.weights,
+                w.kernel,
+                method,
+                80,
+            );
+            let queries = &w.queries;
+            let mut qi = 0usize;
+            group.bench_function(format!("eps{eps}/{mname}"), |b| {
+                b.iter(|| {
+                    qi = (qi + 1) % queries.len();
+                    black_box(eval.ekaq(queries.point(qi), eps))
+                })
+            });
+        }
+    }
+    group.finish();
+    c.final_summary();
+}

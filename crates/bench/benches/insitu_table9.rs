@@ -1,0 +1,36 @@
+//! Table IX (bench-sized): end-to-end in-situ cost (build one kd-tree,
+//! probe levels, answer the stream) for SOTA vs KARL bounds.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_core::{BoundMethod, OnlineTuner, Query};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("miniboone", &cfg);
+    let tuner = OnlineTuner {
+        sample_fraction: 0.1,
+        leaf_capacity: 16,
+    };
+    let mut group = c.benchmark_group("table9_insitu");
+    group.sample_size(10);
+    for (name, method) in [("sota", BoundMethod::Sota), ("karl", BoundMethod::Karl)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(tuner.run(
+                    &w.points,
+                    &w.weights,
+                    w.kernel,
+                    method,
+                    &w.queries,
+                    Query::Tkaq { tau: w.tau },
+                ))
+            })
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

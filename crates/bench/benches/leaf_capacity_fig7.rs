@@ -1,0 +1,31 @@
+//! Figure 7 (bench-sized): KARL I-τ query cost vs leaf capacity, kd-tree
+//! vs ball-tree.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("home", &cfg);
+    let mut group = c.benchmark_group("fig7_leaf_capacity");
+    for kind in [IndexKind::Kd, IndexKind::Ball] {
+        for cap in [10usize, 80, 640] {
+            let eval =
+                AnyEvaluator::build(kind, &w.points, &w.weights, w.kernel, BoundMethod::Karl, cap);
+            let queries = &w.queries;
+            let mut qi = 0usize;
+            group.bench_function(format!("{kind:?}/leaf{cap}"), |b| {
+                b.iter(|| {
+                    qi = (qi + 1) % queries.len();
+                    black_box(eval.tkaq(queries.point(qi), w.tau))
+                })
+            });
+        }
+    }
+    group.finish();
+    c.final_summary();
+}

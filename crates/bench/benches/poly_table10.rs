@@ -1,0 +1,46 @@
+//! Table X (bench-sized): polynomial-kernel (degree 3) threshold queries,
+//! scan vs SOTA vs KARL, on a 2-class SVM workload in `[−1, 1]^d`.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::{build_type3, KernelFamily};
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind, Scan};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type3("ijcnn1", KernelFamily::Polynomial, &cfg);
+    let scan = Scan::new(w.points.clone(), w.weights.clone(), w.kernel);
+    let mut group = c.benchmark_group("table10_polynomial");
+    {
+        let queries = &w.queries;
+        let mut qi = 0usize;
+        group.bench_function("scan", |b| {
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(scan.tkaq(queries.point(qi), w.tau))
+            })
+        });
+    }
+    for (name, method) in [("sota", BoundMethod::Sota), ("karl", BoundMethod::Karl)] {
+        let eval = AnyEvaluator::build(
+            IndexKind::Kd,
+            &w.points,
+            &w.weights,
+            w.kernel,
+            method,
+            40,
+        );
+        let queries = &w.queries;
+        let mut qi = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(eval.tkaq(queries.point(qi), w.tau))
+            })
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,80 @@
+//! Table VII (bench-sized): end-to-end query cost of SCAN / LIBSVM-style /
+//! SOTA / KARL for the four query types on 2 000-point workloads.
+
+mod common;
+
+use criterion::{black_box, Criterion};
+use karl_bench::workloads::{build_type1, build_type2, build_type3, KernelFamily, Workload};
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind, LibSvmScan, Query, Scan};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+
+    let w1 = build_type1("home", &cfg);
+    run_group(&mut c, "I-eps/home", &w1, Query::Ekaq { eps: 0.2 });
+    let q = Query::Tkaq { tau: w1.tau };
+    run_group(&mut c, "I-tau/home", &w1, q);
+    let w2 = build_type2("nsl-kdd", KernelFamily::Gaussian, &cfg);
+    let q = Query::Tkaq { tau: w2.tau };
+    run_group(&mut c, "II-tau/nsl-kdd", &w2, q);
+    let w3 = build_type3("ijcnn1", KernelFamily::Gaussian, &cfg);
+    let q = Query::Tkaq { tau: w3.tau };
+    run_group(&mut c, "III-tau/ijcnn1", &w3, q);
+    c.final_summary();
+}
+
+fn run_group(c: &mut Criterion, label: &str, w: &Workload, query: Query) {
+    let mut group = c.benchmark_group(format!("table7/{label}"));
+    let scan = Scan::new(w.points.clone(), w.weights.clone(), w.kernel);
+    let libsvm = LibSvmScan::new(w.points.clone(), w.weights.clone(), w.kernel);
+    let sota = AnyEvaluator::build(
+        IndexKind::Kd,
+        &w.points,
+        &w.weights,
+        w.kernel,
+        BoundMethod::Sota,
+        80,
+    );
+    let karl = AnyEvaluator::build(
+        IndexKind::Kd,
+        &w.points,
+        &w.weights,
+        w.kernel,
+        BoundMethod::Karl,
+        80,
+    );
+    let queries = &w.queries;
+    let mut qi = 0usize;
+    let mut next = move || {
+        qi = (qi + 1) % queries.len();
+        queries.point(qi)
+    };
+    group.bench_function("scan", |b| {
+        b.iter(|| match query {
+            Query::Tkaq { tau } => black_box(scan.tkaq(next(), tau)),
+            Query::Ekaq { eps } => black_box(scan.ekaq(next(), eps) > 0.0),
+            Query::Within { .. } => unreachable!("bench uses TKAQ/eKAQ only"),
+        })
+    });
+    let mut qi2 = 0usize;
+    let queries2 = &w.queries;
+    let mut next2 = move || {
+        qi2 = (qi2 + 1) % queries2.len();
+        queries2.point(qi2)
+    };
+    if let Query::Tkaq { tau } = query {
+        group.bench_function("libsvm", |b| b.iter(|| black_box(libsvm.tkaq(next2(), tau))));
+    }
+    for (name, eval) in [("sota", &sota), ("karl", &karl)] {
+        let queries3 = &w.queries;
+        let mut qi3 = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                qi3 = (qi3 + 1) % queries3.len();
+                black_box(eval.answer(queries3.point(qi3), query))
+            })
+        });
+    }
+    group.finish();
+}

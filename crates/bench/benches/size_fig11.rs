@@ -1,0 +1,41 @@
+//! Figure 11 (bench-sized): I-τ query cost vs dataset size on susy
+//! subsamples, SOTA vs KARL.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1_from_points;
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind};
+use karl_data::{by_name, subsample};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let full = by_name("susy").unwrap().generate_n(4_000);
+    let mut group = c.benchmark_group("fig11_size");
+    for n in [1_000usize, 2_000, 4_000] {
+        let pts = subsample(&full.points, n, 1);
+        let w = build_type1_from_points("susy", pts, &cfg);
+        for (mname, method) in [("sota", BoundMethod::Sota), ("karl", BoundMethod::Karl)] {
+            let eval = AnyEvaluator::build(
+                IndexKind::Kd,
+                &w.points,
+                &w.weights,
+                w.kernel,
+                method,
+                80,
+            );
+            let queries = w.queries.clone();
+            let tau = w.tau;
+            let mut qi = 0usize;
+            group.bench_function(format!("n{n}/{mname}"), move |b| {
+                b.iter(|| {
+                    qi = (qi + 1) % queries.len();
+                    black_box(eval.tkaq(queries.point(qi), tau))
+                })
+            });
+        }
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Figure 9 (bench-sized): I-τ query cost across the τ sweep μ−σ … μ+2σ,
+//! SOTA vs KARL.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("miniboone", &cfg);
+    let mut group = c.benchmark_group("fig9_threshold");
+    for (label, k) in [("mu-1s", -1.0), ("mu", 0.0), ("mu+2s", 2.0)] {
+        let tau = (w.tau + k * w.sigma).max(w.tau * 0.1);
+        for (mname, method) in [("sota", BoundMethod::Sota), ("karl", BoundMethod::Karl)] {
+            let eval = AnyEvaluator::build(
+                IndexKind::Kd,
+                &w.points,
+                &w.weights,
+                w.kernel,
+                method,
+                80,
+            );
+            let queries = &w.queries;
+            let mut qi = 0usize;
+            group.bench_function(format!("{label}/{mname}"), |b| {
+                b.iter(|| {
+                    qi = (qi + 1) % queries.len();
+                    black_box(eval.tkaq(queries.point(qi), tau))
+                })
+            });
+        }
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,57 @@
+//! Figure 13 (bench-sized): cost of evaluating the bound functions over a
+//! whole tree frontier (the per-level aggregation the tightness metric
+//! uses), SOTA vs KARL — and, printed once at startup, the measured
+//! tightness ratio itself.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_core::{node_bounds, BoundMethod, Evaluator};
+use karl_geom::{norm2, Rect};
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("miniboone", &cfg);
+    let eval = Evaluator::<Rect>::build(&w.points, &w.weights, w.kernel, BoundMethod::Karl, 80);
+    let tree = eval.pos_tree().expect("type I has a positive tree");
+    let q = w.queries.point(0).to_vec();
+    let qn = norm2(&q);
+    let level = eval.max_depth() / 2;
+    let frontier = tree.frontier_at_depth(level);
+    let truth = eval.exact(&q);
+
+    // One-shot tightness report (the figure's actual metric).
+    for (name, method) in [("SOTA", BoundMethod::Sota), ("KARL", BoundMethod::Karl)] {
+        let (mut lb, mut ub) = (0.0, 0.0);
+        for &id in &frontier {
+            let n = tree.node(id);
+            let b = node_bounds(method, &w.kernel, &n.shape, &n.stats, &q, qn);
+            lb += b.lb;
+            ub += b.ub;
+        }
+        eprintln!(
+            "fig13 tightness @level {level}: {name} ErrLB={:.3e} ErrUB={:.3e}",
+            (truth - lb).abs() / truth,
+            (ub - truth).abs() / truth
+        );
+    }
+
+    let mut group = c.benchmark_group("fig13_frontier_bounds");
+    for (name, method) in [("sota", BoundMethod::Sota), ("karl", BoundMethod::Karl)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &id in &frontier {
+                    let n = tree.node(id);
+                    let bp = node_bounds(method, &w.kernel, &n.shape, &n.stats, &q, qn);
+                    acc += bp.lb + bp.ub;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,32 @@
+//! Figure 6 (bench-sized): cost of running one traced TKAQ to termination,
+//! SOTA vs KARL — the per-query work the figure's iteration counts imply.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_core::{BoundMethod, Evaluator};
+use karl_geom::Rect;
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("home", &cfg);
+    let karl = Evaluator::<Rect>::build(&w.points, &w.weights, w.kernel, BoundMethod::Karl, 80);
+    let sota = karl.clone().with_method(BoundMethod::Sota);
+    let q = w.queries.point(0).to_vec();
+
+    let (_, t_sota) = sota.trace_tkaq(&q, w.tau);
+    let (_, t_karl) = karl.trace_tkaq(&q, w.tau);
+    eprintln!(
+        "fig6 trace lengths: SOTA {} iterations, KARL {} iterations",
+        t_sota.len() - 1,
+        t_karl.len() - 1
+    );
+
+    let mut group = c.benchmark_group("fig6_traced_query");
+    group.bench_function("sota", |b| b.iter(|| black_box(sota.trace_tkaq(&q, w.tau))));
+    group.bench_function("karl", |b| b.iter(|| black_box(karl.trace_tkaq(&q, w.tau))));
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,36 @@
+//! Table VIII (bench-sized): cost of one offline tuning sweep (build +
+//! probe every grid candidate), which is the paper's offline budget.
+
+mod common;
+
+use criterion::black_box;
+use karl_bench::workloads::build_type1;
+use karl_core::{BoundMethod, IndexKind, OfflineTuner, Query};
+use karl_data::sample_queries;
+
+fn main() {
+    let mut c = common::criterion();
+    let cfg = common::bench_config();
+    let w = build_type1("home", &cfg);
+    let sample = sample_queries(&w.points, 25, 0xFACE);
+    let tuner = OfflineTuner {
+        leaf_capacities: vec![20, 160],
+        index_kinds: vec![IndexKind::Kd, IndexKind::Ball],
+    };
+    let mut group = c.benchmark_group("table8_offline_tuning");
+    group.sample_size(10);
+    group.bench_function("sweep_2x2", |b| {
+        b.iter(|| {
+            black_box(tuner.tune(
+                &w.points,
+                &w.weights,
+                w.kernel,
+                BoundMethod::Karl,
+                &sample,
+                Query::Tkaq { tau: w.tau },
+            ))
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,78 @@
+//! **Figure 1** — the motivating kernel-density picture: the density
+//! surface over the first two dimensions of the miniboone dataset, printed
+//! as a 2-d grid (the paper's heat map) computed with ε-approximate
+//! queries. Dense regions — the "particle search" targets — are the peaks.
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_fig1
+//! ```
+
+use karl_bench::Config;
+use karl_core::BoundMethod;
+use karl_data::by_name;
+use karl_geom::PointSet;
+use karl_kde::Kde;
+
+const GRID: usize = 32;
+
+fn main() {
+    let cfg = Config::default();
+    let spec = by_name("miniboone").expect("registry dataset");
+    let ds = spec.generate_n(cfg.dataset_size(spec.n_raw));
+
+    // The paper plots dims 1–2 of miniboone; take the same slice.
+    let mut plane_data = Vec::with_capacity(ds.points.len() * 2);
+    for p in ds.points.iter() {
+        plane_data.push(p[0]);
+        plane_data.push(p[1]);
+    }
+    let plane = PointSet::new(2, plane_data);
+    let kde = Kde::fit(plane.clone());
+    let eval = kde.evaluator(BoundMethod::Karl, 80);
+
+    println!(
+        "Figure 1: KDE on miniboone dims 1-2 (n = {}, gamma = {:.1}, eps = 0.05)",
+        plane.len(),
+        kde.gamma()
+    );
+    let mut field = vec![0.0f64; GRID * GRID];
+    let mut peak: f64 = 0.0;
+    for gy in 0..GRID {
+        for gx in 0..GRID {
+            let q = [
+                (gx as f64 + 0.5) / GRID as f64,
+                (gy as f64 + 0.5) / GRID as f64,
+            ];
+            let d = eval.ekaq(&q, 0.05);
+            field[gy * GRID + gx] = d;
+            peak = peak.max(d);
+        }
+    }
+    // ASCII heat map, high density = darker glyph.
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    for gy in (0..GRID).rev() {
+        let mut row = String::with_capacity(GRID);
+        for gx in 0..GRID {
+            let v = field[gy * GRID + gx] / peak;
+            let idx = (v * (shades.len() - 1) as f64).round() as usize;
+            row.push(shades[idx.min(shades.len() - 1)]);
+        }
+        println!("|{row}|");
+    }
+    println!("peak density = {peak:.4}; grid = {GRID}x{GRID} over [0,1]^2");
+
+    // Also emit the 1-d marginal series along the peak row (a printable
+    // version of the figure's surface).
+    let peak_row = (0..GRID * GRID)
+        .max_by(|&a, &b| field[a].total_cmp(&field[b]))
+        .unwrap()
+        / GRID;
+    println!("\ndensity along row y={peak_row} (x, density):");
+    for gx in 0..GRID {
+        println!(
+            "{:.3} {:.5}",
+            (gx as f64 + 0.5) / GRID as f64,
+            field[peak_row * GRID + gx]
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! **Figure 10** — sensitivity of query-type I-ε throughput to the relative
+//! error budget ε ∈ {0.05 … 0.3} on miniboone, home and susy, for
+//! SCAN / SOTA_best / KARL_auto.
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_fig10
+//! ```
+
+use karl_bench::workloads::build_type1;
+use karl_bench::{fmt_tp, print_table, throughput, Config};
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind, OfflineTuner, Query, Scan};
+use karl_data::sample_queries;
+
+fn main() {
+    let cfg = Config::default();
+    for name in ["miniboone", "home", "susy"] {
+        let w = build_type1(name, &cfg);
+        let scan = Scan::new(w.points.clone(), w.weights.clone(), w.kernel);
+        let sample = sample_queries(&w.points, cfg.queries.min(1_000), 0xFACE);
+        let mut rows = Vec::new();
+        for eps in [0.05, 0.1, 0.15, 0.2, 0.25, 0.3] {
+            let query = Query::Ekaq { eps };
+            let scan_tp = throughput(&w.queries, |q| {
+                std::hint::black_box(scan.ekaq(q, eps));
+            });
+            let mut sota_tp: f64 = 0.0;
+            for &cap in &[20usize, 80, 320] {
+                let eval = AnyEvaluator::build(
+                    IndexKind::Kd,
+                    &w.points,
+                    &w.weights,
+                    w.kernel,
+                    BoundMethod::Sota,
+                    cap,
+                );
+                let tp = throughput(&w.queries, |q| {
+                    std::hint::black_box(eval.ekaq(q, eps));
+                });
+                sota_tp = sota_tp.max(tp);
+            }
+            let tuned = OfflineTuner::default().tune(
+                &w.points,
+                &w.weights,
+                w.kernel,
+                BoundMethod::Karl,
+                &sample,
+                query,
+            );
+            let karl_tp = throughput(&w.queries, |q| {
+                std::hint::black_box(tuned.best.ekaq(q, eps));
+            });
+            rows.push(vec![
+                format!("{eps:.2}"),
+                fmt_tp(scan_tp),
+                fmt_tp(sota_tp),
+                fmt_tp(karl_tp),
+                format!("{:.1}x", karl_tp / sota_tp),
+            ]);
+        }
+        print_table(
+            &format!("Figure 10: throughput vs epsilon — {name} (I-eps, n={})", w.points.len()),
+            &["eps", "SCAN", "SOTA_best", "KARL_auto", "KARL/SOTA"],
+            &rows,
+        );
+    }
+}

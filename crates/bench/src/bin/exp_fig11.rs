@@ -1,0 +1,92 @@
+//! **Figure 11** — throughput vs dataset size on susy (subsampled), for
+//! both query types I-τ (τ = μ) and I-ε (ε = 0.2), comparing SCAN /
+//! SOTA_best / KARL_auto. Expectation from the paper: throughput falls with
+//! size for everyone, but KARL stays about an order of magnitude ahead.
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_fig11
+//! ```
+
+use karl_bench::workloads::build_type1_from_points;
+use karl_bench::{fmt_tp, print_table, throughput, Config};
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind, OfflineTuner, Query, Scan};
+use karl_data::{by_name, sample_queries, subsample};
+
+fn main() {
+    let cfg = Config::default();
+    let spec = by_name("susy").expect("registry dataset");
+    let full_n = cfg.dataset_size(spec.n_raw);
+    let full = spec.generate_n(full_n);
+    let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+    for (label, mk_query) in [
+        ("I-tau (tau=mu)", QueryKind::Tau),
+        ("I-eps (eps=0.2)", QueryKind::Eps),
+    ] {
+        let mut rows = Vec::new();
+        for frac in fractions {
+            let n = ((full_n as f64) * frac) as usize;
+            let pts = subsample(&full.points, n, 0xD1CE);
+            let w = build_type1_from_points("susy", pts, &cfg);
+            let query = match mk_query {
+                QueryKind::Tau => Query::Tkaq { tau: w.tau },
+                QueryKind::Eps => Query::Ekaq { eps: 0.2 },
+            };
+            let scan = Scan::new(w.points.clone(), w.weights.clone(), w.kernel);
+            let scan_tp = throughput(&w.queries, |q| match query {
+                Query::Tkaq { tau } => {
+                    std::hint::black_box(scan.tkaq(q, tau));
+                }
+                Query::Ekaq { eps } => {
+                    std::hint::black_box(scan.ekaq(q, eps));
+                }
+                Query::Within { .. } => unreachable!("harness uses TKAQ/eKAQ only"),
+            });
+            let mut sota_tp: f64 = 0.0;
+            for &cap in &[20usize, 80, 320] {
+                let eval = AnyEvaluator::build(
+                    IndexKind::Kd,
+                    &w.points,
+                    &w.weights,
+                    w.kernel,
+                    BoundMethod::Sota,
+                    cap,
+                );
+                let tp = throughput(&w.queries, |q| {
+                    std::hint::black_box(eval.answer(q, query));
+                });
+                sota_tp = sota_tp.max(tp);
+            }
+            let sample = sample_queries(&w.points, cfg.queries.min(1_000), 0xFACE);
+            let tuned = OfflineTuner::default().tune(
+                &w.points,
+                &w.weights,
+                w.kernel,
+                BoundMethod::Karl,
+                &sample,
+                query,
+            );
+            let karl_tp = throughput(&w.queries, |q| {
+                std::hint::black_box(tuned.best.answer(q, query));
+            });
+            rows.push(vec![
+                w.points.len().to_string(),
+                fmt_tp(scan_tp),
+                fmt_tp(sota_tp),
+                fmt_tp(karl_tp),
+                format!("{:.1}x", karl_tp / sota_tp),
+            ]);
+        }
+        print_table(
+            &format!("Figure 11: throughput vs dataset size — susy, {label}"),
+            &["n", "SCAN", "SOTA_best", "KARL_auto", "KARL/SOTA"],
+            &rows,
+        );
+    }
+}
+
+#[derive(Clone, Copy)]
+enum QueryKind {
+    Tau,
+    Eps,
+}

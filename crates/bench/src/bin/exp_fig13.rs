@@ -1,0 +1,99 @@
+//! **Figure 13** — tightness of the bound functions: for a kd-tree with
+//! leaf capacity 80, the average relative error of the level-wise
+//! aggregated lower/upper bounds against the exact `F_P(q)`:
+//!
+//! ```text
+//! Error = (1/L)·Σ_l |Σ_{R_j ∈ level l} bound(q, R_j) − F_P(q)| / |F_P(q)|
+//! ```
+//!
+//! reported for SOTA and KARL on all nine evaluation datasets (Type I, II,
+//! III rows of the paper's figure).
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_fig13
+//! ```
+
+use karl_bench::workloads::{build_type1, build_type2, build_type3, KernelFamily, Workload};
+use karl_bench::{print_table, Config};
+use karl_core::{node_bounds, BoundMethod, Evaluator};
+use karl_geom::{norm2, Rect};
+use karl_tree::Tree;
+
+fn main() {
+    let cfg = Config::default();
+    let mut rows = Vec::new();
+    for (qtype, name) in [
+        ("I", "miniboone"),
+        ("I", "home"),
+        ("I", "susy"),
+        ("II", "nsl-kdd"),
+        ("II", "kdd99"),
+        ("II", "covtype"),
+        ("III", "ijcnn1"),
+        ("III", "a9a"),
+        ("III", "covtype-b"),
+    ] {
+        let w = match qtype {
+            "I" => build_type1(name, &cfg),
+            "II" => build_type2(name, KernelFamily::Gaussian, &cfg),
+            _ => build_type3(name, KernelFamily::Gaussian, &cfg),
+        };
+        let (e_lb_sota, e_ub_sota) = tightness(&w, BoundMethod::Sota);
+        let (e_lb_karl, e_ub_karl) = tightness(&w, BoundMethod::Karl);
+        rows.push(vec![
+            qtype.to_string(),
+            name.to_string(),
+            format!("{e_lb_sota:.2e}"),
+            format!("{e_lb_karl:.2e}"),
+            format!("{e_ub_sota:.2e}"),
+            format!("{e_ub_karl:.2e}"),
+        ]);
+        println!("  [{name}] done");
+    }
+    print_table(
+        "Figure 13: average bound error per tree level (kd-tree, leaf 80)",
+        &["type", "dataset", "ErrLB_SOTA", "ErrLB_KARL", "ErrUB_SOTA", "ErrUB_KARL"],
+        &rows,
+    );
+}
+
+/// Mean over queries and tree levels of the relative LB/UB error.
+fn tightness(w: &Workload, method: BoundMethod) -> (f64, f64) {
+    let eval = Evaluator::<Rect>::build(&w.points, &w.weights, w.kernel, method, 80);
+    let nq = w.queries.len().min(100);
+    let mut err_lb = 0.0;
+    let mut err_ub = 0.0;
+    for qi in 0..nq {
+        let q = w.queries.point(qi);
+        let qn = norm2(q);
+        let truth = eval.exact(q);
+        let denom = truth.abs().max(1e-12);
+        let levels = eval.max_depth() + 1;
+        for l in 0..levels {
+            let mut lb = 0.0;
+            let mut ub = 0.0;
+            let mut side = |tree: &Tree<Rect>, sign: f64| {
+                for id in tree.frontier_at_depth(l) {
+                    let node = tree.node(id);
+                    let b = node_bounds(method, &w.kernel, &node.shape, &node.stats, q, qn);
+                    if sign > 0.0 {
+                        lb += b.lb;
+                        ub += b.ub;
+                    } else {
+                        lb -= b.ub;
+                        ub -= b.lb;
+                    }
+                }
+            };
+            if let Some(t) = eval.pos_tree() {
+                side(t, 1.0);
+            }
+            if let Some(t) = eval.neg_tree() {
+                side(t, -1.0);
+            }
+            err_lb += (lb - truth).abs() / denom / levels as f64;
+            err_ub += (ub - truth).abs() / denom / levels as f64;
+        }
+    }
+    (err_lb / nq as f64, err_ub / nq as f64)
+}

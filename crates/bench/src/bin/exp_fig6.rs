@@ -1,0 +1,73 @@
+//! **Figure 6** — bound trajectories of SOTA vs KARL on a Type I-τ query
+//! over the home dataset: global lower/upper bounds per refinement
+//! iteration, showing KARL's bounds converging (and therefore terminating)
+//! much sooner.
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_fig6
+//! ```
+
+use karl_bench::workloads::build_type1;
+use karl_bench::{print_table, Config};
+use karl_core::{BoundMethod, Evaluator};
+use karl_geom::Rect;
+
+fn main() {
+    let cfg = Config::default();
+    let w = build_type1("home", &cfg);
+    // kd-tree with leaf capacity 80, as in the paper's case study.
+    let karl = Evaluator::<Rect>::build(&w.points, &w.weights, w.kernel, BoundMethod::Karl, 80);
+    let sota = karl.clone().with_method(BoundMethod::Sota);
+
+    // Pick the first query whose decision is not instantaneous for SOTA so
+    // the trace is interesting.
+    let mut chosen = w.queries.point(0).to_vec();
+    for q in w.queries.iter() {
+        let (_, t) = sota.trace_tkaq(q, w.tau);
+        if t.len() > 40 {
+            chosen = q.to_vec();
+            break;
+        }
+    }
+    let (ans_sota, trace_sota) = sota.trace_tkaq(&chosen, w.tau);
+    let (ans_karl, trace_karl) = karl.trace_tkaq(&chosen, w.tau);
+    assert_eq!(ans_sota, ans_karl, "methods must agree");
+    println!(
+        "home, type I-tau, tau = {:.5}, answer = {}, n = {}",
+        w.tau,
+        ans_sota,
+        w.points.len()
+    );
+    println!(
+        "SOTA stops after {} iterations; KARL stops after {} iterations ({}x fewer)",
+        trace_sota.len() - 1,
+        trace_karl.len() - 1,
+        (trace_sota.len() - 1).max(1) / (trace_karl.len() - 1).max(1)
+    );
+
+    // Print both trajectories on a common iteration grid (12 samples).
+    let samples = 12usize;
+    let longest = trace_sota.len().max(trace_karl.len());
+    let mut rows = Vec::new();
+    for s in 0..=samples {
+        let it = s * (longest - 1) / samples;
+        let pick = |t: &[karl_core::TraceStep]| {
+            let step = &t[it.min(t.len() - 1)];
+            (step.lb, step.ub)
+        };
+        let (slb, sub) = pick(&trace_sota);
+        let (klb, kub) = pick(&trace_karl);
+        rows.push(vec![
+            it.to_string(),
+            format!("{slb:.5}"),
+            format!("{sub:.5}"),
+            format!("{klb:.5}"),
+            format!("{kub:.5}"),
+        ]);
+    }
+    print_table(
+        "Figure 6: bound value vs iteration",
+        &["iter", "LB_SOTA", "UB_SOTA", "LB_KARL", "UB_KARL"],
+        &rows,
+    );
+}

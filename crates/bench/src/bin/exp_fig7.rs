@@ -1,0 +1,58 @@
+//! **Figure 7** — KARL throughput for query type I-τ as a function of the
+//! leaf-node capacity (10…640), for the kd-tree and the ball-tree, on the
+//! home and susy datasets. Demonstrates why automatic index tuning matters:
+//! the best/worst gap within one dataset reaches several ×, and the optimum
+//! moves across datasets.
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_fig7
+//! ```
+
+use karl_bench::workloads::build_type1;
+use karl_bench::{fmt_tp, print_table, throughput, Config};
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind};
+
+fn main() {
+    let cfg = Config::default();
+    for name in ["home", "susy"] {
+        let w = build_type1(name, &cfg);
+        let caps = [10usize, 20, 40, 80, 160, 320, 640];
+        let mut rows = Vec::new();
+        let mut best: (f64, &str, usize) = (0.0, "", 0);
+        let mut worst = f64::INFINITY;
+        for cap in caps {
+            let mut row = vec![cap.to_string()];
+            for (kname, kind) in [("kd", IndexKind::Kd), ("ball", IndexKind::Ball)] {
+                let eval = AnyEvaluator::build(
+                    kind,
+                    &w.points,
+                    &w.weights,
+                    w.kernel,
+                    BoundMethod::Karl,
+                    cap,
+                );
+                let tp = throughput(&w.queries, |q| {
+                    std::hint::black_box(eval.tkaq(q, w.tau));
+                });
+                if tp > best.0 {
+                    best = (tp, kname, cap);
+                }
+                worst = worst.min(tp);
+                row.push(fmt_tp(tp));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 7: KARL throughput vs leaf capacity — {name} (I-tau, n={})", w.points.len()),
+            &["leaf", "KARL_kd", "KARL_ball"],
+            &rows,
+        );
+        println!(
+            "best: {} @ {} ({} q/s); best/worst = {:.1}x",
+            best.1,
+            best.2,
+            fmt_tp(best.0),
+            best.0 / worst
+        );
+    }
+}

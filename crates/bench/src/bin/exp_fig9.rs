@@ -1,0 +1,72 @@
+//! **Figure 9** — sensitivity of query-type I-τ throughput to the
+//! threshold τ, swept over μ−2σ … μ+4σ on miniboone, home and susy, for
+//! SCAN / SOTA_best / KARL_auto. (Like the paper, negative thresholds are
+//! skipped.)
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_fig9
+//! ```
+
+use karl_bench::workloads::build_type1;
+use karl_bench::{fmt_tp, print_table, throughput, Config};
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind, OfflineTuner, Query, Scan};
+use karl_data::sample_queries;
+
+fn main() {
+    let cfg = Config::default();
+    for name in ["miniboone", "home", "susy"] {
+        let w = build_type1(name, &cfg);
+        let scan = Scan::new(w.points.clone(), w.weights.clone(), w.kernel);
+        let sample = sample_queries(&w.points, cfg.queries.min(1_000), 0xFACE);
+        let mut rows = Vec::new();
+        for k in [-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 3.0, 4.0] {
+            let tau = w.tau + k * w.sigma;
+            if tau <= 0.0 {
+                continue; // the paper skips negative thresholds
+            }
+            let query = Query::Tkaq { tau };
+            let scan_tp = throughput(&w.queries, |q| {
+                std::hint::black_box(scan.tkaq(q, tau));
+            });
+            let mut sota_tp: f64 = 0.0;
+            for &cap in &[20usize, 80, 320] {
+                let eval = AnyEvaluator::build(
+                    IndexKind::Kd,
+                    &w.points,
+                    &w.weights,
+                    w.kernel,
+                    BoundMethod::Sota,
+                    cap,
+                );
+                let tp = throughput(&w.queries, |q| {
+                    std::hint::black_box(eval.tkaq(q, tau));
+                });
+                sota_tp = sota_tp.max(tp);
+            }
+            let tuned = OfflineTuner::default().tune(
+                &w.points,
+                &w.weights,
+                w.kernel,
+                BoundMethod::Karl,
+                &sample,
+                query,
+            );
+            let karl_tp = throughput(&w.queries, |q| {
+                std::hint::black_box(tuned.best.tkaq(q, tau));
+            });
+            rows.push(vec![
+                format!("mu{k:+.1}sigma"),
+                format!("{tau:.5}"),
+                fmt_tp(scan_tp),
+                fmt_tp(sota_tp),
+                fmt_tp(karl_tp),
+                format!("{:.1}x", karl_tp / sota_tp),
+            ]);
+        }
+        print_table(
+            &format!("Figure 9: throughput vs threshold — {name} (I-tau, n={})", w.points.len()),
+            &["tau", "value", "SCAN", "SOTA_best", "KARL_auto", "KARL/SOTA"],
+            &rows,
+        );
+    }
+}

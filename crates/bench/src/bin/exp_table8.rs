@@ -1,0 +1,94 @@
+//! **Table VIII** — offline index tuning: throughput of KARL with the
+//! worst grid candidate (`KARL_worst`), the candidate recommended by the
+//! sample-based tuner (`KARL_auto`, |S| = 1000), and the true best grid
+//! candidate measured on the real query set (`KARL_best`). The paper's
+//! point: auto lands within a few percent of best.
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_table8
+//! ```
+
+use karl_bench::workloads::{build_type1, build_type2, build_type3, KernelFamily, Workload};
+use karl_bench::{fmt_tp, print_table, throughput, Config};
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind, OfflineTuner, Query};
+use karl_data::sample_queries;
+
+fn main() {
+    let cfg = Config::default();
+    let mut rows = Vec::new();
+    for (qtype, name) in [
+        ("I-eps", "miniboone"),
+        ("I-eps", "home"),
+        ("I-eps", "susy"),
+        ("I-tau", "miniboone"),
+        ("I-tau", "home"),
+        ("I-tau", "susy"),
+        ("II-tau", "nsl-kdd"),
+        ("II-tau", "kdd99"),
+        ("II-tau", "covtype"),
+        ("III-tau", "ijcnn1"),
+        ("III-tau", "a9a"),
+        ("III-tau", "covtype-b"),
+    ] {
+        let (w, query) = match qtype {
+            "I-eps" => {
+                let w = build_type1(name, &cfg);
+                (w, Query::Ekaq { eps: 0.2 })
+            }
+            "I-tau" => {
+                let w = build_type1(name, &cfg);
+                let q = Query::Tkaq { tau: w.tau };
+                (w, q)
+            }
+            "II-tau" => {
+                let w = build_type2(name, KernelFamily::Gaussian, &cfg);
+                let q = Query::Tkaq { tau: w.tau };
+                (w, q)
+            }
+            _ => {
+                let w = build_type3(name, KernelFamily::Gaussian, &cfg);
+                let q = Query::Tkaq { tau: w.tau };
+                (w, q)
+            }
+        };
+        rows.push(measure(qtype, &w, query, &cfg));
+        println!("  [{qtype} {name}] done");
+    }
+    print_table(
+        "Table VIII: offline tuning (queries/sec)",
+        &["type", "dataset", "KARL_worst", "KARL_auto", "KARL_best", "auto/best"],
+        &rows,
+    );
+}
+
+fn measure(qtype: &str, w: &Workload, query: Query, cfg: &Config) -> Vec<String> {
+    let tuner = OfflineTuner::default();
+    // Ground truth: every candidate measured on the real query set.
+    let mut best: f64 = 0.0;
+    let mut worst = f64::INFINITY;
+    for &kind in &[IndexKind::Kd, IndexKind::Ball] {
+        for &cap in &tuner.leaf_capacities {
+            let eval =
+                AnyEvaluator::build(kind, &w.points, &w.weights, w.kernel, BoundMethod::Karl, cap);
+            let tp = throughput(&w.queries, |q| {
+                std::hint::black_box(eval.answer(q, query));
+            });
+            best = best.max(tp);
+            worst = worst.min(tp);
+        }
+    }
+    // Auto: tuned on a 1000-point sample, then measured on the real set.
+    let sample = sample_queries(&w.points, cfg.queries.min(1_000), 0xFACE);
+    let tuned = tuner.tune(&w.points, &w.weights, w.kernel, BoundMethod::Karl, &sample, query);
+    let auto_tp = throughput(&w.queries, |q| {
+        std::hint::black_box(tuned.best.answer(q, query));
+    });
+    vec![
+        qtype.to_string(),
+        w.name.to_string(),
+        fmt_tp(worst),
+        fmt_tp(auto_tp),
+        fmt_tp(best),
+        format!("{:.2}", auto_tp / best),
+    ]
+}

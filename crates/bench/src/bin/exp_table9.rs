@@ -1,0 +1,83 @@
+//! **Table IX** — the in-situ scenario: the dataset arrives with the query
+//! stream, so index construction and tuning time count toward the
+//! end-to-end throughput. Compares the scan baseline (no build cost) with
+//! `SOTA_online` and `KARL_online` (single kd-tree + level probing on a 1%
+//! sample; Section III-C).
+//!
+//! ```text
+//! cargo run --release -p karl-bench --bin exp_table9
+//! ```
+
+use karl_bench::workloads::{build_type1, build_type2, build_type3, KernelFamily};
+use karl_bench::{fmt_tp, print_table, throughput, Config};
+use karl_core::{BoundMethod, OnlineTuner, Query, Scan};
+
+fn main() {
+    let cfg = Config::default();
+    let mut rows = Vec::new();
+    for (qtype, name) in [
+        ("I-eps", "miniboone"),
+        ("I-eps", "home"),
+        ("I-eps", "susy"),
+        ("I-tau", "miniboone"),
+        ("I-tau", "home"),
+        ("I-tau", "susy"),
+        ("II-tau", "nsl-kdd"),
+        ("II-tau", "kdd99"),
+        ("II-tau", "covtype"),
+        ("III-tau", "ijcnn1"),
+        ("III-tau", "a9a"),
+        ("III-tau", "covtype-b"),
+    ] {
+        let (w, query) = match qtype {
+            "I-eps" => {
+                let w = build_type1(name, &cfg);
+                (w, Query::Ekaq { eps: 0.2 })
+            }
+            "I-tau" => {
+                let w = build_type1(name, &cfg);
+                let q = Query::Tkaq { tau: w.tau };
+                (w, q)
+            }
+            "II-tau" => {
+                let w = build_type2(name, KernelFamily::Gaussian, &cfg);
+                let q = Query::Tkaq { tau: w.tau };
+                (w, q)
+            }
+            _ => {
+                let w = build_type3(name, KernelFamily::Gaussian, &cfg);
+                let q = Query::Tkaq { tau: w.tau };
+                (w, q)
+            }
+        };
+        // Baseline: plain scan, no index to build.
+        let scan = Scan::new(w.points.clone(), w.weights.clone(), w.kernel);
+        let base_tp = throughput(&w.queries, |q| match query {
+            Query::Tkaq { tau } => {
+                std::hint::black_box(scan.tkaq(q, tau));
+            }
+            Query::Ekaq { eps } => {
+                std::hint::black_box(scan.ekaq(q, eps));
+            }
+            Query::Within { .. } => unreachable!("harness uses TKAQ/eKAQ only"),
+        });
+        let tuner = OnlineTuner::default();
+        let sota = tuner.run(&w.points, &w.weights, w.kernel, BoundMethod::Sota, &w.queries, query);
+        let karl = tuner.run(&w.points, &w.weights, w.kernel, BoundMethod::Karl, &w.queries, query);
+        rows.push(vec![
+            qtype.to_string(),
+            w.name.to_string(),
+            fmt_tp(base_tp),
+            fmt_tp(sota.throughput),
+            fmt_tp(karl.throughput),
+            format!("lvl {}", karl.chosen_level),
+            format!("{:.1}x", karl.throughput / sota.throughput),
+        ]);
+        println!("  [{qtype} {name}] done");
+    }
+    print_table(
+        "Table IX: in-situ end-to-end throughput (queries/sec, incl. build + tuning)",
+        &["type", "dataset", "baseline", "SOTA_online", "KARL_online", "level", "KARL/SOTA"],
+        &rows,
+    );
+}

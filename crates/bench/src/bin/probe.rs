@@ -1,0 +1,57 @@
+//! Scratch probe for evaluator behaviour (not part of the experiment
+//! suite).
+
+use std::time::Instant;
+
+use karl_core::{BoundMethod, Evaluator, Kernel, Query};
+use karl_data::{by_name, sample_queries};
+use karl_geom::Rect;
+use karl_kde::Kde;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "miniboone".into());
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let gscale: f64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let ds = by_name(&name).expect("dataset").generate_n(n);
+    let kde = Kde::with_gamma(ds.points.clone(), {
+        let tmp = Kde::fit(ds.points.clone());
+        tmp.gamma() * gscale
+    });
+    let w = vec![kde.weight(); n];
+    let kernel = Kernel::gaussian(kde.gamma());
+    println!("gamma {:.2} dims {}", kde.gamma(), ds.points.dims());
+    let queries = sample_queries(&ds.points, 100, 9);
+
+    for leaf in [20, 80, 320] {
+        for method in [BoundMethod::Sota, BoundMethod::Karl] {
+            let eval = Evaluator::<Rect>::build(&ds.points, &w, kernel, method, leaf);
+            // mean density for tau
+            let mu: f64 = queries.iter().map(|q| eval.exact(q)).sum::<f64>() / 100.0;
+            let t = Instant::now();
+            let mut iters = 0usize;
+            for q in queries.iter() {
+                iters += eval.run_query(q, Query::Tkaq { tau: mu }, None).iterations;
+            }
+            let el = t.elapsed();
+            let t2 = Instant::now();
+            let mut iters_e = 0usize;
+            for q in queries.iter() {
+                iters_e += eval.run_query(q, Query::Ekaq { eps: 0.2 }, None).iterations;
+            }
+            let el2 = t2.elapsed();
+            println!(
+                "leaf {leaf:>4} {method:?}: tkaq {:>8.0} q/s ({:>6.1} iters/q) | ekaq {:>8.0} q/s ({:>6.1} iters/q)",
+                100.0 / el.as_secs_f64(),
+                iters as f64 / 100.0,
+                100.0 / el2.as_secs_f64(),
+                iters_e as f64 / 100.0,
+            );
+        }
+    }
+}

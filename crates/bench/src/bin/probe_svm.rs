@@ -1,0 +1,30 @@
+//! Scratch probe for SVM workloads (not part of the experiment suite).
+use karl_bench::workloads::{build_type3, build_type2, KernelFamily};
+use karl_bench::{throughput, Config};
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind, Query, Scan};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ijcnn1".into());
+    let t3 = std::env::args().nth(2).is_none_or(|s| s == "3");
+    let cfg = Config::default();
+    let w = if t3 {
+        build_type3(&name, KernelFamily::Gaussian, &cfg)
+    } else {
+        build_type2(&name, KernelFamily::Gaussian, &cfg)
+    };
+    println!("{}: {} SVs, tau {:.4}", w.name, w.points.len(), w.tau);
+    let scan = Scan::new(w.points.clone(), w.weights.clone(), w.kernel);
+    let tp = throughput(&w.queries, |q| { std::hint::black_box(scan.tkaq(q, w.tau)); });
+    println!("scan {tp:.0} q/s");
+    for method in [BoundMethod::Sota, BoundMethod::Karl] {
+        for cap in [20, 80, 320] {
+            let e = AnyEvaluator::build(IndexKind::Kd, &w.points, &w.weights, w.kernel, method, cap);
+            let mut iters = 0usize;
+            for q in w.queries.iter() {
+                iters += e.run_query(q, Query::Tkaq { tau: w.tau }, None).iterations;
+            }
+            let tp = throughput(&w.queries, |q| { std::hint::black_box(e.tkaq(q, w.tau)); });
+            println!("{method:?} leaf {cap:>3}: {tp:>9.0} q/s ({:.1} iters/q)", iters as f64 / w.queries.len() as f64);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! FIFO-refinement evaluator — an *ablation only*.
+//!
+//! The paper's framework refines the priority-queue entry with the largest
+//! bound gap first (Section II-B). This evaluator replaces the priority
+//! queue with a plain FIFO (breadth-first refinement) while using the same
+//! KARL bounds, to quantify how much of the speedup comes from the
+//! refinement order versus the bounds themselves
+//! (`benches/ablation_queue.rs`).
+
+use std::collections::VecDeque;
+
+use karl_core::{node_bounds, BoundMethod, Kernel};
+use karl_geom::{norm2, PointSet, Rect};
+use karl_tree::KdTree;
+
+/// Breadth-first (FIFO) variant of the TKAQ evaluator over a kd-tree with
+/// non-negative weights.
+#[derive(Debug)]
+pub struct FifoEvaluator {
+    tree: KdTree,
+    kernel: Kernel,
+    method: BoundMethod,
+}
+
+impl FifoEvaluator {
+    /// Builds the ablation evaluator.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative (the ablation only covers the
+    /// positive-weight path) or inputs are inconsistent.
+    pub fn build(
+        points: &PointSet,
+        weights: &[f64],
+        kernel: Kernel,
+        method: BoundMethod,
+        leaf_capacity: usize,
+    ) -> Self {
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "FIFO ablation supports non-negative weights only"
+        );
+        Self {
+            tree: KdTree::build(points.clone(), weights, leaf_capacity),
+            kernel,
+            method,
+        }
+    }
+
+    /// Threshold query with FIFO refinement; returns `(answer, iterations)`.
+    pub fn tkaq(&self, q: &[f64], tau: f64) -> (bool, usize) {
+        let qn = norm2(q);
+        let mut queue: VecDeque<(u32, f64, f64)> = VecDeque::new();
+        let root = self.tree.node(self.tree.root());
+        let b = node_bounds::<Rect>(self.method, &self.kernel, &root.shape, &root.stats, q, qn);
+        let (mut lb, mut ub) = (b.lb, b.ub);
+        queue.push_back((self.tree.root(), b.lb, b.ub));
+        let mut iterations = 0;
+        while let Some((id, elb, eub)) = queue.pop_front() {
+            if lb >= tau {
+                return (true, iterations);
+            }
+            if ub < tau {
+                return (false, iterations);
+            }
+            iterations += 1;
+            lb -= elb;
+            ub -= eub;
+            let node = self.tree.node(id);
+            if node.is_leaf() {
+                let exact = self.kernel.eval_range(
+                    self.tree.points(),
+                    self.tree.weights(),
+                    self.tree.norms2(),
+                    node.start,
+                    node.end,
+                    q,
+                    qn,
+                );
+                lb += exact;
+                ub += exact;
+            } else {
+                let (a, c) = node.children.expect("non-leaf has children");
+                for child in [a, c] {
+                    let n = self.tree.node(child);
+                    let b =
+                        node_bounds::<Rect>(self.method, &self.kernel, &n.shape, &n.stats, q, qn);
+                    lb += b.lb;
+                    ub += b.ub;
+                    queue.push_back((child, b.lb, b.ub));
+                }
+            }
+        }
+        (0.5 * (lb + ub) >= tau, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karl_core::aggregate_exact;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fifo_answers_match_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ps = PointSet::new(
+            2,
+            (0..400).map(|_| rng.random_range(-1.0..1.0)).collect::<Vec<_>>(),
+        );
+        let w = vec![1.0; 200];
+        let kernel = Kernel::gaussian(2.0);
+        let eval = FifoEvaluator::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        for i in 0..20 {
+            let q = ps.point(i).to_vec();
+            let truth = aggregate_exact(&kernel, &ps, &w, &q);
+            for mult in [0.7, 1.3] {
+                let (ans, _) = eval.tkaq(&q, truth * mult);
+                assert_eq!(ans, truth >= truth * mult);
+            }
+        }
+    }
+}

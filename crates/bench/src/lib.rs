@@ -1,0 +1,150 @@
+//! # karl-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (Section V); see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results. This library holds the shared plumbing:
+//! workload construction for the three weighting types, timing helpers and
+//! table formatting.
+//!
+//! ## Scaling
+//!
+//! The paper runs on the raw datasets (up to 4.99 M points) with 10 000
+//! queries. The harness defaults to `scale = 1/32` of each raw cardinality
+//! (clamped to `[2 000, 100 000]`) and 500 queries so the whole suite runs
+//! on a laptop in minutes. Override with environment variables:
+//!
+//! * `KARL_SCALE` — fraction of the raw cardinality (e.g. `1.0` for paper
+//!   size),
+//! * `KARL_QUERIES` — number of query points,
+//! * `KARL_TRAIN_CAP` — maximum SVM training-set size (SMO is `O(n²)`).
+
+pub mod fifo;
+pub mod workloads;
+
+use std::time::Instant;
+
+/// Harness configuration, resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Fraction of each dataset's raw cardinality to generate.
+    pub scale: f64,
+    /// Number of query points per experiment.
+    pub queries: usize,
+    /// Cap on SVM training-set size.
+    pub train_cap: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            scale: env_f64("KARL_SCALE", 1.0 / 32.0),
+            queries: env_usize("KARL_QUERIES", 500),
+            train_cap: env_usize("KARL_TRAIN_CAP", 2_500),
+        }
+    }
+}
+
+impl Config {
+    /// The number of points to generate for a dataset with `n_raw` raw
+    /// points, clamped to a laptop-friendly window.
+    pub fn dataset_size(&self, n_raw: usize) -> usize {
+        (((n_raw as f64) * self.scale).round() as usize).clamp(2_000, 100_000)
+    }
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Measures throughput (calls/second) of `f` applied to each query row.
+pub fn throughput<F: FnMut(&[f64])>(queries: &karl_geom::PointSet, mut f: F) -> f64 {
+    let start = Instant::now();
+    for q in queries.iter() {
+        f(q);
+    }
+    queries.len() as f64 / start.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// Formats a throughput figure the way the paper's tables do (3 significant
+/// digits).
+pub fn fmt_tp(tp: f64) -> String {
+    if tp >= 100.0 {
+        format!("{tp:.0}")
+    } else if tp >= 10.0 {
+        format!("{tp:.1}")
+    } else {
+        format!("{tp:.2}")
+    }
+}
+
+/// Prints a header + aligned rows (simple fixed-width table).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_dataset_size_clamps() {
+        let cfg = Config {
+            scale: 1.0 / 32.0,
+            queries: 10,
+            train_cap: 100,
+        };
+        assert_eq!(cfg.dataset_size(4_990_000), 100_000);
+        assert_eq!(cfg.dataset_size(32_561), 2_000);
+        assert_eq!(cfg.dataset_size(918_991), 28_718);
+    }
+
+    #[test]
+    fn fmt_tp_scales() {
+        assert_eq!(fmt_tp(12345.6), "12346");
+        assert_eq!(fmt_tp(123.4), "123");
+        assert_eq!(fmt_tp(12.34), "12.3");
+        assert_eq!(fmt_tp(1.234), "1.23");
+    }
+
+    #[test]
+    fn throughput_counts_calls() {
+        let qs = karl_geom::PointSet::new(1, vec![1.0, 2.0, 3.0]);
+        let mut calls = 0;
+        let tp = throughput(&qs, |_| calls += 1);
+        assert_eq!(calls, 3);
+        assert!(tp > 0.0);
+    }
+}

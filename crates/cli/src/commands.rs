@@ -1,0 +1,309 @@
+//! Subcommand implementations.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use karl_core::{AnyEvaluator, BoundMethod, IndexKind, Kernel, OfflineTuner, Query, Scan};
+use karl_data::{
+    by_name, load_csv, load_labeled_csv, load_libsvm, registry, save_csv, LabelColumn,
+};
+use karl_geom::PointSet;
+use karl_kde::scotts_gamma;
+use karl_svm::{load_model, save_model, CSvc, OneClassSvm, SvmType};
+
+use crate::args::Parsed;
+
+type CmdResult = Result<String, String>;
+
+/// `karl datasets`
+pub fn datasets(p: &Parsed) -> CmdResult {
+    p.expect_flags(&[]).map_err(|e| e.to_string())?;
+    let mut out = String::from("name        n_raw    dims  model\n");
+    for spec in registry() {
+        let model = match spec.model {
+            karl_data::ModelKind::KernelDensity => "kernel-density (Type I)",
+            karl_data::ModelKind::OneClass => "1-class SVM (Type II)",
+            karl_data::ModelKind::TwoClass => "2-class SVM (Type III)",
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>6}  {model}",
+            spec.name, spec.n_raw, spec.dims
+        );
+    }
+    Ok(out)
+}
+
+/// `karl generate --name N --n COUNT --out FILE [--labeled]`
+pub fn generate(p: &Parsed) -> CmdResult {
+    p.expect_flags(&["name", "n", "out", "labeled"])
+        .map_err(|e| e.to_string())?;
+    let name = p.required("name").map_err(|e| e.to_string())?;
+    let n: usize = p
+        .get_or("n", 10_000, "a point count")
+        .map_err(|e| e.to_string())?;
+    let out_path = p.required("out").map_err(|e| e.to_string())?;
+    let spec = by_name(name).ok_or_else(|| format!("unknown dataset {name:?} (try `karl datasets`)"))?;
+    let ds = spec.generate_n(n);
+    let labels = if p.has("labeled") {
+        Some(
+            ds.labels
+                .clone()
+                .ok_or_else(|| format!("dataset {name} has no labels"))?,
+        )
+    } else {
+        None
+    };
+    save_csv(out_path, &ds.points, labels.as_deref()).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} points x {} dims to {out_path}{}\n",
+        ds.points.len(),
+        ds.points.dims(),
+        if labels.is_some() { " (label last)" } else { "" }
+    ))
+}
+
+fn parse_method(p: &Parsed) -> Result<BoundMethod, String> {
+    match p.get("method") {
+        None | Some("karl") => Ok(BoundMethod::Karl),
+        Some("sota") => Ok(BoundMethod::Sota),
+        Some(other) => Err(format!("unknown method {other:?} (karl|sota)")),
+    }
+}
+
+fn gamma_for(p: &Parsed, points: &PointSet) -> Result<f64, String> {
+    match p.get("gamma") {
+        None | Some("auto") => Ok(scotts_gamma(points)),
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("--gamma {v:?}: expected a number or 'auto'")),
+    }
+}
+
+/// `karl kde --data FILE --queries FILE (--tau T | --eps E) …`
+pub fn kde(p: &Parsed) -> CmdResult {
+    p.expect_flags(&["data", "queries", "tau", "eps", "method", "leaf", "gamma"])
+        .map_err(|e| e.to_string())?;
+    let data = load_csv(p.required("data").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let queries = load_csv(p.required("queries").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    if queries.dims() != data.dims() {
+        return Err(format!(
+            "query dims {} != data dims {}",
+            queries.dims(),
+            data.dims()
+        ));
+    }
+    let method = parse_method(p)?;
+    let leaf: usize = p.get_or("leaf", 80, "a leaf capacity").map_err(|e| e.to_string())?;
+    let gamma = gamma_for(p, &data)?;
+    let tau: Option<f64> = p.get_parsed("tau", "a number").map_err(|e| e.to_string())?;
+    let eps: Option<f64> = p.get_parsed("eps", "a number").map_err(|e| e.to_string())?;
+
+    let n = data.len();
+    let weights = vec![1.0 / n as f64; n];
+    let eval = AnyEvaluator::build(
+        IndexKind::Kd,
+        &data,
+        &weights,
+        Kernel::gaussian(gamma),
+        method,
+        leaf,
+    );
+    let mut out = String::with_capacity(queries.len() * 8);
+    let start = Instant::now();
+    match (tau, eps) {
+        (Some(tau), None) => {
+            for q in queries.iter() {
+                out.push_str(if eval.tkaq(q, tau) { "1\n" } else { "0\n" });
+            }
+        }
+        (None, Some(eps)) => {
+            for q in queries.iter() {
+                let _ = writeln!(out, "{}", eval.ekaq(q, eps));
+            }
+        }
+        _ => return Err("exactly one of --tau or --eps is required".into()),
+    }
+    let elapsed = start.elapsed();
+    let _ = writeln!(
+        out,
+        "# throughput {:.0} queries/s over {} points (gamma {:.4}, {:?}, leaf {leaf})",
+        queries.len() as f64 / elapsed.as_secs_f64(),
+        n,
+        gamma,
+        method
+    );
+    Ok(out)
+}
+
+fn load_training(p: &Parsed) -> Result<(PointSet, Option<Vec<f64>>), String> {
+    let path = p.required("data").map_err(|e| e.to_string())?;
+    match p.get("format") {
+        None | Some("csv-last") => {
+            let (x, y) = load_labeled_csv(path, LabelColumn::Last).map_err(|e| e.to_string())?;
+            Ok((x, Some(y)))
+        }
+        Some("csv-first") => {
+            let (x, y) = load_labeled_csv(path, LabelColumn::First).map_err(|e| e.to_string())?;
+            Ok((x, Some(y)))
+        }
+        Some("csv") => Ok((load_csv(path).map_err(|e| e.to_string())?, None)),
+        Some("libsvm") => {
+            let (x, y) = load_libsvm(path).map_err(|e| e.to_string())?;
+            Ok((x, Some(y)))
+        }
+        Some(other) => Err(format!(
+            "unknown format {other:?} (csv|csv-first|csv-last|libsvm)"
+        )),
+    }
+}
+
+fn kernel_from_flags(p: &Parsed, points: &PointSet) -> Result<Kernel, String> {
+    let gamma = match p.get("gamma") {
+        None | Some("auto") => 1.0 / points.dims() as f64, // LIBSVM default
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--gamma {v:?}: expected a number or 'auto'"))?,
+    };
+    let coef0: f64 = p.get_or("coef0", 0.0, "a number").map_err(|e| e.to_string())?;
+    let degree: u32 = p.get_or("degree", 3, "an integer").map_err(|e| e.to_string())?;
+    match p.get("kernel") {
+        None | Some("rbf") | Some("gaussian") => Ok(Kernel::gaussian(gamma)),
+        Some("poly") | Some("polynomial") => Ok(Kernel::polynomial(gamma, coef0, degree)),
+        Some("sigmoid") => Ok(Kernel::sigmoid(gamma, coef0)),
+        Some("laplacian") => Ok(Kernel::laplacian(gamma)),
+        Some(other) => Err(format!(
+            "unknown kernel {other:?} (rbf|poly|sigmoid|laplacian)"
+        )),
+    }
+}
+
+/// `karl svm-train --data FILE --svm csvc|oneclass --out MODEL …`
+pub fn svm_train(p: &Parsed) -> CmdResult {
+    p.expect_flags(&[
+        "data", "svm", "out", "format", "c", "nu", "kernel", "gamma", "degree", "coef0",
+    ])
+    .map_err(|e| e.to_string())?;
+    let out_path = p.required("out").map_err(|e| e.to_string())?;
+    let svm = p.required("svm").map_err(|e| e.to_string())?.to_string();
+    let (points, labels) = load_training(p)?;
+    let kernel = kernel_from_flags(p, &points)?;
+    let start = Instant::now();
+    let (model, ty) = match svm.as_str() {
+        "csvc" => {
+            let y = labels.ok_or("csvc training needs labeled data")?;
+            let c: f64 = p.get_or("c", 1.0, "a number").map_err(|e| e.to_string())?;
+            (CSvc::new(c, kernel).train(&points, &y), SvmType::CSvc)
+        }
+        "oneclass" => {
+            let nu: f64 = p.get_or("nu", 0.1, "a number").map_err(|e| e.to_string())?;
+            (OneClassSvm::new(nu, kernel).train(&points), SvmType::OneClass)
+        }
+        other => return Err(format!("unknown --svm {other:?} (csvc|oneclass)")),
+    };
+    let elapsed = start.elapsed();
+    save_model(out_path, &model, ty).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "trained {} on {} points in {elapsed:.2?}: {} support vectors, rho {:.6}; saved to {out_path}\n",
+        if ty == SvmType::CSvc { "c_svc" } else { "one_class" },
+        points.len(),
+        model.num_support(),
+        model.threshold()
+    ))
+}
+
+/// `karl svm-predict --model MODEL --queries FILE …`
+pub fn svm_predict(p: &Parsed) -> CmdResult {
+    p.expect_flags(&["model", "queries", "method", "leaf"])
+        .map_err(|e| e.to_string())?;
+    let queries = load_csv(p.required("queries").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let (model, _) = load_model(
+        p.required("model").map_err(|e| e.to_string())?,
+        Some(queries.dims()),
+    )
+    .map_err(|e| e.to_string())?;
+    let tau = model.threshold();
+    let leaf: usize = p.get_or("leaf", 40, "a leaf capacity").map_err(|e| e.to_string())?;
+
+    let mut out = String::with_capacity(queries.len() * 4);
+    let start = Instant::now();
+    if p.get("method") == Some("scan") {
+        let scan = Scan::new(model.support().clone(), model.weights().to_vec(), *model.kernel());
+        for q in queries.iter() {
+            out.push_str(if scan.tkaq(q, tau) { "+1\n" } else { "-1\n" });
+        }
+    } else {
+        let method = parse_method(p)?;
+        let eval = AnyEvaluator::build(
+            IndexKind::Kd,
+            model.support(),
+            model.weights(),
+            *model.kernel(),
+            method,
+            leaf,
+        );
+        for q in queries.iter() {
+            out.push_str(if eval.tkaq(q, tau) { "+1\n" } else { "-1\n" });
+        }
+    }
+    let elapsed = start.elapsed();
+    let _ = writeln!(
+        out,
+        "# throughput {:.0} queries/s ({} support vectors)",
+        queries.len() as f64 / elapsed.as_secs_f64(),
+        model.num_support()
+    );
+    Ok(out)
+}
+
+/// `karl tune --data FILE --queries FILE (--tau T | --eps E) …`
+pub fn tune(p: &Parsed) -> CmdResult {
+    p.expect_flags(&["data", "queries", "tau", "eps", "method", "gamma"])
+        .map_err(|e| e.to_string())?;
+    let data = load_csv(p.required("data").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let queries = load_csv(p.required("queries").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let method = parse_method(p)?;
+    let gamma = gamma_for(p, &data)?;
+    let tau: Option<f64> = p.get_parsed("tau", "a number").map_err(|e| e.to_string())?;
+    let eps: Option<f64> = p.get_parsed("eps", "a number").map_err(|e| e.to_string())?;
+    let workload = match (tau, eps) {
+        (Some(tau), None) => Query::Tkaq { tau },
+        (None, Some(eps)) => Query::Ekaq { eps },
+        _ => return Err("exactly one of --tau or --eps is required".into()),
+    };
+    let n = data.len();
+    let weights = vec![1.0 / n as f64; n];
+    let outcome = OfflineTuner::default().tune(
+        &data,
+        &weights,
+        Kernel::gaussian(gamma),
+        method,
+        &queries,
+        workload,
+    );
+    let mut out = String::from("kind  leaf  queries/s\n");
+    for c in &outcome.report {
+        let _ = writeln!(
+            out,
+            "{:<5} {:>4}  {:>9.0}",
+            match c.kind {
+                IndexKind::Kd => "kd",
+                IndexKind::Ball => "ball",
+            },
+            c.leaf_capacity,
+            c.throughput
+        );
+    }
+    let best = outcome.report[0];
+    let _ = writeln!(
+        out,
+        "recommended: {:?} with leaf capacity {} ({:.0} queries/s)",
+        best.kind, best.leaf_capacity, best.throughput
+    );
+    Ok(out)
+}

@@ -1,0 +1,299 @@
+//! # karl-cli — command-line interface to the KARL library
+//!
+//! Subcommands:
+//!
+//! * `datasets` — list the paper's synthetic dataset registry.
+//! * `generate` — write a registry dataset to CSV.
+//! * `kde` — answer density queries (TKAQ or eKAQ) over a CSV dataset.
+//! * `svm-train` — train a C-SVC / one-class model, save LIBSVM format.
+//! * `svm-predict` — classify queries with a saved model through KARL.
+//! * `tune` — run the offline index tuner and print the grid report.
+//!
+//! Run `karl` with no arguments for usage. The [`run`] entry point is a
+//! pure function from arguments to output, which is how the test suite
+//! drives it.
+
+pub mod args;
+pub mod commands;
+
+use args::Parsed;
+
+/// Usage text shown on errors and `karl help`.
+pub const USAGE: &str = "\
+usage: karl <command> [flags]
+
+commands:
+  datasets                          list the synthetic dataset registry
+  generate  --name N --n COUNT --out FILE [--labeled]
+  kde       --data FILE --queries FILE (--tau T | --eps E)
+            [--method karl|sota] [--leaf CAP] [--gamma G]
+  svm-train --data FILE --svm csvc|oneclass --out MODEL
+            [--format csv-last|csv-first|libsvm] [--c C] [--nu NU]
+            [--kernel rbf|poly|sigmoid|laplacian] [--gamma G]
+            [--degree D] [--coef0 B]
+  svm-predict --model MODEL --queries FILE
+            [--method karl|sota|scan] [--leaf CAP]
+  tune      --data FILE --queries FILE (--tau T | --eps E)
+            [--method karl|sota]
+";
+
+/// Entry point: parses `args`, dispatches, and returns the stdout payload.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args).map_err(|e| e.to_string())?;
+    match parsed.command.as_deref() {
+        Some("datasets") => commands::datasets(&parsed),
+        Some("generate") => commands::generate(&parsed),
+        Some("kde") => commands::kde(&parsed),
+        Some("svm-train") => commands::svm_train(&parsed),
+        Some("svm-predict") => commands::svm_predict(&parsed),
+        Some("tune") => commands::tune(&parsed),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+    .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_vec(args: &[&str]) -> Result<String, String> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("karl_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert!(run_vec(&[]).unwrap().contains("usage: karl"));
+        assert!(run_vec(&["help"]).unwrap().contains("svm-train"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_vec(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn datasets_lists_the_registry() {
+        let out = run_vec(&["datasets"]).unwrap();
+        for name in ["mnist", "susy", "covtype-b"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn generate_then_kde_end_to_end() {
+        let data = tmp("home.csv");
+        let out = run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "800",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("800 points"));
+
+        let result = run_vec(&[
+            "kde",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.2",
+        ])
+        .unwrap();
+        // One density per query plus a trailing summary comment.
+        let values: Vec<&str> = result.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(values.len(), 800);
+        assert!(values[0].parse::<f64>().unwrap() > 0.0);
+        assert!(result.lines().any(|l| l.starts_with("# throughput")));
+    }
+
+    #[test]
+    fn kde_threshold_mode_prints_bools() {
+        let data = tmp("mini.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "miniboone",
+            "--n",
+            "400",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let result = run_vec(&[
+            "kde",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--tau",
+            "0.01",
+            "--method",
+            "sota",
+        ])
+        .unwrap();
+        let answers: Vec<&str> = result.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(answers.len(), 400);
+        assert!(answers.iter().all(|&a| a == "1" || a == "0"));
+    }
+
+    #[test]
+    fn svm_train_and_predict_roundtrip() {
+        let data = tmp("labeled.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "ijcnn1",
+            "--n",
+            "600",
+            "--out",
+            data.to_str().unwrap(),
+            "--labeled",
+        ])
+        .unwrap();
+        let model = tmp("model.txt");
+        let out = run_vec(&[
+            "svm-train",
+            "--data",
+            data.to_str().unwrap(),
+            "--svm",
+            "csvc",
+            "--c",
+            "5",
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("support vectors"));
+
+        let unlabeled = tmp("queries.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "ijcnn1",
+            "--n",
+            "50",
+            "--out",
+            unlabeled.to_str().unwrap(),
+        ])
+        .unwrap();
+        let fast = run_vec(&[
+            "svm-predict",
+            "--model",
+            model.to_str().unwrap(),
+            "--queries",
+            unlabeled.to_str().unwrap(),
+        ])
+        .unwrap();
+        let scan = run_vec(&[
+            "svm-predict",
+            "--model",
+            model.to_str().unwrap(),
+            "--queries",
+            unlabeled.to_str().unwrap(),
+            "--method",
+            "scan",
+        ])
+        .unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&fast), strip(&scan), "KARL must preserve predictions");
+        assert_eq!(strip(&fast).len(), 50);
+    }
+
+    #[test]
+    fn one_class_training_works() {
+        let data = tmp("oneclass.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "nsl-kdd",
+            "--n",
+            "500",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let model = tmp("oc_model.txt");
+        let out = run_vec(&[
+            "svm-train",
+            "--data",
+            data.to_str().unwrap(),
+            "--svm",
+            "oneclass",
+            "--nu",
+            "0.1",
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("one_class"));
+    }
+
+    #[test]
+    fn tune_prints_a_grid_report() {
+        let data = tmp("tune.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "600",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_vec(&[
+            "tune",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.2",
+        ])
+        .unwrap();
+        assert!(out.contains("kind"));
+        assert!(out.contains("recommended"));
+    }
+
+    #[test]
+    fn kde_requires_a_workload() {
+        let data = tmp("wl.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "300",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run_vec(&[
+            "kde",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--tau or --eps"));
+    }
+}

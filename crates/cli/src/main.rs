@@ -1,0 +1,18 @@
+//! `karl` — the command-line face of the library.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match karl_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", karl_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-node bound functions: SOTA's constant bounds and KARL's linear
+//! bounds.
+//!
+//! Both take a tree node (bounding volume + aggregates) and a query point
+//! and return `[LB, UB]` with `LB ≤ Σᵢ wᵢ·K(q, pᵢ) ≤ UB`, where the sum
+//! ranges over the node's points and all node weights are non-negative
+//! (negative weights are handled a level up by the P⁺/P⁻ split of
+//! Section IV-A2).
+
+use karl_geom::BoundingShape;
+use karl_tree::NodeStats;
+
+use crate::envelope::envelope;
+use crate::kernel::Kernel;
+
+/// Which per-node bound functions the evaluator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundMethod {
+    /// Constant min/max bounds of the state of the art
+    /// (`W·f_min`, `W·f_max`) [Gray & Moore; Gan & Bailis].
+    Sota,
+    /// KARL's linear bound functions (chord / optimal tangent / rotation
+    /// envelopes), clamped by the constant bounds so they are never looser.
+    Karl,
+}
+
+/// A `[lower, upper]` bound pair on a node's weighted kernel aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundPair {
+    /// Lower bound.
+    pub lb: f64,
+    /// Upper bound.
+    pub ub: f64,
+}
+
+impl BoundPair {
+    /// The refinement priority of the paper's framework: the bound gap.
+    #[inline]
+    pub fn gap(&self) -> f64 {
+        self.ub - self.lb
+    }
+}
+
+/// Computes the `[LB, UB]` pair for one node.
+///
+/// `q_norm2` must be `‖q‖²` (hoisted out because one query visits many
+/// nodes).
+pub fn node_bounds<S: BoundingShape>(
+    method: BoundMethod,
+    kernel: &Kernel,
+    shape: &S,
+    stats: &NodeStats,
+    q: &[f64],
+    q_norm2: f64,
+) -> BoundPair {
+    let w = stats.weight_sum;
+    if w <= 0.0 {
+        // A node of all-zero weights contributes nothing either way.
+        return BoundPair { lb: 0.0, ub: 0.0 };
+    }
+    let (lo, hi) = kernel.x_interval(shape, q);
+    let curve = kernel.curve();
+    let (fmin, fmax) = curve.range(lo, hi);
+    let (sota_lb, sota_ub) = (w * fmin, w * fmax);
+    match method {
+        BoundMethod::Sota => BoundPair {
+            lb: sota_lb,
+            ub: sota_ub,
+        },
+        BoundMethod::Karl => {
+            let x_agg = kernel.x_aggregate(stats, q, q_norm2);
+            let env = envelope(curve, lo, hi, x_agg / w);
+            let lb = env.lower.m * x_agg + env.lower.c * w;
+            let ub = env.upper.m * x_agg + env.upper.c * w;
+            // The linear bounds are provably tighter on convex intervals
+            // (Lemmas 3-4); on the mixed intervals of Section IV-B the
+            // endpoint-anchored lines can overshoot the constant bounds at
+            // the far endpoint, so take the tighter of the two for free.
+            BoundPair {
+                lb: lb.max(sota_lb),
+                ub: ub.min(sota_ub),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::aggregate_exact;
+    use karl_geom::{norm2, Ball, PointSet, Rect};
+    use karl_tree::{BallTree, KdTree};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(d, (0..n * d).map(|_| rng.random_range(-2.0..2.0)).collect())
+    }
+
+    fn kernels() -> Vec<Kernel> {
+        vec![
+            Kernel::gaussian(0.8),
+            Kernel::polynomial(0.7, 0.5, 3),
+            Kernel::polynomial(0.7, -0.2, 2),
+            Kernel::polynomial(0.5, 0.1, 5),
+            Kernel::sigmoid(0.9, 0.1),
+            Kernel::laplacian(1.1),
+        ]
+    }
+
+    /// Every node of every tree, for every kernel and both methods, must
+    /// bracket the exact node aggregate; and KARL must be at least as tight
+    /// as SOTA.
+    #[test]
+    fn bounds_bracket_exact_node_aggregates() {
+        let ps = random_points(200, 3, 42);
+        let w: Vec<f64> = (0..200).map(|i| 0.2 + (i % 5) as f64 * 0.3).collect();
+        let kd = KdTree::build(ps.clone(), &w, 8);
+        let ball = BallTree::build(ps, &w, 8);
+        let queries = random_points(5, 3, 43);
+
+        for q in queries.iter() {
+            let qn = norm2(q);
+            for kernel in kernels() {
+                for (_, node) in kd.iter_nodes() {
+                    let exact = kernel.eval_range(
+                        kd.points(),
+                        kd.weights(),
+                        kd.norms2(),
+                        node.start,
+                        node.end,
+                        q,
+                        qn,
+                    );
+                    check_node(&kernel, &node.shape, &node.stats, q, qn, exact);
+                }
+                for (_, node) in ball.iter_nodes() {
+                    let exact = kernel.eval_range(
+                        ball.points(),
+                        ball.weights(),
+                        ball.norms2(),
+                        node.start,
+                        node.end,
+                        q,
+                        qn,
+                    );
+                    check_node(&kernel, &node.shape, &node.stats, q, qn, exact);
+                }
+            }
+        }
+    }
+
+    fn check_node<S: BoundingShape>(
+        kernel: &Kernel,
+        shape: &S,
+        stats: &NodeStats,
+        q: &[f64],
+        qn: f64,
+        exact: f64,
+    ) {
+        let tol = 1e-7 * (1.0 + exact.abs());
+        let sota = node_bounds(BoundMethod::Sota, kernel, shape, stats, q, qn);
+        let karl = node_bounds(BoundMethod::Karl, kernel, shape, stats, q, qn);
+        assert!(
+            sota.lb <= exact + tol && exact <= sota.ub + tol,
+            "SOTA bounds broken for {kernel:?}: {exact} ∉ [{}, {}]",
+            sota.lb,
+            sota.ub
+        );
+        assert!(
+            karl.lb <= exact + tol && exact <= karl.ub + tol,
+            "KARL bounds broken for {kernel:?}: {exact} ∉ [{}, {}]",
+            karl.lb,
+            karl.ub
+        );
+        assert!(
+            karl.lb + tol >= sota.lb && karl.ub <= sota.ub + tol,
+            "KARL looser than SOTA for {kernel:?}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_node_bounds_are_zero() {
+        let ps = PointSet::new(2, vec![1.0, 1.0, 2.0, 2.0]);
+        let w = [0.0, 0.0];
+        let stats = NodeStats::from_range(&ps, &w, 0, 2);
+        let rect = Rect::bounding(&ps, &[0, 1]);
+        let b = node_bounds(
+            BoundMethod::Karl,
+            &Kernel::gaussian(1.0),
+            &rect,
+            &stats,
+            &[0.0, 0.0],
+            0.0,
+        );
+        assert_eq!(b.lb, 0.0);
+        assert_eq!(b.ub, 0.0);
+    }
+
+    #[test]
+    fn gap_shrinks_relative_to_sota_in_gaussian_case() {
+        // KARL's headline claim, checked on a concrete node.
+        let ps = random_points(64, 4, 7);
+        let w = vec![1.0; 64];
+        let stats = NodeStats::from_range(&ps, &w, 0, 64);
+        let idx: Vec<usize> = (0..64).collect();
+        let rect = Rect::bounding(&ps, &idx);
+        let q = vec![3.0, -3.0, 3.0, -3.0]; // outside the data cloud
+        let qn = norm2(&q);
+        let kernel = Kernel::gaussian(0.3);
+        let sota = node_bounds(BoundMethod::Sota, &kernel, &rect, &stats, &q, qn);
+        let karl = node_bounds(BoundMethod::Karl, &kernel, &rect, &stats, &q, qn);
+        assert!(karl.gap() < sota.gap());
+    }
+
+    #[test]
+    fn bounds_exact_for_point_node() {
+        // A node covering a single point must produce exact bounds for the
+        // Gaussian kernel (interval degenerates).
+        let ps = PointSet::new(2, vec![0.5, -0.5]);
+        let w = [2.0];
+        let stats = NodeStats::from_range(&ps, &w, 0, 1);
+        let ball = Ball::new(vec![0.5, -0.5], 0.0);
+        let q = [1.0, 1.0];
+        let kernel = Kernel::gaussian(1.0);
+        let exact = 2.0 * kernel.eval(&q, &[0.5, -0.5]);
+        let b = node_bounds(BoundMethod::Karl, &kernel, &ball, &stats, &q, norm2(&q));
+        assert!((b.lb - exact).abs() < 1e-10);
+        assert!((b.ub - exact).abs() < 1e-10);
+    }
+
+    proptest! {
+        /// Randomized version of the bracketing + tightness invariants.
+        #[test]
+        fn prop_bounds_bracket_and_karl_tighter(
+            n in 1usize..30,
+            seed in 0u64..300,
+            kid in 0usize..6,
+            qseed in 0u64..100,
+        ) {
+            let ps = random_points(n, 2, seed);
+            let w: Vec<f64> = (0..n).map(|i| 0.1 + (i % 4) as f64).collect();
+            let stats = NodeStats::from_range(&ps, &w, 0, n);
+            let idx: Vec<usize> = (0..n).collect();
+            let rect = Rect::bounding(&ps, &idx);
+            let mut rng = StdRng::seed_from_u64(qseed);
+            let q = [rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0)];
+            let qn = norm2(&q);
+            let kernel = kernels()[kid];
+            let exact = aggregate_exact(&kernel, &ps, &w, &q);
+            let tol = 1e-7 * (1.0 + exact.abs());
+            let sota = node_bounds(BoundMethod::Sota, &kernel, &rect, &stats, &q, qn);
+            let karl = node_bounds(BoundMethod::Karl, &kernel, &rect, &stats, &q, qn);
+            prop_assert!(sota.lb <= exact + tol && exact <= sota.ub + tol);
+            prop_assert!(karl.lb <= exact + tol && exact <= karl.ub + tol);
+            prop_assert!(karl.lb + tol >= sota.lb);
+            prop_assert!(karl.ub <= sota.ub + tol);
+        }
+    }
+}

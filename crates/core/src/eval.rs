@@ -1,0 +1,774 @@
+//! The branch-and-bound kernel aggregation evaluator.
+//!
+//! This is the query-processing framework of Section II-B (Table V): global
+//! lower/upper bounds on `F_P(q)` are assembled from per-node bounds, the
+//! node with the largest bound gap is refined first (priority queue), and
+//! the loop stops as soon as the bounds decide the query:
+//!
+//! * **TKAQ** `F_P(q) ≥ τ?` — stop when `lb ≥ τ` (yes) or `ub < τ` (no);
+//! * **eKAQ** — stop when `ub ≤ (1+ε)·lb`, return `lb` (which then has
+//!   relative error ≤ ε on both sides);
+//! * **Within** (extension) — stop when `ub − lb ≤ tol`, return the
+//!   midpoint; valid for signed aggregates.
+//!
+//! Mixed-sign weights (Type III, 2-class SVM) are handled by the P⁺/P⁻
+//! split of Section IV-A2: two trees are built over the positive- and
+//! negative-weight points (the latter with `|wᵢ|`), and a negated entry's
+//! contribution to the global bounds is `[−ub, −lb]`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use karl_geom::{norm2, PointSet};
+use karl_tree::{NodeId, NodeShape, Tree};
+
+use crate::bounds::{node_bounds, BoundMethod, BoundPair};
+use crate::kernel::Kernel;
+
+/// One recorded refinement step, for the convergence traces of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStep {
+    /// Refinement iteration (0 = bounds of the root(s) only).
+    pub iteration: usize,
+    /// Global lower bound after the step.
+    pub lb: f64,
+    /// Global upper bound after the step.
+    pub ub: f64,
+}
+
+/// A kernel aggregation query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Threshold query: is `F_P(q) ≥ τ`?
+    Tkaq {
+        /// The threshold `τ`.
+        tau: f64,
+    },
+    /// Approximate query: return `F̂` with relative error ≤ ε.
+    Ekaq {
+        /// The relative error budget `ε > 0`.
+        eps: f64,
+    },
+    /// Absolute-gap query: refine until `ub − lb ≤ tol` and return the
+    /// interval midpoint. Unlike [`Query::Ekaq`] this termination works for
+    /// aggregates of any sign, which is what the kernel-regression
+    /// extension needs for its (possibly negative) numerator `Σ yᵢK(q,pᵢ)`.
+    Within {
+        /// The absolute gap budget `tol > 0`.
+        tol: f64,
+    },
+}
+
+/// Outcome of one evaluator run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Final global lower bound.
+    pub lb: f64,
+    /// Final global upper bound.
+    pub ub: f64,
+    /// Number of refinement iterations executed.
+    pub iterations: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    gap: f64,
+    node: NodeId,
+    negated: bool,
+    lb: f64,
+    ub: f64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gap == other.gap
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gap.total_cmp(&other.gap)
+    }
+}
+
+/// The KARL/SOTA query evaluator over one index family.
+///
+/// Generic over the node volume `S` ([`karl_geom::Rect`] for the kd-tree,
+/// [`karl_geom::Ball`] for the ball-tree); use the [`KdEvaluator`] /
+/// [`BallEvaluator`] aliases or the runtime-dispatched
+/// [`AnyEvaluator`](crate::tuning::AnyEvaluator).
+#[derive(Debug, Clone)]
+pub struct Evaluator<S: NodeShape> {
+    pos: Option<Tree<S>>,
+    neg: Option<Tree<S>>,
+    kernel: Kernel,
+    method: BoundMethod,
+    dims: usize,
+}
+
+/// Evaluator over a kd-tree.
+pub type KdEvaluator = Evaluator<karl_geom::Rect>;
+/// Evaluator over a ball-tree.
+pub type BallEvaluator = Evaluator<karl_geom::Ball>;
+
+impl<S: NodeShape> Evaluator<S> {
+    /// Builds an evaluator over `points` with signed `weights`.
+    ///
+    /// Points with positive weight go into the P⁺ tree, points with
+    /// negative weight into the P⁻ tree (indexed with `|wᵢ|`), zero-weight
+    /// points are dropped. `leaf_capacity` is the index granularity knob
+    /// the automatic tuner sweeps.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, lengths mismatch, every weight is zero,
+    /// or any weight is non-finite.
+    pub fn build(
+        points: &PointSet,
+        weights: &[f64],
+        kernel: Kernel,
+        method: BoundMethod,
+        leaf_capacity: usize,
+    ) -> Self {
+        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        assert!(!points.is_empty(), "cannot build an evaluator over no points");
+        assert!(
+            weights.iter().all(|w| w.is_finite()),
+            "weights must be finite"
+        );
+        let mut pos_idx = Vec::new();
+        let mut neg_idx = Vec::new();
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0.0 {
+                pos_idx.push(i);
+            } else if w < 0.0 {
+                neg_idx.push(i);
+            }
+        }
+        assert!(
+            !pos_idx.is_empty() || !neg_idx.is_empty(),
+            "all weights are zero"
+        );
+        let build_side = |idx: &[usize], flip: bool| -> Option<Tree<S>> {
+            if idx.is_empty() {
+                return None;
+            }
+            let pts = points.select(idx);
+            let ws: Vec<f64> = idx
+                .iter()
+                .map(|&i| if flip { -weights[i] } else { weights[i] })
+                .collect();
+            Some(Tree::build(pts, &ws, leaf_capacity))
+        };
+        Self {
+            pos: build_side(&pos_idx, false),
+            neg: build_side(&neg_idx, true),
+            kernel,
+            method,
+            dims: points.dims(),
+        }
+    }
+
+    /// Wraps pre-built trees (advanced; both trees must hold non-negative
+    /// weights, the `neg` tree representing `|wᵢ|` of the negative side).
+    ///
+    /// # Panics
+    /// Panics if both trees are `None` or their dimensionalities disagree.
+    pub fn from_trees(pos: Option<Tree<S>>, neg: Option<Tree<S>>, kernel: Kernel, method: BoundMethod) -> Self {
+        let dims = match (&pos, &neg) {
+            (Some(p), Some(n)) => {
+                assert_eq!(p.dims(), n.dims(), "tree dimensionality mismatch");
+                p.dims()
+            }
+            (Some(p), None) => p.dims(),
+            (None, Some(n)) => n.dims(),
+            (None, None) => panic!("at least one tree is required"),
+        };
+        Self {
+            pos,
+            neg,
+            kernel,
+            method,
+            dims,
+        }
+    }
+
+    /// The kernel this evaluator aggregates with.
+    #[inline]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The bound method (SOTA or KARL) in use.
+    #[inline]
+    pub fn method(&self) -> BoundMethod {
+        self.method
+    }
+
+    /// Switches the bound method, reusing the trees (used by comparisons).
+    pub fn with_method(mut self, method: BoundMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Number of indexed points (both signs).
+    pub fn len(&self) -> usize {
+        self.pos.as_ref().map_or(0, Tree::len) + self.neg.as_ref().map_or(0, Tree::len)
+    }
+
+    /// Whether the evaluator indexes no points (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the indexed points.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Depth of the deepest node across both trees.
+    pub fn max_depth(&self) -> u16 {
+        self.pos
+            .as_ref()
+            .map_or(0, Tree::max_depth)
+            .max(self.neg.as_ref().map_or(0, Tree::max_depth))
+    }
+
+    /// The positive-weight tree, if any.
+    pub fn pos_tree(&self) -> Option<&Tree<S>> {
+        self.pos.as_ref()
+    }
+
+    /// The negative-weight tree (holding `|wᵢ|`), if any.
+    pub fn neg_tree(&self) -> Option<&Tree<S>> {
+        self.neg.as_ref()
+    }
+
+    /// Exact `F_P(q)` by scanning both trees (no pruning). Ground truth.
+    pub fn exact(&self, q: &[f64]) -> f64 {
+        self.check_query(q);
+        let qn = norm2(q);
+        let side = |tree: &Tree<S>| {
+            self.kernel
+                .eval_range(tree.points(), tree.weights(), tree.norms2(), 0, tree.len(), q, qn)
+        };
+        self.pos.as_ref().map_or(0.0, side) - self.neg.as_ref().map_or(0.0, side)
+    }
+
+    /// Threshold query: `F_P(q) ≥ τ`?
+    pub fn tkaq(&self, q: &[f64], tau: f64) -> bool {
+        let out = self.run(q, Query::Tkaq { tau }, None, None);
+        decide_tkaq(&out, tau)
+    }
+
+    /// Threshold query restricted to the top `level` tree levels (the
+    /// simulated tree `T_level` of the in-situ tuning, Section III-C).
+    pub fn tkaq_at_level(&self, q: &[f64], tau: f64, level: u16) -> bool {
+        let out = self.run(q, Query::Tkaq { tau }, Some(level), None);
+        decide_tkaq(&out, tau)
+    }
+
+    /// Approximate query: returns `F̂` with `(1−ε)F ≤ F̂ ≤ (1+ε)F`
+    /// (for non-negative `F`; mixed-sign aggregates fall back to the exact
+    /// value).
+    ///
+    /// # Panics
+    /// Panics unless `eps > 0`.
+    pub fn ekaq(&self, q: &[f64], eps: f64) -> f64 {
+        assert!(eps > 0.0, "eps must be positive");
+        let out = self.run(q, Query::Ekaq { eps }, None, None);
+        estimate_ekaq(&out)
+    }
+
+    /// Approximate query restricted to the top `level` tree levels.
+    pub fn ekaq_at_level(&self, q: &[f64], eps: f64, level: u16) -> f64 {
+        assert!(eps > 0.0, "eps must be positive");
+        let out = self.run(q, Query::Ekaq { eps }, Some(level), None);
+        estimate_ekaq(&out)
+    }
+
+    /// Absolute-gap query: returns `(F̂, half_width)` with
+    /// `|F̂ − F_P(q)| ≤ half_width ≤ tol/2` (exactly `F` when the tree
+    /// bottoms out first).
+    ///
+    /// # Panics
+    /// Panics unless `tol > 0`.
+    pub fn within(&self, q: &[f64], tol: f64) -> (f64, f64) {
+        assert!(tol > 0.0, "tol must be positive");
+        let out = self.run(q, Query::Within { tol }, None, None);
+        (0.5 * (out.lb + out.ub), 0.5 * (out.ub - out.lb).max(0.0))
+    }
+
+    /// Runs a threshold query recording the bound trajectory (Figure 6).
+    pub fn trace_tkaq(&self, q: &[f64], tau: f64) -> (bool, Vec<TraceStep>) {
+        let mut trace = Vec::new();
+        let out = self.run(q, Query::Tkaq { tau }, None, Some(&mut trace));
+        (decide_tkaq(&out, tau), trace)
+    }
+
+    /// Runs an approximate query recording the bound trajectory.
+    pub fn trace_ekaq(&self, q: &[f64], eps: f64) -> (f64, Vec<TraceStep>) {
+        assert!(eps > 0.0, "eps must be positive");
+        let mut trace = Vec::new();
+        let out = self.run(q, Query::Ekaq { eps }, None, Some(&mut trace));
+        (estimate_ekaq(&out), trace)
+    }
+
+    /// Runs a query and returns the raw bound outcome (used by the harness
+    /// and the tuners; `level_cap` simulates the top-`level` tree).
+    pub fn run_query(&self, q: &[f64], query: Query, level_cap: Option<u16>) -> RunOutcome {
+        self.run(q, query, level_cap, None)
+    }
+
+    fn check_query(&self, q: &[f64]) {
+        assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
+    }
+
+    fn run(
+        &self,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        mut trace: Option<&mut Vec<TraceStep>>,
+    ) -> RunOutcome {
+        self.check_query(q);
+        let qn = norm2(q);
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        let mut lb = 0.0f64;
+        let mut ub = 0.0f64;
+
+        let push = |heap: &mut BinaryHeap<Entry>, lb: &mut f64, ub: &mut f64, tree: &Tree<S>, node: NodeId, negated: bool| {
+            let n = tree.node(node);
+            let b = node_bounds(self.method, &self.kernel, &n.shape, &n.stats, q, qn);
+            let (elb, eub) = contribution(&b, negated);
+            *lb += elb;
+            *ub += eub;
+            heap.push(Entry {
+                gap: eub - elb,
+                node,
+                negated,
+                lb: elb,
+                ub: eub,
+            });
+        };
+
+        if let Some(tree) = &self.pos {
+            push(&mut heap, &mut lb, &mut ub, tree, tree.root(), false);
+        }
+        if let Some(tree) = &self.neg {
+            push(&mut heap, &mut lb, &mut ub, tree, tree.root(), true);
+        }
+
+        let mut iterations = 0usize;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceStep { iteration: 0, lb, ub });
+        }
+        loop {
+            if terminated(query, lb, ub) {
+                break;
+            }
+            let Some(entry) = heap.pop() else { break };
+            iterations += 1;
+            lb -= entry.lb;
+            ub -= entry.ub;
+            let tree = if entry.negated {
+                self.neg.as_ref().expect("negated entry without neg tree")
+            } else {
+                self.pos.as_ref().expect("entry without pos tree")
+            };
+            let node = tree.node(entry.node);
+            let refine_exactly = node.is_leaf()
+                || level_cap.is_some_and(|cap| node.depth >= cap);
+            if refine_exactly {
+                let exact = self.kernel.eval_range(
+                    tree.points(),
+                    tree.weights(),
+                    tree.norms2(),
+                    node.start,
+                    node.end,
+                    q,
+                    qn,
+                );
+                let signed = if entry.negated { -exact } else { exact };
+                lb += signed;
+                ub += signed;
+            } else {
+                let (a, b) = node.children.expect("non-leaf node has children");
+                push(&mut heap, &mut lb, &mut ub, tree, a, entry.negated);
+                push(&mut heap, &mut lb, &mut ub, tree, b, entry.negated);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceStep { iteration: iterations, lb, ub });
+            }
+        }
+        RunOutcome { lb, ub, iterations }
+    }
+}
+
+#[inline]
+fn contribution(b: &BoundPair, negated: bool) -> (f64, f64) {
+    if negated {
+        (-b.ub, -b.lb)
+    } else {
+        (b.lb, b.ub)
+    }
+}
+
+#[inline]
+fn terminated(query: Query, lb: f64, ub: f64) -> bool {
+    match query {
+        Query::Tkaq { tau } => lb >= tau || ub < tau,
+        Query::Ekaq { eps } => (lb > 0.0 && ub <= (1.0 + eps) * lb) || ub <= lb,
+        Query::Within { tol } => ub - lb <= tol,
+    }
+}
+
+fn decide_tkaq(out: &RunOutcome, tau: f64) -> bool {
+    if out.lb >= tau {
+        true
+    } else if out.ub < tau {
+        false
+    } else {
+        // Heap exhausted without a decision: lb == ub == F up to rounding.
+        0.5 * (out.lb + out.ub) >= tau
+    }
+}
+
+fn estimate_ekaq(out: &RunOutcome) -> f64 {
+    if out.lb > 0.0 && out.ub > out.lb {
+        out.lb
+    } else {
+        0.5 * (out.lb + out.ub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::aggregate_exact;
+    use karl_geom::{Ball, Rect};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            let center = if i % 2 == 0 { -2.0 } else { 2.0 };
+            for _ in 0..d {
+                data.push(center + rng.random_range(-0.5..0.5));
+            }
+        }
+        PointSet::new(d, data)
+    }
+
+    fn mixed_weights(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let w: f64 = rng.random_range(0.2..2.0);
+                if rng.random_bool(0.4) {
+                    -w
+                } else {
+                    w
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tkaq_matches_scan_type1() {
+        let ps = clustered_points(400, 3, 1);
+        let w = vec![1.0 / 400.0; 400];
+        let kernel = Kernel::gaussian(0.5);
+        for method in [BoundMethod::Sota, BoundMethod::Karl] {
+            let eval = Evaluator::<Rect>::build(&ps, &w, kernel, method, 16);
+            let queries = clustered_points(30, 3, 2);
+            for q in queries.iter() {
+                let truth = aggregate_exact(&kernel, &ps, &w, q);
+                for mult in [0.5, 0.9, 1.1, 2.0] {
+                    let tau = truth * mult;
+                    assert_eq!(
+                        eval.tkaq(q, tau),
+                        truth >= tau,
+                        "{method:?} wrong at tau={tau}, truth={truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tkaq_matches_scan_type3_mixed_weights() {
+        let ps = clustered_points(300, 2, 3);
+        let w = mixed_weights(300, 4);
+        let kernel = Kernel::gaussian(0.8);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        let queries = clustered_points(25, 2, 5);
+        for q in queries.iter() {
+            let truth = aggregate_exact(&kernel, &ps, &w, q);
+            for delta in [-0.5, -0.05, 0.05, 0.5] {
+                let tau = truth + delta;
+                assert_eq!(eval.tkaq(q, tau), truth >= tau, "tau={tau} truth={truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn ekaq_respects_relative_error() {
+        let ps = clustered_points(500, 3, 6);
+        let w = vec![0.01; 500];
+        let kernel = Kernel::gaussian(0.4);
+        for method in [BoundMethod::Sota, BoundMethod::Karl] {
+            let eval = Evaluator::<Ball>::build(&ps, &w, kernel, method, 32);
+            let queries = clustered_points(20, 3, 7);
+            for eps in [0.05, 0.2, 0.5] {
+                for q in queries.iter() {
+                    let truth = aggregate_exact(&kernel, &ps, &w, q);
+                    let est = eval.ekaq(q, eps);
+                    assert!(
+                        est >= (1.0 - eps) * truth - 1e-12 && est <= (1.0 + eps) * truth + 1e-12,
+                        "{method:?} eps={eps}: est={est} truth={truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_scan() {
+        let ps = clustered_points(150, 4, 8);
+        let w = mixed_weights(150, 9);
+        let kernel = Kernel::polynomial(0.5, 0.2, 3);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 4);
+        let queries = clustered_points(10, 4, 10);
+        for q in queries.iter() {
+            let truth = aggregate_exact(&kernel, &ps, &w, q);
+            let got = eval.exact(q);
+            assert!((got - truth).abs() < 1e-8 * (1.0 + truth.abs()));
+        }
+    }
+
+    #[test]
+    fn karl_terminates_in_fewer_iterations_than_sota() {
+        // Figure 6's qualitative claim: KARL's tighter bounds stop sooner.
+        let ps = clustered_points(2000, 3, 11);
+        let w = vec![1.0; 2000];
+        let kernel = Kernel::gaussian(0.2);
+        let karl = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        let sota = karl.clone().with_method(BoundMethod::Sota);
+        let queries = clustered_points(20, 3, 12);
+        let mut karl_iters = 0usize;
+        let mut sota_iters = 0usize;
+        for q in queries.iter() {
+            let truth = aggregate_exact(&kernel, &ps, &w, q);
+            let tau = truth * 1.05;
+            karl_iters += karl.run_query(q, Query::Tkaq { tau }, None).iterations;
+            sota_iters += sota.run_query(q, Query::Tkaq { tau }, None).iterations;
+        }
+        assert!(
+            karl_iters <= sota_iters,
+            "KARL used {karl_iters} iterations vs SOTA {sota_iters}"
+        );
+    }
+
+    #[test]
+    fn level_capped_queries_are_correct() {
+        let ps = clustered_points(256, 2, 13);
+        let w = vec![0.5; 256];
+        let kernel = Kernel::gaussian(0.6);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 1);
+        let queries = clustered_points(10, 2, 14);
+        for q in queries.iter() {
+            let truth = aggregate_exact(&kernel, &ps, &w, q);
+            for level in [0, 1, 3, 8] {
+                let tau = truth * 1.2;
+                assert_eq!(eval.tkaq_at_level(q, tau, level), truth >= tau);
+                let est = eval.ekaq_at_level(q, 0.1, level);
+                assert!(est >= 0.9 * truth - 1e-12 && est <= 1.1 * truth + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_monotone_and_bracketing() {
+        let ps = clustered_points(512, 3, 15);
+        let w = vec![1.0; 512];
+        let kernel = Kernel::gaussian(0.3);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 4);
+        let q = ps.point(0).to_vec();
+        let truth = aggregate_exact(&kernel, &ps, &w, &q);
+        let (_, trace) = eval.trace_tkaq(&q, truth * 2.0);
+        assert!(!trace.is_empty());
+        for step in &trace {
+            assert!(step.lb <= truth + 1e-6 * truth.abs().max(1.0));
+            assert!(step.ub + 1e-6 * truth.abs().max(1.0) >= truth);
+        }
+        // Bounds tighten (weakly) as refinement proceeds.
+        for w2 in trace.windows(2) {
+            assert!(w2[1].lb >= w2[0].lb - 1e-7 * (1.0 + w2[0].lb.abs()));
+            assert!(w2[1].ub <= w2[0].ub + 1e-7 * (1.0 + w2[0].ub.abs()));
+        }
+    }
+
+    #[test]
+    fn all_negative_weights_work() {
+        let ps = clustered_points(100, 2, 16);
+        let w = vec![-1.0; 100];
+        let kernel = Kernel::gaussian(0.5);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        let q = vec![0.0, 0.0];
+        let truth = aggregate_exact(&kernel, &ps, &w, &q);
+        assert!(truth < 0.0);
+        assert!((eval.exact(&q) - truth).abs() < 1e-9);
+        assert!(!(eval.tkaq(&q, truth + 0.1)));
+        assert!(eval.tkaq(&q, truth - 0.1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn query_dim_mismatch_panics() {
+        let ps = clustered_points(10, 3, 17);
+        let eval =
+            Evaluator::<Rect>::build(&ps, &[1.0; 10], Kernel::gaussian(1.0), BoundMethod::Karl, 4);
+        eval.tkaq(&[0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_panics() {
+        let ps = clustered_points(5, 2, 18);
+        Evaluator::<Rect>::build(&ps, &[0.0; 5], Kernel::gaussian(1.0), BoundMethod::Karl, 4);
+    }
+
+    #[test]
+    fn zero_weight_points_are_dropped() {
+        let ps = clustered_points(20, 2, 19);
+        let mut w = vec![1.0; 20];
+        for wi in w.iter_mut().take(10) {
+            *wi = 0.0;
+        }
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(1.0), BoundMethod::Karl, 4);
+        assert_eq!(eval.len(), 10);
+    }
+
+    #[test]
+    fn within_query_respects_absolute_tolerance() {
+        let ps = clustered_points(300, 2, 21);
+        let w = mixed_weights(300, 22);
+        let kernel = Kernel::gaussian(0.9);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        for i in 0..10 {
+            let q = ps.point(i * 29).to_vec();
+            let truth = aggregate_exact(&kernel, &ps, &w, &q);
+            for tol in [2.0, 0.2, 0.002] {
+                let (est, half) = eval.within(&q, tol);
+                assert!(half <= tol / 2.0 + 1e-12, "half-width {half} > tol/2");
+                assert!((est - truth).abs() <= half + 1e-9 * (1.0 + truth.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_ekaq_ends_within_contract() {
+        let ps = clustered_points(400, 2, 23);
+        let w = vec![1.0; 400];
+        let kernel = Kernel::gaussian(0.4);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        let q = ps.point(5).to_vec();
+        let truth = aggregate_exact(&kernel, &ps, &w, &q);
+        let (est, trace) = eval.trace_ekaq(&q, 0.2);
+        assert!(!trace.is_empty());
+        assert!(est >= 0.8 * truth - 1e-12 && est <= 1.2 * truth + 1e-12);
+        let last = trace.last().unwrap();
+        assert!(last.ub <= (1.0 + 0.2) * last.lb + 1e-12 || last.ub <= last.lb + 1e-12);
+    }
+
+    #[test]
+    fn from_trees_wraps_prebuilt_indexes() {
+        let ps = clustered_points(100, 2, 24);
+        let w = vec![1.0; 100];
+        let kernel = Kernel::gaussian(1.0);
+        let tree = karl_tree::Tree::<Rect>::build(ps.clone(), &w, 8);
+        let eval = Evaluator::from_trees(Some(tree), None, kernel, BoundMethod::Karl);
+        let q = ps.point(0).to_vec();
+        let truth = aggregate_exact(&kernel, &ps, &w, &q);
+        assert!((eval.exact(&q) - truth).abs() < 1e-9);
+        assert_eq!(eval.dims(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_trees_requires_a_tree() {
+        Evaluator::<Rect>::from_trees(None, None, Kernel::gaussian(1.0), BoundMethod::Karl);
+    }
+
+    #[test]
+    fn laplacian_kernel_queries_are_exact() {
+        let ps = clustered_points(250, 3, 25);
+        let w = vec![0.7; 250];
+        let kernel = Kernel::laplacian(2.0);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        for i in 0..8 {
+            let q = ps.point(i * 31).to_vec();
+            let truth = aggregate_exact(&kernel, &ps, &w, &q);
+            assert!(!(eval.tkaq(&q, truth * 1.02)));
+            assert!(eval.tkaq(&q, truth * 0.98));
+        }
+    }
+
+    proptest! {
+        /// TKAQ must agree with the scan ground truth for random mixed-sign
+        /// workloads, kernels and thresholds.
+        #[test]
+        fn prop_tkaq_agrees_with_scan(
+            seed in 0u64..40,
+            kid in 0usize..3,
+            tau_off in -1.0f64..1.0,
+            leaf_cap in 1usize..20,
+        ) {
+            let n = 120;
+            let ps = clustered_points(n, 2, seed);
+            let w = mixed_weights(n, seed + 1000);
+            let kernel = [
+                Kernel::gaussian(0.7),
+                Kernel::polynomial(0.4, 0.3, 3),
+                Kernel::sigmoid(0.6, 0.1),
+            ][kid];
+            let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, leaf_cap);
+            let q = ps.point(seed as usize % n).to_vec();
+            let truth = aggregate_exact(&kernel, &ps, &w, &q);
+            // Keep τ away from the exact value to avoid FP-tie flakiness.
+            let tau = truth + tau_off.signum() * (0.01 + tau_off.abs());
+            prop_assert_eq!(eval.tkaq(&q, tau), truth >= tau);
+        }
+
+        /// eKAQ estimates respect the ε contract on positive aggregates.
+        #[test]
+        fn prop_ekaq_within_eps(
+            seed in 0u64..40,
+            eps in 0.02f64..0.6,
+            ball in proptest::bool::ANY,
+        ) {
+            let n = 200;
+            let ps = clustered_points(n, 2, seed);
+            let w = vec![1.0; n];
+            let kernel = Kernel::gaussian(0.5);
+            let q = ps.point((seed as usize * 7) % n).to_vec();
+            let truth = aggregate_exact(&kernel, &ps, &w, &q);
+            let est = if ball {
+                Evaluator::<Ball>::build(&ps, &w, kernel, BoundMethod::Karl, 8).ekaq(&q, eps)
+            } else {
+                Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8).ekaq(&q, eps)
+            };
+            prop_assert!(est >= (1.0 - eps) * truth - 1e-9);
+            prop_assert!(est <= (1.0 + eps) * truth + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # karl-core — fast kernel aggregation queries
+//!
+//! The primary contribution of *"KARL: Fast Kernel Aggregation Queries"*
+//! (Chan, Yiu, U — ICDE 2019): linear bound functions for weighted kernel
+//! aggregates, a branch-and-bound evaluator for threshold (TKAQ) and
+//! approximate (eKAQ) queries over kd-/ball-tree indexes, and automatic
+//! index tuning.
+//!
+//! ## Layout
+//!
+//! * [`kernel`] — the Gaussian / polynomial / sigmoid kernels and their
+//!   reduction to scalar curves.
+//! * [`curve`] — the scalar curves `exp(−x)`, `x^deg`, `tanh(x)` with their
+//!   curvature structure.
+//! * [`envelope`] — chord / optimal-tangent / rotation linear envelopes
+//!   (Sections III-A, III-B, IV-B).
+//! * [`bounds`] — per-node `[LB, UB]` pairs: SOTA's constant bounds and
+//!   KARL's linear bounds.
+//! * [`eval`] — the priority-queue refinement evaluator (Section II-B)
+//!   supporting all three weighting types via the P⁺/P⁻ split.
+//! * [`scan`] — the SCAN and LIBSVM-style exact baselines.
+//! * [`tuning`] — offline (`KARL_auto`) and in-situ (`KARL_online`) index
+//!   tuning.
+//!
+//! ## Example
+//!
+//! ```
+//! use karl_core::{BoundMethod, Evaluator, Kernel};
+//! use karl_geom::{PointSet, Rect};
+//!
+//! let points = PointSet::from_rows(&[
+//!     vec![0.0, 0.0],
+//!     vec![0.1, 0.1],
+//!     vec![5.0, 5.0],
+//! ]);
+//! let weights = vec![1.0; 3];
+//! let eval = Evaluator::<Rect>::build(
+//!     &points, &weights, Kernel::gaussian(0.5), BoundMethod::Karl, 2);
+//!
+//! // Threshold query: is the aggregate at the origin at least 1.0?
+//! assert!(eval.tkaq(&[0.0, 0.0], 1.0));
+//! // Approximate query with 10% relative error.
+//! let f = eval.ekaq(&[0.0, 0.0], 0.1);
+//! let exact = eval.exact(&[0.0, 0.0]);
+//! assert!((f - exact).abs() <= 0.1 * exact);
+//! ```
+
+pub mod bounds;
+pub mod curve;
+pub mod envelope;
+pub mod eval;
+pub mod kernel;
+pub mod scan;
+pub mod stream;
+pub mod tuning;
+
+pub use bounds::{node_bounds, BoundMethod, BoundPair};
+pub use curve::{Curvature, Curve};
+pub use envelope::{envelope, Envelope, Line};
+pub use eval::{BallEvaluator, Evaluator, KdEvaluator, Query, RunOutcome, TraceStep};
+pub use kernel::{aggregate_exact, Kernel};
+pub use scan::{LibSvmScan, Scan};
+pub use stream::StreamingEvaluator;
+pub use tuning::{
+    AnyEvaluator, CandidateResult, IndexKind, OfflineTuner, OfflineTuningOutcome, OnlineRunReport,
+    OnlineTuner,
+};

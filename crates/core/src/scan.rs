@@ -1,0 +1,178 @@
+//! Index-free baselines: the SCAN and LIBSVM-style sequential evaluators.
+//!
+//! These are the comparison points of Table VII. Both compute `F_P(q)`
+//! exactly in `O(n·d)`; they differ only in the kernel evaluation strategy:
+//!
+//! * [`Scan`] evaluates `K(q, pᵢ)` directly from coordinates — the naive
+//!   baseline ("SCAN" in the paper).
+//! * [`LibSvmScan`] mirrors LIBSVM's predictor: squared norms of the model
+//!   points are precomputed once and the Gaussian kernel is evaluated
+//!   through the `‖q‖² − 2·q·p + ‖p‖²` expansion ("LIBSVM" in the paper).
+
+use karl_geom::{norm2, PointSet};
+
+use crate::kernel::Kernel;
+
+/// The naive sequential-scan evaluator.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    points: PointSet,
+    weights: Vec<f64>,
+    kernel: Kernel,
+}
+
+impl Scan {
+    /// Creates a scan baseline over `points` with signed `weights`.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or `points` is empty.
+    pub fn new(points: PointSet, weights: Vec<f64>, kernel: Kernel) -> Self {
+        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        assert!(!points.is_empty(), "empty point set");
+        Self {
+            points,
+            weights,
+            kernel,
+        }
+    }
+
+    /// Exact `F_P(q)`.
+    pub fn aggregate(&self, q: &[f64]) -> f64 {
+        assert_eq!(q.len(), self.points.dims(), "query dimensionality mismatch");
+        let mut acc = 0.0;
+        for (i, p) in self.points.iter().enumerate() {
+            acc += self.weights[i] * self.kernel.eval(q, p);
+        }
+        acc
+    }
+
+    /// Threshold query by exact computation.
+    pub fn tkaq(&self, q: &[f64], tau: f64) -> bool {
+        self.aggregate(q) >= tau
+    }
+
+    /// "Approximate" query — the scan is always exact, so this just returns
+    /// the exact value (the `_eps` parameter documents intent at call
+    /// sites).
+    pub fn ekaq(&self, q: &[f64], _eps: f64) -> f64 {
+        self.aggregate(q)
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the scan holds no points (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// LIBSVM-style sequential evaluator: norm-expansion kernel evaluation with
+/// precomputed model norms.
+#[derive(Debug, Clone)]
+pub struct LibSvmScan {
+    points: PointSet,
+    weights: Vec<f64>,
+    norms2: Vec<f64>,
+    kernel: Kernel,
+}
+
+impl LibSvmScan {
+    /// Creates a LIBSVM-style baseline over `points` with signed `weights`.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or `points` is empty.
+    pub fn new(points: PointSet, weights: Vec<f64>, kernel: Kernel) -> Self {
+        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        assert!(!points.is_empty(), "empty point set");
+        let norms2 = points.squared_norms();
+        Self {
+            points,
+            weights,
+            norms2,
+            kernel,
+        }
+    }
+
+    /// Exact `F_P(q)` through the norm expansion.
+    pub fn aggregate(&self, q: &[f64]) -> f64 {
+        assert_eq!(q.len(), self.points.dims(), "query dimensionality mismatch");
+        let qn = norm2(q);
+        self.kernel.eval_range(
+            &self.points,
+            &self.weights,
+            &self.norms2,
+            0,
+            self.points.len(),
+            q,
+            qn,
+        )
+    }
+
+    /// Threshold query by exact computation (LIBSVM's decision function).
+    pub fn tkaq(&self, q: &[f64], tau: f64) -> bool {
+        self.aggregate(q) >= tau
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the scan holds no points (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::aggregate_exact;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(d, (0..n * d).map(|_| rng.random_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn scan_matches_ground_truth() {
+        let ps = random_points(80, 3, 1);
+        let w: Vec<f64> = (0..80).map(|i| (i as f64 * 0.7).sin()).collect();
+        let kernel = Kernel::gaussian(1.2);
+        let scan = Scan::new(ps.clone(), w.clone(), kernel);
+        let q = [0.1, -0.2, 0.3];
+        let truth = aggregate_exact(&kernel, &ps, &w, &q);
+        assert!((scan.aggregate(&q) - truth).abs() < 1e-12);
+        assert!(scan.tkaq(&q, truth - 0.01));
+        assert!(!(scan.tkaq(&q, truth + 0.01)));
+        assert_eq!(scan.ekaq(&q, 0.5), scan.aggregate(&q));
+    }
+
+    #[test]
+    fn libsvm_scan_matches_scan_for_all_kernels() {
+        let ps = random_points(60, 4, 2);
+        let w = vec![0.5; 60];
+        let q = [0.2, 0.4, -0.6, 0.8];
+        for kernel in [
+            Kernel::gaussian(0.9),
+            Kernel::polynomial(0.8, 0.1, 3),
+            Kernel::sigmoid(0.7, -0.2),
+        ] {
+            let a = Scan::new(ps.clone(), w.clone(), kernel).aggregate(&q);
+            let b = LibSvmScan::new(ps.clone(), w.clone(), kernel).aggregate(&q);
+            assert!((a - b).abs() < 1e-9, "{kernel:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn scan_dim_mismatch_panics() {
+        let ps = random_points(5, 2, 3);
+        Scan::new(ps, vec![1.0; 5], Kernel::gaussian(1.0)).aggregate(&[0.0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Streaming / online-learning support (the paper's in-situ motivation,
+//! Section I issue 4: "online kernel learning, in which the model … would
+//! be updated frequently").
+//!
+//! [`StreamingEvaluator`] keeps an indexed bulk plus a small unindexed
+//! overlay of recent insertions. Queries combine the branch-and-bound
+//! bounds of the bulk with an exact scan of the overlay (which is exact,
+//! so it never loosens the bounds); when the overlay outgrows a fraction
+//! of the bulk the whole set is re-indexed. This gives amortized-cheap
+//! insertion without giving up any query guarantee.
+
+use karl_geom::PointSet;
+use karl_tree::NodeShape;
+
+use crate::bounds::BoundMethod;
+use crate::eval::{Evaluator, Query};
+use crate::kernel::Kernel;
+use crate::scan::Scan;
+
+/// An insert-friendly evaluator: indexed bulk + exact overlay.
+#[derive(Debug, Clone)]
+pub struct StreamingEvaluator<S: NodeShape> {
+    points: PointSet,
+    weights: Vec<f64>,
+    indexed: usize,
+    base: Option<Evaluator<S>>,
+    kernel: Kernel,
+    method: BoundMethod,
+    leaf_capacity: usize,
+    /// Re-index when the overlay exceeds this fraction of the bulk.
+    pub rebuild_fraction: f64,
+    /// Overlay size that always triggers a rebuild regardless of fraction.
+    pub rebuild_min: usize,
+}
+
+impl<S: NodeShape> StreamingEvaluator<S> {
+    /// An empty streaming evaluator for `dims`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or `leaf_capacity == 0`.
+    pub fn new(dims: usize, kernel: Kernel, method: BoundMethod, leaf_capacity: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert!(leaf_capacity > 0, "leaf capacity must be positive");
+        Self {
+            points: PointSet::empty(dims),
+            weights: Vec::new(),
+            indexed: 0,
+            base: None,
+            kernel,
+            method,
+            leaf_capacity,
+            rebuild_fraction: 0.25,
+            rebuild_min: 256,
+        }
+    }
+
+    /// Total number of (weighted) points, indexed plus overlay.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the evaluator holds no points yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of points currently in the unindexed overlay.
+    pub fn overlay_len(&self) -> usize {
+        self.points.len() - self.indexed
+    }
+
+    /// Inserts one weighted point, re-indexing when the overlay outgrows
+    /// its budget.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch or non-finite weight.
+    pub fn insert(&mut self, p: &[f64], w: f64) {
+        assert!(w.is_finite(), "weight must be finite");
+        self.points.push(p);
+        self.weights.push(w);
+        let overlay = self.overlay_len();
+        if overlay >= self.rebuild_min
+            || (self.indexed > 0 && overlay as f64 > self.rebuild_fraction * self.indexed as f64)
+        {
+            self.rebuild();
+        }
+    }
+
+    /// Inserts a batch of weighted points.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch.
+    pub fn extend(&mut self, points: &PointSet, weights: &[f64]) {
+        assert_eq!(weights.len(), points.len(), "weights/points mismatch");
+        for (p, &w) in points.iter().zip(weights) {
+            self.insert(p, w);
+        }
+    }
+
+    /// Forces re-indexing of everything inserted so far.
+    pub fn rebuild(&mut self) {
+        if self.points.is_empty() || self.weights.iter().all(|&w| w == 0.0) {
+            self.indexed = self.points.len();
+            self.base = None;
+            return;
+        }
+        self.base = Some(Evaluator::build(
+            &self.points,
+            &self.weights,
+            self.kernel,
+            self.method,
+            self.leaf_capacity,
+        ));
+        self.indexed = self.points.len();
+    }
+
+    fn overlay_aggregate(&self, q: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for i in self.indexed..self.points.len() {
+            acc += self.weights[i] * self.kernel.eval(q, self.points.point(i));
+        }
+        acc
+    }
+
+    /// Exact `F_P(q)` over everything inserted so far.
+    pub fn exact(&self, q: &[f64]) -> f64 {
+        let base = self.base.as_ref().map_or(0.0, |b| b.exact(q));
+        base + self.overlay_aggregate(q)
+    }
+
+    /// Threshold query over the full (bulk + overlay) set. Exactly correct:
+    /// the overlay contribution is exact, so the bulk query runs against
+    /// the shifted threshold `τ − F_overlay(q)`.
+    pub fn tkaq(&self, q: &[f64], tau: f64) -> bool {
+        let overlay = self.overlay_aggregate(q);
+        match &self.base {
+            Some(base) => base.tkaq(q, tau - overlay),
+            None => overlay >= tau,
+        }
+    }
+
+    /// Approximate query over the full set. For non-negative weights the
+    /// estimate satisfies the usual `(1±ε)` contract (the overlay part is
+    /// exact, the bulk part is ε-bounded).
+    ///
+    /// # Panics
+    /// Panics unless `eps > 0`.
+    pub fn ekaq(&self, q: &[f64], eps: f64) -> f64 {
+        assert!(eps > 0.0, "eps must be positive");
+        let overlay = self.overlay_aggregate(q);
+        match &self.base {
+            Some(base) => base.ekaq(q, eps) + overlay,
+            None => overlay,
+        }
+    }
+
+    /// Raw bounds over the full set (bulk bounds + exact overlay shift).
+    pub fn run_query(&self, q: &[f64], query: Query) -> (f64, f64) {
+        let overlay = self.overlay_aggregate(q);
+        match &self.base {
+            Some(base) => {
+                let shifted = match query {
+                    Query::Tkaq { tau } => Query::Tkaq { tau: tau - overlay },
+                    other => other,
+                };
+                let out = base.run_query(q, shifted, None);
+                (out.lb + overlay, out.ub + overlay)
+            }
+            None => (overlay, overlay),
+        }
+    }
+
+    /// Builds a plain scan over the full current contents (testing aid).
+    pub fn to_scan(&self) -> Scan {
+        Scan::new(self.points.clone(), self.weights.clone(), self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::aggregate_exact;
+    use karl_geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn stream_points(n: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            2,
+            (0..n * 2).map(|_| rng.random_range(-1.0..1.0)).collect::<Vec<_>>(),
+        )
+    }
+
+    fn build_streaming(n: usize, seed: u64) -> (StreamingEvaluator<Rect>, PointSet, Vec<f64>) {
+        let ps = stream_points(n, seed);
+        let w: Vec<f64> = (0..n).map(|i| 0.5 + (i % 3) as f64 * 0.25).collect();
+        let mut ev = StreamingEvaluator::<Rect>::new(2, Kernel::gaussian(1.5), BoundMethod::Karl, 16);
+        ev.extend(&ps, &w);
+        (ev, ps, w)
+    }
+
+    #[test]
+    fn incremental_matches_batch_exact() {
+        let (ev, ps, w) = build_streaming(700, 1);
+        assert_eq!(ev.len(), 700);
+        let kernel = Kernel::gaussian(1.5);
+        for i in [0, 123, 456] {
+            let q = ps.point(i);
+            let truth = aggregate_exact(&kernel, &ps, &w, q);
+            assert!((ev.exact(q) - truth).abs() < 1e-9 * (1.0 + truth.abs()));
+        }
+    }
+
+    #[test]
+    fn tkaq_correct_with_overlay_present() {
+        let (mut ev, ps, mut w) = build_streaming(600, 2);
+        // Leave a fresh overlay in place (below the rebuild threshold).
+        let extra = stream_points(20, 3);
+        for p in extra.iter() {
+            ev.insert(p, 2.0);
+            w.push(2.0);
+        }
+        assert!(ev.overlay_len() > 0, "test requires an active overlay");
+        let mut all = ps.clone();
+        for p in extra.iter() {
+            all.push(p);
+        }
+        let kernel = Kernel::gaussian(1.5);
+        for i in 0..10 {
+            let q = all.point(i * 37 % all.len());
+            let truth = aggregate_exact(&kernel, &all, &w, q);
+            for mult in [0.7, 1.3] {
+                assert_eq!(ev.tkaq(q, truth * mult), truth >= truth * mult);
+            }
+            let est = ev.ekaq(q, 0.1);
+            assert!(est >= 0.9 * truth - 1e-9 && est <= 1.1 * truth + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rebuild_threshold_bounds_overlay() {
+        let mut ev =
+            StreamingEvaluator::<Rect>::new(2, Kernel::gaussian(1.0), BoundMethod::Karl, 8);
+        ev.rebuild_min = 64;
+        let ps = stream_points(1_000, 4);
+        for p in ps.iter() {
+            ev.insert(p, 1.0);
+            assert!(ev.overlay_len() <= 64.max(ev.len() / 4 + 1));
+        }
+    }
+
+    #[test]
+    fn empty_streaming_evaluator_is_well_defined() {
+        let ev = StreamingEvaluator::<Rect>::new(3, Kernel::gaussian(1.0), BoundMethod::Karl, 8);
+        assert!(ev.is_empty());
+        assert_eq!(ev.exact(&[0.0, 0.0, 0.0]), 0.0);
+        assert!(!ev.tkaq(&[0.0, 0.0, 0.0], 0.5));
+        assert_eq!(ev.ekaq(&[0.0, 0.0, 0.0], 0.1), 0.0);
+    }
+
+    #[test]
+    fn mixed_sign_stream_is_exact_on_tkaq() {
+        let ps = stream_points(400, 5);
+        let w: Vec<f64> = (0..400).map(|i| if i % 3 == 0 { -1.0 } else { 0.8 }).collect();
+        let mut ev =
+            StreamingEvaluator::<Rect>::new(2, Kernel::gaussian(2.0), BoundMethod::Karl, 8);
+        ev.extend(&ps, &w);
+        let kernel = Kernel::gaussian(2.0);
+        for i in 0..10 {
+            let q = ps.point(i * 31);
+            let truth = aggregate_exact(&kernel, &ps, &w, q);
+            assert!(!(ev.tkaq(q, truth + 0.05)));
+            assert!(ev.tkaq(q, truth - 0.05));
+        }
+    }
+}

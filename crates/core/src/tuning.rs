@@ -1,0 +1,503 @@
+//! Automatic index tuning (Section III-C of the paper).
+//!
+//! The throughput of the branch-and-bound evaluator depends on the index
+//! family (kd-tree vs ball-tree) and on the leaf capacity, and the best
+//! choice is dataset-dependent (Figure 7). Two tuners are provided:
+//!
+//! * [`OfflineTuner`] — the offline scenario: the dataset is known in
+//!   advance and tuning time is free. Builds one index per
+//!   (family, leaf-capacity) candidate, measures throughput on a small
+//!   query sample, and returns the fastest (`KARL_auto`, Table VIII).
+//! * [`OnlineTuner`] — the in-situ scenario (online kernel learning): index
+//!   construction and tuning count against the clock. Builds a single deep
+//!   kd-tree, *simulates* the trees `T_i` that keep only the top `i` levels
+//!   (a depth-capped query over the full tree behaves exactly like a query
+//!   over `T_i`), spends a small fraction of the query stream finding the
+//!   best level, and answers the remainder there (`KARL_online`, Table IX).
+
+use std::time::{Duration, Instant};
+
+use karl_geom::PointSet;
+
+use crate::bounds::BoundMethod;
+use crate::eval::{BallEvaluator, Evaluator, KdEvaluator, Query, RunOutcome};
+use crate::kernel::Kernel;
+
+/// The index families the tuner chooses between (the two supported by
+/// Scikit-learn, which the paper mirrors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// kd-tree (bounding-rectangle nodes).
+    Kd,
+    /// ball-tree (bounding-ball nodes).
+    Ball,
+}
+
+/// A runtime-dispatched evaluator over either index family.
+#[derive(Debug, Clone)]
+pub enum AnyEvaluator {
+    /// kd-tree backed evaluator.
+    Kd(KdEvaluator),
+    /// ball-tree backed evaluator.
+    Ball(BallEvaluator),
+}
+
+impl AnyEvaluator {
+    /// Builds an evaluator of the requested family.
+    pub fn build(
+        kind: IndexKind,
+        points: &PointSet,
+        weights: &[f64],
+        kernel: Kernel,
+        method: BoundMethod,
+        leaf_capacity: usize,
+    ) -> Self {
+        match kind {
+            IndexKind::Kd => AnyEvaluator::Kd(Evaluator::build(
+                points,
+                weights,
+                kernel,
+                method,
+                leaf_capacity,
+            )),
+            IndexKind::Ball => AnyEvaluator::Ball(Evaluator::build(
+                points,
+                weights,
+                kernel,
+                method,
+                leaf_capacity,
+            )),
+        }
+    }
+
+    /// Which family backs this evaluator.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            AnyEvaluator::Kd(_) => IndexKind::Kd,
+            AnyEvaluator::Ball(_) => IndexKind::Ball,
+        }
+    }
+
+    /// Threshold query (see [`Evaluator::tkaq`]).
+    pub fn tkaq(&self, q: &[f64], tau: f64) -> bool {
+        match self {
+            AnyEvaluator::Kd(e) => e.tkaq(q, tau),
+            AnyEvaluator::Ball(e) => e.tkaq(q, tau),
+        }
+    }
+
+    /// Approximate query (see [`Evaluator::ekaq`]).
+    pub fn ekaq(&self, q: &[f64], eps: f64) -> f64 {
+        match self {
+            AnyEvaluator::Kd(e) => e.ekaq(q, eps),
+            AnyEvaluator::Ball(e) => e.ekaq(q, eps),
+        }
+    }
+
+    /// Exact aggregate (see [`Evaluator::exact`]).
+    pub fn exact(&self, q: &[f64]) -> f64 {
+        match self {
+            AnyEvaluator::Kd(e) => e.exact(q),
+            AnyEvaluator::Ball(e) => e.exact(q),
+        }
+    }
+
+    /// Raw query run (see [`Evaluator::run_query`]).
+    pub fn run_query(&self, q: &[f64], query: Query, level_cap: Option<u16>) -> RunOutcome {
+        match self {
+            AnyEvaluator::Kd(e) => e.run_query(q, query, level_cap),
+            AnyEvaluator::Ball(e) => e.run_query(q, query, level_cap),
+        }
+    }
+
+    /// Answers `query` as the workload-appropriate scalar: TKAQ answers map
+    /// to `1.0` / `0.0`, eKAQ answers to the estimate. Used by benchmark
+    /// plumbing that is generic over the workload.
+    pub fn answer(&self, q: &[f64], query: Query) -> f64 {
+        match query {
+            Query::Tkaq { tau } => {
+                if self.tkaq(q, tau) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Query::Ekaq { eps } => self.ekaq(q, eps),
+            Query::Within { tol } => match self {
+                AnyEvaluator::Kd(e) => e.within(q, tol).0,
+                AnyEvaluator::Ball(e) => e.within(q, tol).0,
+            },
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        match self {
+            AnyEvaluator::Kd(e) => e.len(),
+            AnyEvaluator::Ball(e) => e.len(),
+        }
+    }
+
+    /// Whether no points are indexed (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One measured tuning candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateResult {
+    /// The index family tried.
+    pub kind: IndexKind,
+    /// The leaf capacity tried.
+    pub leaf_capacity: usize,
+    /// Measured throughput (queries / second) on the sample.
+    pub throughput: f64,
+    /// Wall-clock time spent answering the sample.
+    pub elapsed: Duration,
+}
+
+/// Result of an offline tuning sweep.
+#[derive(Debug)]
+pub struct OfflineTuningOutcome {
+    /// The fastest evaluator (`KARL_auto`).
+    pub best: AnyEvaluator,
+    /// Every candidate with its measured throughput, best first.
+    pub report: Vec<CandidateResult>,
+}
+
+/// Offline tuner: exhaustive sweep over (family × leaf capacity) scored on
+/// a query sample.
+#[derive(Debug, Clone)]
+pub struct OfflineTuner {
+    /// Leaf capacities to try (paper default: 10,20,40,…,640).
+    pub leaf_capacities: Vec<usize>,
+    /// Index families to try.
+    pub index_kinds: Vec<IndexKind>,
+}
+
+impl Default for OfflineTuner {
+    fn default() -> Self {
+        Self {
+            leaf_capacities: vec![10, 20, 40, 80, 160, 320, 640],
+            index_kinds: vec![IndexKind::Kd, IndexKind::Ball],
+        }
+    }
+}
+
+impl OfflineTuner {
+    /// Sweeps every candidate, measuring throughput of `workload` over
+    /// `sample` queries, and returns the fastest evaluator plus the full
+    /// report (sorted fastest-first).
+    ///
+    /// # Panics
+    /// Panics if the candidate lists or the sample are empty.
+    pub fn tune(
+        &self,
+        points: &PointSet,
+        weights: &[f64],
+        kernel: Kernel,
+        method: BoundMethod,
+        sample: &PointSet,
+        workload: Query,
+    ) -> OfflineTuningOutcome {
+        assert!(!self.leaf_capacities.is_empty(), "no leaf capacities");
+        assert!(!self.index_kinds.is_empty(), "no index kinds");
+        assert!(!sample.is_empty(), "empty tuning sample");
+        let mut best: Option<(f64, AnyEvaluator)> = None;
+        let mut report = Vec::new();
+        for &kind in &self.index_kinds {
+            for &cap in &self.leaf_capacities {
+                let eval = AnyEvaluator::build(kind, points, weights, kernel, method, cap);
+                let start = Instant::now();
+                for q in sample.iter() {
+                    std::hint::black_box(eval.answer(q, workload));
+                }
+                let elapsed = start.elapsed();
+                let throughput = sample.len() as f64 / elapsed.as_secs_f64().max(1e-12);
+                report.push(CandidateResult {
+                    kind,
+                    leaf_capacity: cap,
+                    throughput,
+                    elapsed,
+                });
+                if best.as_ref().is_none_or(|(t, _)| throughput > *t) {
+                    best = Some((throughput, eval));
+                }
+            }
+        }
+        report.sort_by(|a, b| b.throughput.total_cmp(&a.throughput));
+        OfflineTuningOutcome {
+            best: best.expect("at least one candidate").1,
+            report,
+        }
+    }
+}
+
+/// Result of an in-situ (online) run: answers plus the time breakdown the
+/// paper's end-to-end throughput metric charges.
+#[derive(Debug, Clone)]
+pub struct OnlineRunReport {
+    /// Workload answers, aligned with the input query order (TKAQ answers
+    /// encoded as 1.0/0.0).
+    pub answers: Vec<f64>,
+    /// The level `i*` the tuner settled on.
+    pub chosen_level: u16,
+    /// Time to build the single kd-tree.
+    pub build_time: Duration,
+    /// Time spent probing candidate levels on the sample queries.
+    pub tuning_time: Duration,
+    /// Time answering the remaining queries at the chosen level.
+    pub query_time: Duration,
+    /// End-to-end throughput: `|Q| / (build + tuning + query)`.
+    pub throughput: f64,
+}
+
+/// In-situ tuner: one deep kd-tree, level probing on a query-sample
+/// prefix, remainder answered at the best level.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineTuner {
+    /// Fraction of the query stream spent probing levels (paper: 1%).
+    pub sample_fraction: f64,
+    /// Leaf capacity of the single tree (small, so that every level `i` up
+    /// to ~log₂(n) can be simulated).
+    pub leaf_capacity: usize,
+}
+
+impl Default for OnlineTuner {
+    fn default() -> Self {
+        Self {
+            sample_fraction: 0.01,
+            leaf_capacity: 8,
+        }
+    }
+}
+
+impl OnlineTuner {
+    /// Runs the full in-situ pipeline: build, probe, answer.
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty or `sample_fraction ∉ (0, 1]`.
+    pub fn run(
+        &self,
+        points: &PointSet,
+        weights: &[f64],
+        kernel: Kernel,
+        method: BoundMethod,
+        queries: &PointSet,
+        workload: Query,
+    ) -> OnlineRunReport {
+        assert!(!queries.is_empty(), "empty query stream");
+        assert!(
+            self.sample_fraction > 0.0 && self.sample_fraction <= 1.0,
+            "sample fraction out of range"
+        );
+        let t0 = Instant::now();
+        let eval = KdEvaluator::build(points, weights, kernel, method, self.leaf_capacity);
+        let build_time = t0.elapsed();
+
+        // Candidate levels 0..=max_depth, thinned so every candidate gets at
+        // least one probe query.
+        let max_depth = eval.max_depth();
+        let sample_count = ((queries.len() as f64 * self.sample_fraction).ceil() as usize)
+            .clamp(1, queries.len());
+        let num_candidates = (max_depth as usize + 1).min(sample_count);
+        let candidates: Vec<u16> = (0..num_candidates)
+            .map(|i| {
+                if num_candidates == 1 {
+                    max_depth
+                } else {
+                    (i as f64 * max_depth as f64 / (num_candidates - 1) as f64).round() as u16
+                }
+            })
+            .collect();
+
+        let mut answers = vec![0.0; queries.len()];
+        let t1 = Instant::now();
+        // Round-robin the probe prefix across candidate levels, recording
+        // per-level cost (the probe answers are exact regardless of level).
+        let mut level_time = vec![Duration::ZERO; candidates.len()];
+        let mut level_hits = vec![0u32; candidates.len()];
+        #[allow(clippy::needless_range_loop)] // s drives the round-robin level index too
+        for s in 0..sample_count {
+            let li = s % candidates.len();
+            let q = queries.point(s);
+            let ts = Instant::now();
+            answers[s] = answer_at_level(&eval, q, workload, candidates[li]);
+            level_time[li] += ts.elapsed();
+            level_hits[li] += 1;
+        }
+        let best_idx = (0..candidates.len())
+            .filter(|&i| level_hits[i] > 0)
+            .min_by(|&a, &b| {
+                let ta = level_time[a].as_secs_f64() / level_hits[a] as f64;
+                let tb = level_time[b].as_secs_f64() / level_hits[b] as f64;
+                ta.total_cmp(&tb)
+            })
+            .expect("at least one probed level");
+        let chosen_level = candidates[best_idx];
+        let tuning_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        #[allow(clippy::needless_range_loop)]
+        for i in sample_count..queries.len() {
+            answers[i] = answer_at_level(&eval, queries.point(i), workload, chosen_level);
+        }
+        let query_time = t2.elapsed();
+        let total = build_time + tuning_time + query_time;
+        OnlineRunReport {
+            answers,
+            chosen_level,
+            build_time,
+            tuning_time,
+            query_time,
+            throughput: queries.len() as f64 / total.as_secs_f64().max(1e-12),
+        }
+    }
+}
+
+fn answer_at_level(eval: &KdEvaluator, q: &[f64], workload: Query, level: u16) -> f64 {
+    match workload {
+        Query::Tkaq { tau } => {
+            if eval.tkaq_at_level(q, tau, level) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Query::Ekaq { eps } => eval.ekaq_at_level(q, eps, level),
+        Query::Within { tol } => {
+            let out = eval.run_query(q, Query::Within { tol }, Some(level));
+            0.5 * (out.lb + out.ub)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::aggregate_exact;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            let c = if i % 3 == 0 { -1.5 } else { 1.5 };
+            for _ in 0..d {
+                data.push(c + rng.random_range(-0.4..0.4));
+            }
+        }
+        PointSet::new(d, data)
+    }
+
+    #[test]
+    fn any_evaluator_matches_both_families() {
+        let ps = clustered(200, 2, 1);
+        let w = vec![1.0; 200];
+        let kernel = Kernel::gaussian(0.5);
+        let q = ps.point(0).to_vec();
+        let truth = aggregate_exact(&kernel, &ps, &w, &q);
+        for kind in [IndexKind::Kd, IndexKind::Ball] {
+            let e = AnyEvaluator::build(kind, &ps, &w, kernel, BoundMethod::Karl, 8);
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.len(), 200);
+            assert!((e.exact(&q) - truth).abs() < 1e-9);
+            assert!(e.tkaq(&q, truth * 0.9));
+            assert!(!(e.tkaq(&q, truth * 1.1)));
+            let est = e.ekaq(&q, 0.1);
+            assert!(est >= 0.9 * truth - 1e-12 && est <= 1.1 * truth + 1e-12);
+            assert_eq!(e.answer(&q, Query::Tkaq { tau: truth * 0.9 }), 1.0);
+        }
+    }
+
+    #[test]
+    fn offline_tuner_returns_fastest_candidate() {
+        let ps = clustered(400, 3, 2);
+        let w = vec![1.0; 400];
+        let kernel = Kernel::gaussian(0.4);
+        let sample = clustered(20, 3, 3);
+        let tuner = OfflineTuner {
+            leaf_capacities: vec![4, 64],
+            index_kinds: vec![IndexKind::Kd, IndexKind::Ball],
+        };
+        let out = tuner.tune(&ps, &w, kernel, BoundMethod::Karl, &sample, Query::Ekaq { eps: 0.2 });
+        assert_eq!(out.report.len(), 4);
+        // Report is sorted fastest-first and the winner matches `best`.
+        for pair in out.report.windows(2) {
+            assert!(pair[0].throughput >= pair[1].throughput);
+        }
+        let winner = out.report[0];
+        assert_eq!(out.best.kind(), winner.kind);
+        // The tuned evaluator still answers correctly.
+        let q = ps.point(7).to_vec();
+        let truth = aggregate_exact(&kernel, &ps, &w, &q);
+        let est = out.best.ekaq(&q, 0.2);
+        assert!(est >= 0.8 * truth - 1e-12 && est <= 1.2 * truth + 1e-12);
+    }
+
+    #[test]
+    fn online_tuner_answers_are_exactly_correct() {
+        let ps = clustered(300, 2, 4);
+        let w = vec![1.0; 300];
+        let kernel = Kernel::gaussian(0.6);
+        let queries = clustered(50, 2, 5);
+        // τ at the mean aggregate of the queries, like the paper's I-τ.
+        let mean: f64 = queries
+            .iter()
+            .map(|q| aggregate_exact(&kernel, &ps, &w, q))
+            .sum::<f64>()
+            / queries.len() as f64;
+        let tuner = OnlineTuner {
+            sample_fraction: 0.2,
+            leaf_capacity: 4,
+        };
+        let report = tuner.run(
+            &ps,
+            &w,
+            kernel,
+            BoundMethod::Karl,
+            &queries,
+            Query::Tkaq { tau: mean },
+        );
+        assert_eq!(report.answers.len(), 50);
+        for (i, q) in queries.iter().enumerate() {
+            let truth = aggregate_exact(&kernel, &ps, &w, q) >= mean;
+            assert_eq!(report.answers[i] == 1.0, truth, "query {i}");
+        }
+        assert!(report.throughput > 0.0);
+    }
+
+    #[test]
+    fn online_tuner_single_query_stream() {
+        let ps = clustered(100, 2, 6);
+        let w = vec![1.0; 100];
+        let queries = ps.select(&[0]);
+        let report = OnlineTuner::default().run(
+            &ps,
+            &w,
+            Kernel::gaussian(0.5),
+            BoundMethod::Karl,
+            &queries,
+            Query::Ekaq { eps: 0.3 },
+        );
+        assert_eq!(report.answers.len(), 1);
+        let truth = aggregate_exact(&Kernel::gaussian(0.5), &ps, &w, queries.point(0));
+        assert!((report.answers[0] - truth).abs() <= 0.3 * truth + 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offline_tuner_empty_sample_panics() {
+        let ps = clustered(10, 2, 7);
+        OfflineTuner::default().tune(
+            &ps,
+            &[1.0; 10],
+            Kernel::gaussian(1.0),
+            BoundMethod::Karl,
+            &PointSet::empty(2),
+            Query::Ekaq { eps: 0.1 },
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! Dataset I/O: CSV-like text formats for points and labels.
+//!
+//! The synthetic registry covers the reproduction, but a library users can
+//! adopt needs to ingest their own data. Two formats are supported:
+//!
+//! * **dense CSV** — one point per line, coordinates separated by commas
+//!   (or any of `;`, whitespace, tabs); an optional label column first or
+//!   last (`load_labeled_csv`).
+//! * **LIBSVM sparse** — `label idx:val idx:val …` lines with 1-based
+//!   indices (`load_libsvm`), densified to the maximum seen index.
+//!
+//! Parsers are strict about shape consistency (ragged rows are an error,
+//! not a guess) and return typed errors rather than panicking, since file
+//! contents are external input.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use karl_geom::PointSet;
+
+/// Errors produced by the dataset parsers.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number; `(line, cell)` are 1-based.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Offending cell text.
+        cell: String,
+    },
+    /// A row had a different arity than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Cells found on this line.
+        found: usize,
+        /// Cells expected (from the first data line).
+        expected: usize,
+    },
+    /// The input contained no data rows.
+    Empty,
+    /// A LIBSVM feature index was not a positive integer.
+    BadIndex {
+        /// 1-based line number.
+        line: usize,
+        /// Offending index text.
+        cell: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::BadNumber { line, cell } => {
+                write!(f, "line {line}: cannot parse number from {cell:?}")
+            }
+            DataError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: {found} cells, expected {expected}"),
+            DataError::Empty => write!(f, "no data rows found"),
+            DataError::BadIndex { line, cell } => {
+                write!(f, "line {line}: bad feature index {cell:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+/// Which column of a labeled CSV holds the label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelColumn {
+    /// The first cell of each row.
+    First,
+    /// The last cell of each row.
+    Last,
+}
+
+fn split_cells(line: &str) -> Vec<&str> {
+    line.split(|c: char| c == ',' || c == ';' || c.is_whitespace())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_rows(text: &str) -> Result<Vec<Vec<f64>>, DataError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut expected = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cells = split_cells(line);
+        // Header detection: skip a first row that doesn't parse at all.
+        let mut row = Vec::with_capacity(cells.len());
+        let mut ok = true;
+        for cell in &cells {
+            match cell.parse::<f64>() {
+                Ok(v) => row.push(v),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            if rows.is_empty() {
+                continue; // header line
+            }
+            let bad = cells
+                .iter()
+                .find(|c| c.parse::<f64>().is_err())
+                .unwrap_or(&"")
+                .to_string();
+            return Err(DataError::BadNumber {
+                line: lineno + 1,
+                cell: bad,
+            });
+        }
+        if rows.is_empty() {
+            expected = row.len();
+        } else if row.len() != expected {
+            return Err(DataError::RaggedRow {
+                line: lineno + 1,
+                found: row.len(),
+                expected,
+            });
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(DataError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Parses unlabeled dense CSV text into a point set.
+pub fn parse_csv(text: &str) -> Result<PointSet, DataError> {
+    let rows = parse_rows(text)?;
+    Ok(PointSet::from_rows(&rows))
+}
+
+/// Loads unlabeled dense CSV from a file.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<PointSet, DataError> {
+    parse_csv(&fs::read_to_string(path)?)
+}
+
+/// Parses labeled dense CSV text into `(points, labels)`.
+pub fn parse_labeled_csv(
+    text: &str,
+    label: LabelColumn,
+) -> Result<(PointSet, Vec<f64>), DataError> {
+    let rows = parse_rows(text)?;
+    if rows[0].len() < 2 {
+        return Err(DataError::RaggedRow {
+            line: 1,
+            found: rows[0].len(),
+            expected: 2,
+        });
+    }
+    let mut labels = Vec::with_capacity(rows.len());
+    let mut points = Vec::with_capacity(rows.len());
+    for mut row in rows {
+        let y = match label {
+            LabelColumn::First => row.remove(0),
+            LabelColumn::Last => row.pop().expect("checked arity"),
+        };
+        labels.push(y);
+        points.push(row);
+    }
+    Ok((PointSet::from_rows(&points), labels))
+}
+
+/// Loads labeled dense CSV from a file.
+pub fn load_labeled_csv(
+    path: impl AsRef<Path>,
+    label: LabelColumn,
+) -> Result<(PointSet, Vec<f64>), DataError> {
+    parse_labeled_csv(&fs::read_to_string(path)?, label)
+}
+
+/// Parses LIBSVM sparse text (`label idx:val …`, 1-based indices) into
+/// `(points, labels)`, densified to the maximum index seen.
+pub fn parse_libsvm(text: &str) -> Result<(PointSet, Vec<f64>), DataError> {
+    let mut labels = Vec::new();
+    let mut sparse: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut max_idx = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label_cell = parts.next().ok_or(DataError::Empty)?;
+        let y: f64 = label_cell.parse().map_err(|_| DataError::BadNumber {
+            line: lineno + 1,
+            cell: label_cell.to_string(),
+        })?;
+        let mut feats = Vec::new();
+        for pair in parts {
+            let Some((idx, val)) = pair.split_once(':') else {
+                return Err(DataError::BadIndex {
+                    line: lineno + 1,
+                    cell: pair.to_string(),
+                });
+            };
+            let idx: usize = idx.parse().map_err(|_| DataError::BadIndex {
+                line: lineno + 1,
+                cell: pair.to_string(),
+            })?;
+            if idx == 0 {
+                return Err(DataError::BadIndex {
+                    line: lineno + 1,
+                    cell: pair.to_string(),
+                });
+            }
+            let val: f64 = val.parse().map_err(|_| DataError::BadNumber {
+                line: lineno + 1,
+                cell: pair.to_string(),
+            })?;
+            max_idx = max_idx.max(idx);
+            feats.push((idx - 1, val));
+        }
+        labels.push(y);
+        sparse.push(feats);
+    }
+    if labels.is_empty() {
+        return Err(DataError::Empty);
+    }
+    let dims = max_idx.max(1);
+    let mut data = vec![0.0; labels.len() * dims];
+    for (i, feats) in sparse.iter().enumerate() {
+        for &(j, v) in feats {
+            data[i * dims + j] = v;
+        }
+    }
+    Ok((PointSet::new(dims, data), labels))
+}
+
+/// Loads LIBSVM sparse data from a file.
+pub fn load_libsvm(path: impl AsRef<Path>) -> Result<(PointSet, Vec<f64>), DataError> {
+    parse_libsvm(&fs::read_to_string(path)?)
+}
+
+/// Writes a point set (optionally labeled, label last) as dense CSV.
+pub fn save_csv(
+    path: impl AsRef<Path>,
+    points: &PointSet,
+    labels: Option<&[f64]>,
+) -> Result<(), DataError> {
+    if let Some(l) = labels {
+        assert_eq!(l.len(), points.len(), "labels/points mismatch");
+    }
+    let mut out = fs::File::create(path)?;
+    let mut buf = String::new();
+    for (i, p) in points.iter().enumerate() {
+        buf.clear();
+        for (j, x) in p.iter().enumerate() {
+            if j > 0 {
+                buf.push(',');
+            }
+            buf.push_str(&format!("{x}"));
+        }
+        if let Some(l) = labels {
+            buf.push(',');
+            buf.push_str(&format!("{}", l[i]));
+        }
+        buf.push('\n');
+        out.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_csv() {
+        let ps = parse_csv("1.0,2.0\n3.0,4.0\n").unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.point(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn parse_csv_with_header_comments_and_blank_lines() {
+        let ps = parse_csv("x,y\n# comment\n\n1,2\n3,4\n").unwrap();
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn parse_csv_alternative_separators() {
+        let ps = parse_csv("1;2;3\n4 5\t6\n").unwrap();
+        assert_eq!(ps.dims(), 3);
+        assert_eq!(ps.point(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let err = parse_csv("1,2\n3\n").unwrap_err();
+        assert!(matches!(err, DataError::RaggedRow { line: 2, found: 1, expected: 2 }));
+    }
+
+    #[test]
+    fn bad_number_mid_file_is_rejected() {
+        let err = parse_csv("1,2\n3,oops\n").unwrap_err();
+        assert!(matches!(err, DataError::BadNumber { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(matches!(parse_csv("# nothing\n"), Err(DataError::Empty)));
+    }
+
+    #[test]
+    fn labeled_csv_first_and_last() {
+        let (ps, y) = parse_labeled_csv("1,0.5,0.6\n-1,0.7,0.8\n", LabelColumn::First).unwrap();
+        assert_eq!(y, vec![1.0, -1.0]);
+        assert_eq!(ps.point(0), &[0.5, 0.6]);
+        let (ps2, y2) = parse_labeled_csv("0.5,0.6,1\n0.7,0.8,-1\n", LabelColumn::Last).unwrap();
+        assert_eq!(y2, vec![1.0, -1.0]);
+        assert_eq!(ps2.point(1), &[0.7, 0.8]);
+    }
+
+    #[test]
+    fn libsvm_sparse_roundtrip() {
+        let (ps, y) = parse_libsvm("+1 1:0.5 3:0.25\n-1 2:1.0\n").unwrap();
+        assert_eq!(y, vec![1.0, -1.0]);
+        assert_eq!(ps.dims(), 3);
+        assert_eq!(ps.point(0), &[0.5, 0.0, 0.25]);
+        assert_eq!(ps.point(1), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn libsvm_rejects_zero_index_and_garbage() {
+        assert!(matches!(
+            parse_libsvm("+1 0:0.5\n"),
+            Err(DataError::BadIndex { .. })
+        ));
+        assert!(matches!(
+            parse_libsvm("+1 nonsense\n"),
+            Err(DataError::BadIndex { .. })
+        ));
+        assert!(matches!(
+            parse_libsvm("abc 1:0.5\n"),
+            Err(DataError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("karl_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.csv");
+        let ps = PointSet::new(2, vec![1.0, 2.0, 3.0, 4.0]);
+        save_csv(&path, &ps, Some(&[1.0, -1.0])).unwrap();
+        let (back, labels) = load_labeled_csv(&path, LabelColumn::Last).unwrap();
+        assert_eq!(back, ps);
+        assert_eq!(labels, vec![1.0, -1.0]);
+        std::fs::remove_file(&path).ok();
+    }
+}

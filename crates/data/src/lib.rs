@@ -1,0 +1,25 @@
+//! # karl-data — datasets and preprocessing for the KARL reproduction
+//!
+//! * [`registry`] — seeded synthetic generators mirroring the ten
+//!   evaluation datasets of the paper's Table VI (same dimensionalities,
+//!   scaled cardinalities; see `DESIGN.md` for the substitution rationale).
+//! * [`prep`] — min–max normalization (`[0,1]^d` for the Gaussian kernel,
+//!   `[−1,1]^d` for the polynomial kernel), query sampling, subsampling,
+//!   train/test splitting.
+//! * [`pca`] — principal component analysis (cyclic Jacobi) for the
+//!   dimensionality sweep of Figure 12.
+//! * [`io`] — dense-CSV and LIBSVM-sparse loaders/writers so the library
+//!   works on real data, not only on the synthetic registry.
+
+pub mod io;
+pub mod pca;
+pub mod prep;
+pub mod registry;
+
+pub use io::{
+    load_csv, load_labeled_csv, load_libsvm, parse_csv, parse_labeled_csv, parse_libsvm,
+    save_csv, DataError, LabelColumn,
+};
+pub use pca::Pca;
+pub use prep::{normalize_symmetric, normalize_unit, sample_queries, subsample, train_test_split};
+pub use registry::{by_name, registry, Dataset, DatasetSpec, ModelKind};

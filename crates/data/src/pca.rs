@@ -1,0 +1,291 @@
+//! Principal component analysis via a cyclic Jacobi eigensolver.
+//!
+//! Used by the dimensionality sweep of Figure 12 (the paper reduces the
+//! 784-dimensional mnist data with PCA). Jacobi rotation is exact, simple
+//! and fast enough for `d ≤ ~1000`, which covers everything the
+//! reproduction needs.
+
+use karl_geom::PointSet;
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Row-major `d × d`; row `k` is the `k`-th principal axis (descending
+    /// explained variance).
+    components: Vec<f64>,
+    eigenvalues: Vec<f64>,
+    dims: usize,
+}
+
+impl Pca {
+    /// Fits PCA on `points` (population covariance, Jacobi
+    /// eigendecomposition).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn fit(points: &PointSet) -> Self {
+        assert!(!points.is_empty(), "cannot fit PCA on an empty set");
+        let d = points.dims();
+        let n = points.len() as f64;
+        let mean = points.mean();
+
+        // Covariance matrix (population normalization).
+        let mut cov = vec![0.0; d * d];
+        let mut centered = vec![0.0; d];
+        for p in points.iter() {
+            for j in 0..d {
+                centered[j] = p[j] - mean[j];
+            }
+            for i in 0..d {
+                let ci = centered[i];
+                // symmetric: fill upper triangle only
+                for j in i..d {
+                    cov[i * d + j] += ci * centered[j];
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                let v = cov[i * d + j] / n;
+                cov[i * d + j] = v;
+                cov[j * d + i] = v;
+            }
+        }
+
+        let (eigenvalues, vectors) = jacobi_eigen(&mut cov, d);
+        // Sort descending by eigenvalue.
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| eigenvalues[b].total_cmp(&eigenvalues[a]));
+        let mut components = vec![0.0; d * d];
+        let mut sorted_vals = vec![0.0; d];
+        for (row, &k) in order.iter().enumerate() {
+            sorted_vals[row] = eigenvalues[k];
+            for j in 0..d {
+                // vectors stores eigenvectors as columns
+                components[row * d + j] = vectors[j * d + k];
+            }
+        }
+        Self {
+            mean,
+            components,
+            eigenvalues: sorted_vals,
+            dims: d,
+        }
+    }
+
+    /// Eigenvalues in descending order (explained variance per axis).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The `k`-th principal axis.
+    ///
+    /// # Panics
+    /// Panics if `k ≥ dims`.
+    pub fn component(&self, k: usize) -> &[f64] {
+        assert!(k < self.dims, "component index out of range");
+        &self.components[k * self.dims..(k + 1) * self.dims]
+    }
+
+    /// Projects `points` onto the top `k` principal axes.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > dims`, or dimensionality mismatches.
+    pub fn project(&self, points: &PointSet, k: usize) -> PointSet {
+        assert!(k >= 1 && k <= self.dims, "invalid target dimensionality");
+        assert_eq!(points.dims(), self.dims, "dimensionality mismatch");
+        let d = self.dims;
+        let mut data = Vec::with_capacity(points.len() * k);
+        let mut centered = vec![0.0; d];
+        for p in points.iter() {
+            for j in 0..d {
+                centered[j] = p[j] - self.mean[j];
+            }
+            for row in 0..k {
+                let axis = &self.components[row * d..(row + 1) * d];
+                let mut acc = 0.0;
+                for j in 0..d {
+                    acc += axis[j] * centered[j];
+                }
+                data.push(acc);
+            }
+        }
+        PointSet::new(k, data)
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix (in place).
+/// Returns `(eigenvalues, eigenvector_columns)`.
+fn jacobi_eigen(a: &mut [f64], d: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut v = vec![0.0; d * d];
+    for i in 0..d {
+        v[i * d + i] = 1.0;
+    }
+    if d == 1 {
+        return (vec![a[0]], v);
+    }
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm, for convergence.
+        let mut off = 0.0;
+        for p in 0..d {
+            for q in p + 1..d {
+                off += a[p * d + q] * a[p * d + q];
+            }
+        }
+        let scale: f64 = (0..d).map(|i| a[i * d + i].abs()).sum::<f64>().max(1e-300);
+        if off.sqrt() <= 1e-12 * scale {
+            break;
+        }
+        for p in 0..d {
+            for q in p + 1..d {
+                let apq = a[p * d + q];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = a[p * d + p];
+                let aqq = a[q * d + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of `a`.
+                for k in 0..d {
+                    let akp = a[k * d + p];
+                    let akq = a[k * d + q];
+                    a[k * d + p] = c * akp - s * akq;
+                    a[k * d + q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = a[p * d + k];
+                    let aqk = a[q * d + k];
+                    a[p * d + k] = c * apk - s * aqk;
+                    a[q * d + k] = s * apk + c * aqk;
+                }
+                // Accumulate the rotation into the eigenvector columns.
+                for k in 0..d {
+                    let vkp = v[k * d + p];
+                    let vkq = v[k * d + q];
+                    v[k * d + p] = c * vkp - s * vkq;
+                    v[k * d + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eig: Vec<f64> = (0..d).map(|i| a[i * d + i]).collect();
+    (eig, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn diagonal_covariance_recovers_axes() {
+        // x-extent 10× the y-extent: first PC ≈ x axis.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Vec::new();
+        for _ in 0..500 {
+            data.push(rng.random_range(-10.0..10.0));
+            data.push(rng.random_range(-1.0..1.0));
+        }
+        let ps = PointSet::new(2, data);
+        let pca = Pca::fit(&ps);
+        assert!(pca.eigenvalues()[0] > pca.eigenvalues()[1]);
+        let c0 = pca.component(0);
+        assert!(c0[0].abs() > 0.99, "first axis should align with x: {c0:?}");
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ps = PointSet::new(
+            5,
+            (0..200 * 5)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect::<Vec<_>>(),
+        );
+        let pca = Pca::fit(&ps);
+        let ev = pca.eigenvalues();
+        for w in ev.windows(2) {
+            assert!(w[0] + 1e-12 >= w[1]);
+        }
+        for &e in ev {
+            assert!(e >= -1e-10, "covariance eigenvalues must be ≥ 0, got {e}");
+        }
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ps = PointSet::new(
+            4,
+            (0..100 * 4)
+                .map(|_| rng.random_range(-2.0..2.0))
+                .collect::<Vec<_>>(),
+        );
+        let pca = Pca::fit(&ps);
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = pca
+                    .component(i)
+                    .iter()
+                    .zip(pca.component(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8, "C{i}·C{j} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_preserves_pairwise_distance_in_full_rank() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ps = PointSet::new(
+            3,
+            (0..50 * 3)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect::<Vec<_>>(),
+        );
+        let pca = Pca::fit(&ps);
+        let proj = pca.project(&ps, 3);
+        // Full-rank orthogonal projection preserves distances.
+        for i in 0..10 {
+            for j in 0..10 {
+                let orig = karl_geom::dist2(ps.point(i), ps.point(j));
+                let new = karl_geom::dist2(proj.point(i), proj.point(j));
+                assert!((orig - new).abs() < 1e-8 * (1.0 + orig));
+            }
+        }
+    }
+
+    #[test]
+    fn projected_variance_matches_eigenvalues() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut data = Vec::new();
+        for _ in 0..400 {
+            data.push(rng.random_range(-3.0..3.0));
+            data.push(rng.random_range(-1.0..1.0));
+            data.push(rng.random_range(-0.1..0.1));
+        }
+        let ps = PointSet::new(3, data);
+        let pca = Pca::fit(&ps);
+        let proj = pca.project(&ps, 2);
+        let var = proj.std_dev();
+        assert!((var[0] * var[0] - pca.eigenvalues()[0]).abs() < 1e-6 * (1.0 + pca.eigenvalues()[0]));
+        assert!((var[1] * var[1] - pca.eigenvalues()[1]).abs() < 1e-6 * (1.0 + pca.eigenvalues()[1]));
+    }
+
+    #[test]
+    fn single_dimension_pca() {
+        let ps = PointSet::new(1, vec![1.0, 2.0, 3.0]);
+        let pca = Pca::fit(&ps);
+        assert_eq!(pca.eigenvalues().len(), 1);
+        let proj = pca.project(&ps, 1);
+        assert_eq!(proj.len(), 3);
+    }
+}

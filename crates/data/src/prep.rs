@@ -1,0 +1,183 @@
+//! Dataset preprocessing: normalization, sampling, splitting.
+//!
+//! Mirrors the paper's protocol (Section V-A): Gaussian-kernel experiments
+//! normalize data to `[0, 1]^d`, polynomial-kernel experiments to
+//! `[−1, 1]^d`, query sets are random samples of the data.
+
+use karl_geom::PointSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Min–max normalizes each dimension into `[0, 1]`. Dimensions with zero
+/// extent map to `0.5`.
+pub fn normalize_unit(points: &PointSet) -> PointSet {
+    normalize_into(points, 0.0, 1.0)
+}
+
+/// Min–max normalizes each dimension into `[−1, 1]`. Dimensions with zero
+/// extent map to `0`.
+pub fn normalize_symmetric(points: &PointSet) -> PointSet {
+    normalize_into(points, -1.0, 1.0)
+}
+
+fn normalize_into(points: &PointSet, lo: f64, hi: f64) -> PointSet {
+    assert!(!points.is_empty(), "cannot normalize an empty set");
+    let d = points.dims();
+    let mut min = points.point(0).to_vec();
+    let mut max = min.clone();
+    for p in points.iter() {
+        for j in 0..d {
+            if p[j] < min[j] {
+                min[j] = p[j];
+            }
+            if p[j] > max[j] {
+                max[j] = p[j];
+            }
+        }
+    }
+    let mid = 0.5 * (lo + hi);
+    let mut data = Vec::with_capacity(points.len() * d);
+    for p in points.iter() {
+        for j in 0..d {
+            let ext = max[j] - min[j];
+            data.push(if ext > 0.0 {
+                lo + (p[j] - min[j]) / ext * (hi - lo)
+            } else {
+                mid
+            });
+        }
+    }
+    PointSet::new(d, data)
+}
+
+/// Samples `k` query points from `points` with replacement (the paper's
+/// query sets are random samples of each dataset).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn sample_queries(points: &PointSet, k: usize, seed: u64) -> PointSet {
+    assert!(!points.is_empty(), "cannot sample from an empty set");
+    assert!(k > 0, "sample size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx: Vec<usize> = (0..k).map(|_| rng.random_range(0..points.len())).collect();
+    points.select(&idx)
+}
+
+/// Takes a uniform subsample of `n` points without replacement (used by the
+/// dataset-size sweep, Figure 11). Returns all points when `n ≥ len`.
+pub fn subsample(points: &PointSet, n: usize, seed: u64) -> PointSet {
+    assert!(!points.is_empty(), "cannot subsample an empty set");
+    if n >= points.len() {
+        return points.clone();
+    }
+    assert!(n > 0, "subsample size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    let (chosen, _) = idx.partial_shuffle(&mut rng, n);
+    points.select(chosen)
+}
+
+/// Splits `points` (and aligned `labels`) into a train/test pair by a
+/// shuffled `train_frac` cut.
+///
+/// # Panics
+/// Panics if lengths mismatch or `train_frac ∉ (0, 1)`.
+pub fn train_test_split(
+    points: &PointSet,
+    labels: &[f64],
+    train_frac: f64,
+    seed: u64,
+) -> (PointSet, Vec<f64>, PointSet, Vec<f64>) {
+    assert_eq!(labels.len(), points.len(), "labels/points mismatch");
+    assert!(
+        train_frac > 0.0 && train_frac < 1.0,
+        "train fraction out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.shuffle(&mut rng);
+    let cut = ((points.len() as f64 * train_frac).round() as usize).clamp(1, points.len() - 1);
+    let (tr, te) = idx.split_at(cut);
+    let pick = |ids: &[usize]| -> (PointSet, Vec<f64>) {
+        (
+            points.select(ids),
+            ids.iter().map(|&i| labels[i]).collect(),
+        )
+    };
+    let (ptr, ltr) = pick(tr);
+    let (pte, lte) = pick(te);
+    (ptr, ltr, pte, lte)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointSet {
+        PointSet::new(2, vec![0.0, 10.0, 4.0, 30.0, 2.0, 20.0])
+    }
+
+    #[test]
+    fn normalize_unit_hits_bounds() {
+        let n = normalize_unit(&sample());
+        assert_eq!(n.point(0), &[0.0, 0.0]);
+        assert_eq!(n.point(1), &[1.0, 1.0]);
+        assert_eq!(n.point(2), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_symmetric_hits_bounds() {
+        let n = normalize_symmetric(&sample());
+        assert_eq!(n.point(0), &[-1.0, -1.0]);
+        assert_eq!(n.point(1), &[1.0, 1.0]);
+        assert_eq!(n.point(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_handles_constant_dimension() {
+        let ps = PointSet::new(2, vec![5.0, 1.0, 5.0, 2.0]);
+        let n = normalize_unit(&ps);
+        assert_eq!(n.point(0)[0], 0.5);
+        assert_eq!(n.point(1)[0], 0.5);
+    }
+
+    #[test]
+    fn sample_queries_is_deterministic() {
+        let ps = sample();
+        let a = sample_queries(&ps, 10, 7);
+        let b = sample_queries(&ps, 10, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn subsample_without_replacement() {
+        let ps = PointSet::new(1, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let s = subsample(&ps, 30, 1);
+        assert_eq!(s.len(), 30);
+        let mut seen: Vec<i64> = s.iter().map(|p| p[0] as i64).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 30, "duplicates in a without-replacement sample");
+    }
+
+    #[test]
+    fn subsample_full_size_returns_everything() {
+        let ps = sample();
+        assert_eq!(subsample(&ps, 99, 2).len(), 3);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ps = PointSet::new(1, (0..50).map(|i| i as f64).collect::<Vec<_>>());
+        let labels: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let (ptr, ltr, pte, lte) = train_test_split(&ps, &labels, 0.8, 3);
+        assert_eq!(ptr.len() + pte.len(), 50);
+        assert_eq!(ltr.len(), ptr.len());
+        assert_eq!(lte.len(), pte.len());
+        let mut all: Vec<i64> = ptr.iter().chain(pte.iter()).map(|p| p[0] as i64).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+}

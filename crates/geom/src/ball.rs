@@ -1,0 +1,178 @@
+//! Bounding balls, the node volume of the ball-tree index family.
+
+use crate::dist::{dist2, dot, norm2};
+use crate::points::PointSet;
+use crate::BoundingShape;
+
+/// A bounding ball: center `c` and radius `r`, containing every point `p`
+/// with `‖p − c‖ ≤ r`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ball {
+    center: Vec<f64>,
+    radius: f64,
+}
+
+impl Ball {
+    /// Creates a ball from an explicit center and radius.
+    ///
+    /// # Panics
+    /// Panics if `radius < 0` or the center is empty.
+    pub fn new(center: Vec<f64>, radius: f64) -> Self {
+        assert!(!center.is_empty(), "Ball requires at least one dimension");
+        assert!(radius >= 0.0, "Ball radius must be non-negative");
+        Self { center, radius }
+    }
+
+    /// The centroid-centered bounding ball of a contiguous index range
+    /// `[start, end)`: center = mean of the points, radius = distance to the
+    /// farthest member. This is the classic ball-tree node construction.
+    pub fn bounding_range(points: &PointSet, start: usize, end: usize) -> Self {
+        assert!(start < end && end <= points.len(), "invalid range");
+        let d = points.dims();
+        let mut center = vec![0.0; d];
+        for i in start..end {
+            for (c, x) in center.iter_mut().zip(points.point(i)) {
+                *c += x;
+            }
+        }
+        let inv = 1.0 / (end - start) as f64;
+        for c in &mut center {
+            *c *= inv;
+        }
+        let mut r2: f64 = 0.0;
+        for i in start..end {
+            r2 = r2.max(dist2(&center, points.point(i)));
+        }
+        Self {
+            center,
+            radius: r2.sqrt(),
+        }
+    }
+
+    /// Ball center.
+    #[inline]
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// Ball radius.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Whether `p` lies inside the ball (inclusive, with a small epsilon to
+    /// absorb the floating-point error of centroid construction).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        dist2(&self.center, p).sqrt() <= self.radius * (1.0 + 1e-12) + 1e-12
+    }
+}
+
+impl BoundingShape for Ball {
+    #[inline]
+    fn mindist2(&self, q: &[f64]) -> f64 {
+        let dc = dist2(q, &self.center).sqrt();
+        let m = (dc - self.radius).max(0.0);
+        m * m
+    }
+
+    #[inline]
+    fn maxdist2(&self, q: &[f64]) -> f64 {
+        let dc = dist2(q, &self.center).sqrt();
+        let m = dc + self.radius;
+        m * m
+    }
+
+    #[inline]
+    fn ip_min(&self, q: &[f64]) -> f64 {
+        // min over the ball of q·p = q·c − r‖q‖ (attained along −q direction)
+        dot(q, &self.center) - self.radius * norm2(q).sqrt()
+    }
+
+    #[inline]
+    fn ip_max(&self, q: &[f64]) -> f64 {
+        dot(q, &self.center) + self.radius * norm2(q).sqrt()
+    }
+
+    #[inline]
+    fn dims(&self) -> usize {
+        self.center.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounding_range_contains_members() {
+        let ps = PointSet::new(2, vec![0.0, 0.0, 2.0, 0.0, 1.0, 3.0]);
+        let b = Ball::bounding_range(&ps, 0, 3);
+        assert_eq!(b.center(), &[1.0, 1.0]);
+        for p in ps.iter() {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn mindist_inside_is_zero() {
+        let b = Ball::new(vec![0.0, 0.0], 2.0);
+        assert_eq!(b.mindist2(&[1.0, 0.0]), 0.0);
+        assert_eq!(b.mindist2(&[0.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mindist_maxdist_outside() {
+        let b = Ball::new(vec![0.0, 0.0], 1.0);
+        let q = [3.0, 0.0];
+        assert!((b.mindist2(&q) - 4.0).abs() < 1e-12);
+        assert!((b.maxdist2(&q) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ip_bounds_simple() {
+        let b = Ball::new(vec![1.0, 0.0], 1.0);
+        let q = [2.0, 0.0];
+        // q·c = 2, r‖q‖ = 2
+        assert!((b.ip_min(&q) - 0.0).abs() < 1e-12);
+        assert!((b.ip_max(&q) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_ball_has_equal_bounds() {
+        let b = Ball::new(vec![1.0, 2.0], 0.0);
+        let q = [4.0, 6.0];
+        assert_eq!(b.mindist2(&q), b.maxdist2(&q));
+        assert_eq!(b.mindist2(&q), 25.0);
+        assert_eq!(b.ip_min(&q), b.ip_max(&q));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_radius_panics() {
+        Ball::new(vec![0.0], -1.0);
+    }
+
+    proptest! {
+        /// Distance and inner-product bounds bracket the exact values for
+        /// every member point of a ball built over random data.
+        #[test]
+        fn prop_ball_bounds_bracket_truth(
+            rows in prop::collection::vec(
+                prop::collection::vec(-20.0f64..20.0, 3), 2..8),
+            q in prop::collection::vec(-20.0f64..20.0, 3),
+        ) {
+            let ps = PointSet::from_rows(&rows);
+            let b = Ball::bounding_range(&ps, 0, ps.len());
+            for p in ps.iter() {
+                let d2 = dist2(&q, p);
+                prop_assert!(b.mindist2(&q) <= d2 + 1e-9);
+                prop_assert!(b.maxdist2(&q) + 1e-9 >= d2);
+                let ip = dot(&q, p);
+                prop_assert!(b.ip_min(&q) <= ip + 1e-9);
+                prop_assert!(b.ip_max(&q) + 1e-9 >= ip);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Dense vector primitives: squared distance, dot product, squared norm.
+//!
+//! These are the innermost loops of every scan and every bound evaluation,
+//! so they are written as straight slice iteration that LLVM auto-vectorizes.
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let diff = x - y;
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Inner (dot) product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Squared Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in a {
+        acc += x * x;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_simple() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn dist2_zero_for_identical_points() {
+        let p = [1.5, -2.25, 7.0];
+        assert_eq!(dist2(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn dist2_symmetric() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [-4.0, 0.5, 9.0];
+        assert_eq!(dist2(&a, &b), dist2(&b, &a));
+    }
+
+    #[test]
+    fn dot_simple() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_with_zero_vector_is_zero() {
+        assert_eq!(dot(&[0.0; 4], &[1.0, -2.0, 3.0, -4.0]), 0.0);
+    }
+
+    #[test]
+    fn norm2_matches_self_dot() {
+        let v = [1.0, -2.0, 2.0];
+        assert_eq!(norm2(&v), dot(&v, &v));
+        assert_eq!(norm2(&v), 9.0);
+    }
+
+    #[test]
+    fn empty_slices_yield_zero() {
+        assert_eq!(dist2(&[], &[]), 0.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn dist2_expansion_identity() {
+        // dist²(a,b) = ‖a‖² - 2 a·b + ‖b‖² — the expansion used by the O(d)
+        // aggregated bound evaluation (Lemma 2 of the paper).
+        let a = [0.3, -1.7, 2.2, 0.0];
+        let b = [5.5, 0.1, -0.4, 3.3];
+        let lhs = dist2(&a, &b);
+        let rhs = norm2(&a) - 2.0 * dot(&a, &b) + norm2(&b);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Dense row-major point storage.
+//!
+//! `PointSet` is the canonical in-memory representation of a dataset
+//! throughout the library: a single flat `Vec<f64>` of `n * d` coordinates.
+//! Keeping points contiguous keeps tree construction, leaf scans and the
+//! O(d) aggregate evaluations cache-friendly, which matters because the
+//! paper's throughput comparisons are memory-bandwidth bound.
+
+use crate::dist::norm2;
+
+/// A dense set of `n` points in `d` dimensions, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSet {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl PointSet {
+    /// Creates a point set from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or if `data.len()` is not a multiple of `dims`.
+    pub fn new(dims: usize, data: Vec<f64>) -> Self {
+        assert!(dims > 0, "PointSet requires dims > 0");
+        assert!(
+            data.len().is_multiple_of(dims),
+            "data length {} is not a multiple of dims {}",
+            data.len(),
+            dims
+        );
+        Self { dims, data }
+    }
+
+    /// Creates an empty point set with the given dimensionality.
+    pub fn empty(dims: usize) -> Self {
+        Self::new(dims, Vec::new())
+    }
+
+    /// Creates a point set from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or `dims == 0`.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let dims = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * dims);
+        for row in rows {
+            assert_eq!(row.len(), dims, "inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        Self::new(dims, data)
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Whether the set holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of each point.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Borrow the `i`-th point as a coordinate slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        let start = i * self.dims;
+        &self.data[start..start + self.dims]
+    }
+
+    /// Mutable access to the `i`-th point.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn point_mut(&mut self, i: usize) -> &mut [f64] {
+        let start = i * self.dims;
+        &mut self.data[start..start + self.dims]
+    }
+
+    /// The raw flat coordinate buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != dims()`.
+    pub fn push(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dims, "pushed point has wrong dimensionality");
+        self.data.extend_from_slice(p);
+    }
+
+    /// Iterate over all points as coordinate slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dims)
+    }
+
+    /// Squared norms `‖p_i‖²` of all points, used to precompute the node
+    /// aggregates of Lemma 2 and the LIBSVM-style scan.
+    pub fn squared_norms(&self) -> Vec<f64> {
+        self.iter().map(norm2).collect()
+    }
+
+    /// Builds a new set containing the points at `indices`, in order.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.dims);
+        for &i in indices {
+            data.extend_from_slice(self.point(i));
+        }
+        Self::new(self.dims, data)
+    }
+
+    /// Per-dimension mean of the points. Returns zeros for an empty set.
+    pub fn mean(&self) -> Vec<f64> {
+        let mut mean = vec![0.0; self.dims];
+        if self.is_empty() {
+            return mean;
+        }
+        for p in self.iter() {
+            for (m, x) in mean.iter_mut().zip(p) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / self.len() as f64;
+        for m in &mut mean {
+            *m *= inv;
+        }
+        mean
+    }
+
+    /// Per-dimension (population) standard deviation.
+    pub fn std_dev(&self) -> Vec<f64> {
+        let mean = self.mean();
+        let mut var = vec![0.0; self.dims];
+        if self.is_empty() {
+            return var;
+        }
+        for p in self.iter() {
+            for ((v, x), m) in var.iter_mut().zip(p).zip(&mean) {
+                let diff = x - m;
+                *v += diff * diff;
+            }
+        }
+        let inv = 1.0 / self.len() as f64;
+        for v in &mut var {
+            *v = (*v * inv).sqrt();
+        }
+        var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointSet {
+        PointSet::new(2, vec![0.0, 0.0, 1.0, 2.0, -3.0, 4.0])
+    }
+
+    #[test]
+    fn len_and_dims() {
+        let ps = sample();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.dims(), 2);
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn point_accessor() {
+        let ps = sample();
+        assert_eq!(ps.point(0), &[0.0, 0.0]);
+        assert_eq!(ps.point(2), &[-3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn point_out_of_bounds_panics() {
+        sample().point(3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_data_panics() {
+        PointSet::new(2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dims_panics() {
+        PointSet::new(0, vec![]);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let ps = PointSet::from_rows(&rows);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.point(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut ps = PointSet::empty(2);
+        assert!(ps.is_empty());
+        ps.push(&[5.0, 6.0]);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.point(0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn squared_norms_match_points() {
+        let ps = sample();
+        assert_eq!(ps.squared_norms(), vec![0.0, 5.0, 25.0]);
+    }
+
+    #[test]
+    fn select_reorders() {
+        let ps = sample();
+        let sel = ps.select(&[2, 0]);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel.point(0), &[-3.0, 4.0]);
+        assert_eq!(sel.point(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let ps = PointSet::new(1, vec![1.0, 3.0]);
+        assert_eq!(ps.mean(), vec![2.0]);
+        assert_eq!(ps.std_dev(), vec![1.0]);
+    }
+
+    #[test]
+    fn iter_yields_all_points() {
+        let ps = sample();
+        let pts: Vec<&[f64]> = ps.iter().collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Axis-aligned minimum bounding rectangles (Definition 2 of the paper).
+
+use crate::points::PointSet;
+use crate::BoundingShape;
+
+/// An axis-aligned bounding rectangle `[lo_j, hi_j]` per dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Rect {
+    /// Creates a rectangle from explicit per-dimension bounds.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length, are empty, or any `lo > hi`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "lo/hi dimensionality mismatch");
+        assert!(!lo.is_empty(), "Rect requires at least one dimension");
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(l <= h, "Rect interval inverted: lo {l} > hi {h}");
+        }
+        Self { lo, hi }
+    }
+
+    /// The minimum bounding rectangle of the points at `indices`.
+    ///
+    /// # Panics
+    /// Panics if `indices` is empty or out of bounds.
+    pub fn bounding(points: &PointSet, indices: &[usize]) -> Self {
+        assert!(!indices.is_empty(), "bounding rect of an empty set");
+        let d = points.dims();
+        let mut lo = points.point(indices[0]).to_vec();
+        let mut hi = lo.clone();
+        for &i in &indices[1..] {
+            let p = points.point(i);
+            for j in 0..d {
+                if p[j] < lo[j] {
+                    lo[j] = p[j];
+                }
+                if p[j] > hi[j] {
+                    hi[j] = p[j];
+                }
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// The minimum bounding rectangle of a contiguous index range
+    /// `[start, end)` in `points`.
+    pub fn bounding_range(points: &PointSet, start: usize, end: usize) -> Self {
+        assert!(start < end && end <= points.len(), "invalid range");
+        let d = points.dims();
+        let mut lo = points.point(start).to_vec();
+        let mut hi = lo.clone();
+        for i in start + 1..end {
+            let p = points.point(i);
+            for j in 0..d {
+                if p[j] < lo[j] {
+                    lo[j] = p[j];
+                }
+                if p[j] > hi[j] {
+                    hi[j] = p[j];
+                }
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Whether `p` lies inside the rectangle (inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(x, (l, h))| l <= x && x <= h)
+    }
+
+    /// Side length of dimension `j`.
+    #[inline]
+    pub fn extent(&self, j: usize) -> f64 {
+        self.hi[j] - self.lo[j]
+    }
+
+    /// The dimension with the largest extent — the split axis used by the
+    /// kd-tree builder.
+    pub fn widest_dim(&self) -> usize {
+        let mut best = 0;
+        let mut best_ext = self.extent(0);
+        for j in 1..self.lo.len() {
+            let ext = self.extent(j);
+            if ext > best_ext {
+                best = j;
+                best_ext = ext;
+            }
+        }
+        best
+    }
+}
+
+impl BoundingShape for Rect {
+    #[inline]
+    fn mindist2(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.lo.len());
+        let mut acc = 0.0;
+        for ((x, l), h) in q.iter().zip(&self.lo).zip(&self.hi) {
+            let diff = if x < l {
+                l - x
+            } else if x > h {
+                x - h
+            } else {
+                0.0
+            };
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    #[inline]
+    fn maxdist2(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.lo.len());
+        let mut acc = 0.0;
+        for ((x, l), h) in q.iter().zip(&self.lo).zip(&self.hi) {
+            let diff = (x - l).abs().max((h - x).abs());
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    #[inline]
+    fn ip_min(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.lo.len());
+        let mut acc = 0.0;
+        for ((x, l), h) in q.iter().zip(&self.lo).zip(&self.hi) {
+            acc += (x * l).min(x * h);
+        }
+        acc
+    }
+
+    #[inline]
+    fn ip_max(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.lo.len());
+        let mut acc = 0.0;
+        for ((x, l), h) in q.iter().zip(&self.lo).zip(&self.hi) {
+            acc += (x * l).max(x * h);
+        }
+        acc
+    }
+
+    #[inline]
+    fn dims(&self) -> usize {
+        self.lo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{dist2, dot};
+    use proptest::prelude::*;
+
+    fn unit_square() -> Rect {
+        Rect::new(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn bounding_covers_all_points() {
+        let ps = PointSet::new(2, vec![0.0, 5.0, -1.0, 2.0, 3.0, 3.0]);
+        let r = Rect::bounding(&ps, &[0, 1, 2]);
+        assert_eq!(r.lo(), &[-1.0, 2.0]);
+        assert_eq!(r.hi(), &[3.0, 5.0]);
+        for p in ps.iter() {
+            assert!(r.contains(p));
+        }
+    }
+
+    #[test]
+    fn bounding_range_matches_bounding() {
+        let ps = PointSet::new(2, vec![0.0, 5.0, -1.0, 2.0, 3.0, 3.0]);
+        let a = Rect::bounding(&ps, &[0, 1, 2]);
+        let b = Rect::bounding_range(&ps, 0, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mindist_zero_inside() {
+        let r = unit_square();
+        assert_eq!(r.mindist2(&[0.5, 0.5]), 0.0);
+        assert_eq!(r.mindist2(&[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn mindist_outside() {
+        let r = unit_square();
+        assert_eq!(r.mindist2(&[2.0, 0.5]), 1.0);
+        assert_eq!(r.mindist2(&[2.0, 2.0]), 2.0);
+        assert_eq!(r.mindist2(&[-3.0, 0.5]), 9.0);
+    }
+
+    #[test]
+    fn maxdist_from_origin() {
+        let r = unit_square();
+        assert_eq!(r.maxdist2(&[0.0, 0.0]), 2.0);
+        assert_eq!(r.maxdist2(&[0.5, 0.5]), 0.5);
+    }
+
+    #[test]
+    fn ip_bounds_sign_handling() {
+        let r = unit_square();
+        // positive query: min at lo, max at hi
+        assert_eq!(r.ip_min(&[1.0, 2.0]), 0.0);
+        assert_eq!(r.ip_max(&[1.0, 2.0]), 3.0);
+        // negative query coordinate flips which corner is extremal
+        assert_eq!(r.ip_min(&[-1.0, 2.0]), -1.0);
+        assert_eq!(r.ip_max(&[-1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn widest_dim_picks_largest_extent() {
+        let r = Rect::new(vec![0.0, 0.0, 0.0], vec![1.0, 5.0, 2.0]);
+        assert_eq!(r.widest_dim(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_interval_panics() {
+        Rect::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn degenerate_rect_is_a_point() {
+        let r = Rect::new(vec![2.0, 3.0], vec![2.0, 3.0]);
+        let q = [0.0, 0.0];
+        assert_eq!(r.mindist2(&q), r.maxdist2(&q));
+        assert_eq!(r.mindist2(&q), 13.0);
+        assert_eq!(r.ip_min(&q), r.ip_max(&q));
+    }
+
+    proptest! {
+        /// For random rectangles, queries and points inside the rectangle,
+        /// the distance and inner-product bounds must bracket the exact
+        /// values (the correctness contract of `BoundingShape`).
+        #[test]
+        fn prop_rect_bounds_bracket_truth(
+            corners in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..5),
+            q in prop::collection::vec(-50.0f64..50.0, 2),
+            frac in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..6),
+        ) {
+            let rows: Vec<Vec<f64>> = corners.iter().map(|&(a, b)| vec![a, b]).collect();
+            let ps = PointSet::from_rows(&rows);
+            let idx: Vec<usize> = (0..ps.len()).collect();
+            let r = Rect::bounding(&ps, &idx);
+            for (fx, fy) in frac {
+                let p = [
+                    r.lo()[0] + fx * r.extent(0),
+                    r.lo()[1] + fy * r.extent(1),
+                ];
+                prop_assert!(r.contains(&p));
+                let d2 = dist2(&q, &p);
+                prop_assert!(r.mindist2(&q) <= d2 + 1e-9);
+                prop_assert!(r.maxdist2(&q) + 1e-9 >= d2);
+                let ip = dot(&q, &p);
+                prop_assert!(r.ip_min(&q) <= ip + 1e-9);
+                prop_assert!(r.ip_max(&q) + 1e-9 >= ip);
+            }
+        }
+    }
+}

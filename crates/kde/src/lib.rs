@@ -1,0 +1,216 @@
+//! # karl-kde — kernel density estimation substrate
+//!
+//! The paper's Type I workload: every point carries the identical positive
+//! weight `1/n` and the Gaussian smoothing parameter `γ` comes from Scott's
+//! rule (Section V-A, following Gan & Bailis). A [`Kde`] bundles the point
+//! set with those parameters and hands them to a `karl_core` evaluator.
+//!
+//! ```
+//! use karl_core::BoundMethod;
+//! use karl_geom::PointSet;
+//! use karl_kde::Kde;
+//!
+//! let pts = PointSet::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.2, 0.1], vec![0.1, -0.1], vec![4.0, 4.0],
+//! ]);
+//! let kde = Kde::fit(pts);
+//! let eval = kde.evaluator(BoundMethod::Karl, 2);
+//! // Density near the cluster is higher than at the straggler.
+//! let dense = eval.ekaq(&[0.1, 0.0], 0.05);
+//! let sparse = eval.ekaq(&[4.0, 4.0], 0.05);
+//! assert!(dense > sparse * 0.5);
+//! ```
+
+pub mod regression;
+
+pub use regression::{KernelRegression, RegressionEstimate};
+
+use karl_core::{aggregate_exact, BoundMethod, Evaluator, KdEvaluator, Kernel};
+use karl_geom::PointSet;
+
+/// Scott's-rule bandwidth `h = n^{−1/(d+4)} · σ̄`, with `σ̄` the average
+/// per-dimension standard deviation of the data.
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn scotts_bandwidth(points: &PointSet) -> f64 {
+    assert!(!points.is_empty(), "bandwidth of an empty set");
+    let n = points.len() as f64;
+    let d = points.dims() as f64;
+    let sigma: f64 = points.std_dev().iter().sum::<f64>() / d;
+    // Degenerate (all-identical) data: fall back to a unit bandwidth so the
+    // kernel stays well-defined.
+    let sigma = if sigma > 0.0 { sigma } else { 1.0 };
+    n.powf(-1.0 / (d + 4.0)) * sigma
+}
+
+/// The Gaussian smoothing parameter `γ = 1/(2h²)` induced by Scott's rule.
+pub fn scotts_gamma(points: &PointSet) -> f64 {
+    let h = scotts_bandwidth(points);
+    1.0 / (2.0 * h * h)
+}
+
+/// A kernel density estimator over a point set: the Type I kernel
+/// aggregation workload `F_P(q) = (1/n)·Σ exp(−γ·dist²)`.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    points: PointSet,
+    gamma: f64,
+    weight: f64,
+}
+
+impl Kde {
+    /// Fits a KDE with Scott's-rule `γ` and uniform weights `1/n`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn fit(points: PointSet) -> Self {
+        let gamma = scotts_gamma(&points);
+        let weight = 1.0 / points.len() as f64;
+        Self {
+            points,
+            gamma,
+            weight,
+        }
+    }
+
+    /// Fits a KDE with an explicit `γ`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `gamma ≤ 0`.
+    pub fn with_gamma(points: PointSet, gamma: f64) -> Self {
+        assert!(!points.is_empty(), "empty point set");
+        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
+        let weight = 1.0 / points.len() as f64;
+        Self {
+            points,
+            gamma,
+            weight,
+        }
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// The smoothing parameter `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The common weight `w = 1/n` (Type I weighting).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The Gaussian kernel of this estimator.
+    pub fn kernel(&self) -> Kernel {
+        Kernel::gaussian(self.gamma)
+    }
+
+    /// Exact density at `q` (sequential scan; ground truth).
+    pub fn density_exact(&self, q: &[f64]) -> f64 {
+        let w = vec![self.weight; self.points.len()];
+        aggregate_exact(&self.kernel(), &self.points, &w, q)
+    }
+
+    /// Builds a kd-tree KARL/SOTA evaluator for this estimator.
+    pub fn evaluator(&self, method: BoundMethod, leaf_capacity: usize) -> KdEvaluator {
+        let w = vec![self.weight; self.points.len()];
+        Evaluator::build(&self.points, &w, self.kernel(), method, leaf_capacity)
+    }
+
+    /// The mean density `μ` over a set of query points — the paper's
+    /// default TKAQ threshold `τ = μ` (Section V-B), computed with an
+    /// `ε`-bounded evaluator for speed.
+    pub fn mean_density(&self, queries: &PointSet, eps: f64) -> f64 {
+        assert!(!queries.is_empty(), "empty query set");
+        let eval = self.evaluator(BoundMethod::Karl, 64);
+        let sum: f64 = queries.iter().map(|q| eval.ekaq(q, eps)).sum();
+        sum / queries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            d,
+            (0..n * d)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn scotts_rule_shrinks_with_n() {
+        let small = blob(50, 3, 1);
+        let large = blob(5000, 3, 1);
+        assert!(scotts_bandwidth(&large) < scotts_bandwidth(&small));
+    }
+
+    #[test]
+    fn scotts_rule_degenerate_data() {
+        let ps = PointSet::from_rows(&vec![vec![2.0, 2.0]; 10]);
+        let h = scotts_bandwidth(&ps);
+        assert!(h > 0.0 && h.is_finite());
+    }
+
+    #[test]
+    fn density_integrates_to_about_weight_scale() {
+        // With w = 1/n, density at a data point is within (0, 1].
+        let ps = blob(200, 2, 2);
+        let kde = Kde::fit(ps.clone());
+        let d = kde.density_exact(ps.point(0));
+        assert!(d > 0.0 && d <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn density_higher_in_cluster_than_outside() {
+        let ps = blob(300, 2, 3);
+        let kde = Kde::fit(ps);
+        assert!(kde.density_exact(&[0.0, 0.0]) > kde.density_exact(&[10.0, 10.0]));
+    }
+
+    #[test]
+    fn evaluator_matches_exact_density() {
+        let ps = blob(400, 3, 4);
+        let kde = Kde::fit(ps.clone());
+        let eval = kde.evaluator(BoundMethod::Karl, 16);
+        for i in [0, 57, 311] {
+            let q = ps.point(i);
+            let exact = kde.density_exact(q);
+            let est = eval.ekaq(q, 0.1);
+            assert!(est >= 0.9 * exact - 1e-12 && est <= 1.1 * exact + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_density_is_between_extremes() {
+        let ps = blob(200, 2, 5);
+        let kde = Kde::fit(ps.clone());
+        let queries = ps.select(&(0..50).collect::<Vec<_>>());
+        let mu = kde.mean_density(&queries, 0.05);
+        let dmin = queries
+            .iter()
+            .map(|q| kde.density_exact(q))
+            .fold(f64::INFINITY, f64::min);
+        let dmax = queries
+            .iter()
+            .map(|q| kde.density_exact(q))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(mu >= dmin * 0.9 && mu <= dmax * 1.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_gamma_rejects_non_positive() {
+        Kde::with_gamma(blob(10, 2, 6), 0.0);
+    }
+}

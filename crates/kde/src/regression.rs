@@ -1,0 +1,222 @@
+//! Kernel (Nadaraya–Watson) regression served through KARL bounds — one of
+//! the paper's "promising future research directions" (Section VII).
+//!
+//! The regression estimate at a query point is a *ratio* of two kernel
+//! aggregates,
+//!
+//! ```text
+//!           Σᵢ yᵢ·K(q, pᵢ)      numerator: Type III weighting (yᵢ signed)
+//! m̂(q) =  ───────────────
+//!           Σᵢ  K(q, pᵢ)        denominator: Type I weighting (positive)
+//! ```
+//!
+//! so both aggregates can be bounded by the same branch-and-bound machinery
+//! and the ratio enclosed by interval division. [`KernelRegression::predict`]
+//! refines both aggregates until the ratio interval is within the caller's
+//! tolerance, falling back to the exact value when the trees bottom out.
+
+use karl_core::{BoundMethod, Evaluator, KdEvaluator, Kernel, Query};
+use karl_geom::PointSet;
+
+use crate::scotts_gamma;
+
+/// A bounded Nadaraya–Watson estimate: midpoint plus enclosure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionEstimate {
+    /// Midpoint of the enclosing interval.
+    pub value: f64,
+    /// Lower end of the enclosure.
+    pub lo: f64,
+    /// Upper end of the enclosure.
+    pub hi: f64,
+}
+
+/// A fitted kernel regressor.
+#[derive(Debug, Clone)]
+pub struct KernelRegression {
+    numerator: KdEvaluator,
+    denominator: KdEvaluator,
+    gamma: f64,
+}
+
+impl KernelRegression {
+    /// Fits a regressor on `(points, targets)` with Scott's-rule `γ`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, lengths mismatch, or every target is
+    /// zero.
+    pub fn fit(points: PointSet, targets: &[f64]) -> Self {
+        let gamma = scotts_gamma(&points);
+        Self::fit_with_gamma(points, targets, gamma)
+    }
+
+    /// Fits with an explicit `γ`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, lengths mismatch, `gamma ≤ 0`, or every
+    /// target is zero.
+    pub fn fit_with_gamma(points: PointSet, targets: &[f64], gamma: f64) -> Self {
+        assert_eq!(targets.len(), points.len(), "targets/points mismatch");
+        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
+        let kernel = Kernel::gaussian(gamma);
+        let ones = vec![1.0; points.len()];
+        let numerator = Evaluator::build(&points, targets, kernel, BoundMethod::Karl, 32);
+        let denominator = Evaluator::build(&points, &ones, kernel, BoundMethod::Karl, 32);
+        Self {
+            numerator,
+            denominator,
+            gamma,
+        }
+    }
+
+    /// The smoothing parameter `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Exact Nadaraya–Watson estimate (full scans; ground truth).
+    pub fn predict_exact(&self, q: &[f64]) -> f64 {
+        let den = self.denominator.exact(q);
+        if den <= 0.0 {
+            return 0.0; // no kernel mass anywhere near q
+        }
+        self.numerator.exact(q) / den
+    }
+
+    /// Bounded estimate: refines the two aggregates until the enclosing
+    /// ratio interval has half-width ≤ `tol` (or the refinement bottoms
+    /// out, in which case the enclosure is exact).
+    ///
+    /// # Panics
+    /// Panics unless `tol > 0`.
+    pub fn predict(&self, q: &[f64], tol: f64) -> RegressionEstimate {
+        assert!(tol > 0.0, "tol must be positive");
+        // First pass: pin the denominator scale with a coarse relative run.
+        let den0 = self.denominator.run_query(q, Query::Ekaq { eps: 0.5 }, None);
+        let den_scale = den0.lb.max(1e-300);
+
+        // Refine both aggregates with shrinking absolute budgets until the
+        // interval quotient is tight enough.
+        let mut budget = tol * den_scale;
+        for _ in 0..8 {
+            let den = self
+                .denominator
+                .run_query(q, Query::Within { tol: budget }, None);
+            let num = self
+                .numerator
+                .run_query(q, Query::Within { tol: budget }, None);
+            if den.lb <= 0.0 {
+                // Numerically no mass: refine once more or give up to exact.
+                budget *= 0.25;
+                continue;
+            }
+            let corners = [
+                num.lb / den.lb,
+                num.lb / den.ub,
+                num.ub / den.lb,
+                num.ub / den.ub,
+            ];
+            let lo = corners.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = corners.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if hi - lo <= 2.0 * tol {
+                return RegressionEstimate {
+                    value: 0.5 * (lo + hi),
+                    lo,
+                    hi,
+                };
+            }
+            budget *= 0.25;
+        }
+        let exact = self.predict_exact(q);
+        RegressionEstimate {
+            value: exact,
+            lo: exact,
+            hi: exact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// y = sin(2πx) + noise on [0, 1].
+    fn sine_data(n: usize, seed: u64) -> (PointSet, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.random_range(0.0..1.0);
+            xs.push(x);
+            ys.push((std::f64::consts::TAU * x).sin() + rng.random_range(-0.05..0.05));
+        }
+        (PointSet::new(1, xs), ys)
+    }
+
+    #[test]
+    fn recovers_the_sine_shape() {
+        let (x, y) = sine_data(2_000, 1);
+        let reg = KernelRegression::fit_with_gamma(x, &y, 800.0);
+        for (q, expect) in [(0.25, 1.0), (0.75, -1.0), (0.5, 0.0)] {
+            let got = reg.predict_exact(&[q]);
+            assert!(
+                (got - expect).abs() < 0.15,
+                "m({q}) = {got}, expected ≈ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_prediction_encloses_exact() {
+        let (x, y) = sine_data(1_500, 2);
+        let reg = KernelRegression::fit(x.clone(), &y);
+        for i in (0..1_500).step_by(173) {
+            let q = x.point(i);
+            let exact = reg.predict_exact(q);
+            for tol in [0.5, 0.05, 0.005] {
+                let est = reg.predict(q, tol);
+                assert!(
+                    est.lo <= exact + 1e-9 && exact <= est.hi + 1e-9,
+                    "enclosure [{}, {}] misses exact {}",
+                    est.lo,
+                    est.hi,
+                    exact
+                );
+                assert!(
+                    est.hi - est.lo <= 2.0 * tol + 1e-9,
+                    "interval too wide for tol {tol}"
+                );
+                assert!((est.value - exact).abs() <= tol + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_targets_are_fine() {
+        let x = PointSet::new(1, vec![0.0, 0.1, 0.2, 0.9, 1.0]);
+        let y = vec![-2.0, -2.1, -1.9, 3.0, 3.1];
+        let reg = KernelRegression::fit_with_gamma(x, &y, 100.0);
+        assert!(reg.predict_exact(&[0.1]) < 0.0);
+        assert!(reg.predict_exact(&[0.95]) > 0.0);
+        let est = reg.predict(&[0.1], 0.01);
+        assert!(est.value < 0.0);
+    }
+
+    #[test]
+    fn far_query_with_no_mass_is_zero() {
+        let x = PointSet::new(1, vec![0.0, 0.1]);
+        let y = vec![5.0, 5.0];
+        let reg = KernelRegression::fit_with_gamma(x, &y, 50.0);
+        // exp(−50·(100)²) underflows to 0 → defined fallback
+        assert_eq!(reg.predict_exact(&[100.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tol_panics() {
+        let (x, y) = sine_data(50, 3);
+        KernelRegression::fit(x, &y).predict(&[0.5], 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! 2-class C-SVC training (the Type III weighting source of the paper).
+
+use karl_core::Kernel;
+use karl_geom::PointSet;
+
+use crate::model::SvmModel;
+use crate::qmatrix::KernelQ;
+use crate::smo::{solve, SmoConfig, SmoProblem};
+
+/// A 2-class soft-margin SVM trainer (LIBSVM's `-s 0`).
+///
+/// Solves `min ½αᵀQα − eᵀα` s.t. `yᵀα = 0`, `0 ≤ αᵢ ≤ C`, with
+/// `Q_ij = yᵢyⱼK(xᵢ, xⱼ)`, and keeps the support vectors (`αᵢ > 0`) as a
+/// kernel-aggregation model with signed weights `wᵢ = yᵢαᵢ` and threshold
+/// `ρ`.
+#[derive(Debug, Clone)]
+pub struct CSvc {
+    /// The box constraint `C` (regularization).
+    pub c: f64,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Solver tolerances.
+    pub config: SmoConfig,
+    /// Kernel-row cache budget in bytes.
+    pub cache_bytes: usize,
+}
+
+impl CSvc {
+    /// A trainer with LIBSVM-like defaults (`C = 1`, 64 MiB cache).
+    pub fn new(c: f64, kernel: Kernel) -> Self {
+        assert!(c.is_finite() && c > 0.0, "C must be positive");
+        Self {
+            c,
+            kernel,
+            config: SmoConfig::default(),
+            cache_bytes: 64 << 20,
+        }
+    }
+
+    /// Trains on `points` with labels `±1`.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, a label is not `±1`, or only one class
+    /// is present.
+    pub fn train(&self, points: &PointSet, labels: &[f64]) -> SvmModel {
+        assert_eq!(labels.len(), points.len(), "labels/points mismatch");
+        assert!(
+            labels.iter().all(|&y| y == 1.0 || y == -1.0),
+            "labels must be ±1"
+        );
+        let n_pos = labels.iter().filter(|&&y| y > 0.0).count();
+        assert!(
+            n_pos > 0 && n_pos < labels.len(),
+            "training requires both classes"
+        );
+        let n = points.len();
+        let mut q = KernelQ::new(points.clone(), self.kernel, labels.to_vec(), self.cache_bytes);
+        let problem = SmoProblem {
+            p: vec![-1.0; n],
+            y: labels.to_vec(),
+            c: vec![self.c; n],
+            init_alpha: vec![0.0; n],
+        };
+        let sol = solve(&mut q, &problem, &self.config);
+
+        let sv_idx: Vec<usize> = (0..n).filter(|&i| sol.alpha[i] > 1e-12).collect();
+        assert!(!sv_idx.is_empty(), "degenerate model: no support vectors");
+        let support = points.select(&sv_idx);
+        let weights: Vec<f64> = sv_idx.iter().map(|&i| labels[i] * sol.alpha[i]).collect();
+        SvmModel::new(support, weights, sol.rho, self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two Gaussian blobs, labels by blob.
+    fn blobs(n: usize, sep: f64, seed: u64) -> (PointSet, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let (c, y) = if i % 2 == 0 { (sep, 1.0) } else { (-sep, -1.0) };
+            data.push(c + rng.random_range(-0.5..0.5));
+            data.push(c + rng.random_range(-0.5..0.5));
+            labels.push(y);
+        }
+        (PointSet::new(2, data), labels)
+    }
+
+    #[test]
+    fn separable_blobs_train_to_high_accuracy() {
+        let (ps, labels) = blobs(200, 2.0, 1);
+        let model = CSvc::new(10.0, Kernel::gaussian(0.5)).train(&ps, &labels);
+        assert!(model.accuracy(&ps, &labels) >= 0.99);
+        // Well-separated data needs few support vectors.
+        assert!(model.num_support() < ps.len() / 2);
+    }
+
+    #[test]
+    fn overlapping_blobs_still_learn() {
+        let (ps, labels) = blobs(300, 0.6, 2);
+        let model = CSvc::new(1.0, Kernel::gaussian(1.0)).train(&ps, &labels);
+        assert!(model.accuracy(&ps, &labels) >= 0.8);
+    }
+
+    #[test]
+    fn weights_are_label_signed_and_balanced() {
+        let (ps, labels) = blobs(100, 1.5, 3);
+        let model = CSvc::new(5.0, Kernel::gaussian(0.8)).train(&ps, &labels);
+        // Σ wᵢ = Σ yᵢαᵢ = 0 (the dual equality constraint).
+        let sum: f64 = model.weights().iter().sum();
+        assert!(sum.abs() < 1e-6, "weight sum {sum}");
+        // Both signs present (Type III weighting).
+        assert!(model.weights().iter().any(|&w| w > 0.0));
+        assert!(model.weights().iter().any(|&w| w < 0.0));
+    }
+
+    #[test]
+    fn polynomial_kernel_training_works() {
+        let (ps, labels) = blobs(150, 1.2, 4);
+        // Polynomial training expects data in [−1, 1]; blobs(±1.2·…) are
+        // close enough for a smoke test.
+        let model = CSvc::new(2.0, Kernel::polynomial(0.5, 1.0, 3)).train(&ps, &labels);
+        assert!(model.accuracy(&ps, &labels) >= 0.9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_class_only_panics() {
+        let ps = PointSet::new(1, vec![0.0, 1.0]);
+        CSvc::new(1.0, Kernel::gaussian(1.0)).train(&ps, &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # karl-svm — SVM training substrate
+//!
+//! The paper's Type II and Type III workloads come out of SVM training
+//! (LIBSVM in the original evaluation). This crate is a from-scratch SMO
+//! implementation of the two trainers the paper uses:
+//!
+//! * [`CSvc`] — 2-class soft-margin classification → signed weights
+//!   `wᵢ = yᵢαᵢ` (Type III weighting) and threshold `ρ`.
+//! * [`OneClassSvm`] — Schölkopf's ν-SVM for novelty detection → positive
+//!   weights `wᵢ = αᵢ` (Type II weighting) and threshold `ρ`.
+//!
+//! Both produce an [`SvmModel`] whose `(support, weights, threshold,
+//! kernel)` quadruple plugs directly into a `karl_core` evaluator: the
+//! online classification of a query point is exactly the threshold kernel
+//! aggregation query `F_P(q) ≥ ρ`.
+//!
+//! ```
+//! use karl_core::{BoundMethod, Evaluator, Kernel};
+//! use karl_geom::{PointSet, Rect};
+//! use karl_svm::CSvc;
+//!
+//! // Two separable blobs.
+//! let mut rows = Vec::new();
+//! let mut labels = Vec::new();
+//! for i in 0..40 {
+//!     let c = if i % 2 == 0 { 1.0 } else { -1.0 };
+//!     rows.push(vec![c + 0.1 * (i as f64).sin(), c + 0.1 * (i as f64).cos()]);
+//!     labels.push(c);
+//! }
+//! let points = PointSet::from_rows(&rows);
+//! let model = CSvc::new(10.0, Kernel::gaussian(0.5)).train(&points, &labels);
+//!
+//! // Serve classifications through KARL's fast TKAQ path.
+//! let eval = Evaluator::<Rect>::build(
+//!     model.support(), model.weights(), *model.kernel(),
+//!     BoundMethod::Karl, 8);
+//! let q = [1.0, 1.0];
+//! assert_eq!(eval.tkaq(&q, model.threshold()), model.predict(&q));
+//! ```
+
+pub mod csvc;
+pub mod libsvm_format;
+pub mod model;
+pub mod multiclass;
+pub mod one_class;
+pub mod qmatrix;
+pub mod smo;
+
+pub use csvc::CSvc;
+pub use libsvm_format::{
+    from_libsvm_string, load_model, save_model, to_libsvm_string, ModelFormatError, SvmType,
+};
+pub use model::SvmModel;
+pub use multiclass::{FastMultiClass, MultiClassSvm};
+pub use one_class::OneClassSvm;
+pub use qmatrix::{DenseQ, KernelQ, QMatrix};
+pub use smo::{solve, SmoConfig, SmoProblem, SmoSolution};

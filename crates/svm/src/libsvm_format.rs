@@ -1,0 +1,393 @@
+//! LIBSVM model-file interchange.
+//!
+//! Writes and reads trained models in LIBSVM's `svm-train` model format so
+//! models move freely between this library and the LIBSVM ecosystem:
+//!
+//! ```text
+//! svm_type c_svc            (or one_class)
+//! kernel_type rbf           (rbf | polynomial | sigmoid)
+//! gamma 0.25                (+ degree/coef0 where applicable)
+//! nr_class 2
+//! total_sv 3
+//! rho 0.5
+//! SV
+//! 0.75 1:0.1 2:-0.3
+//! …
+//! ```
+//!
+//! Each SV line is `weight idx:val …` with 1-based sparse indices — the
+//! weight is `yᵢαᵢ` for C-SVC and `αᵢ` for one-class, i.e. exactly the
+//! aggregation weights of the TKAQ this model becomes.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use karl_core::Kernel;
+use karl_geom::PointSet;
+
+use crate::model::SvmModel;
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum ModelFormatError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// A header line was malformed or a value failed to parse.
+    BadHeader(String),
+    /// Unsupported `svm_type`/`kernel_type` combination.
+    Unsupported(String),
+    /// An SV line was malformed.
+    BadSv {
+        /// 1-based SV line number (after the `SV` marker).
+        line: usize,
+        /// Explanation.
+        what: String,
+    },
+    /// The file declared no support vectors.
+    Empty,
+}
+
+impl fmt::Display for ModelFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelFormatError::Io(e) => write!(f, "I/O error: {e}"),
+            ModelFormatError::BadHeader(s) => write!(f, "bad header line: {s}"),
+            ModelFormatError::Unsupported(s) => write!(f, "unsupported model: {s}"),
+            ModelFormatError::BadSv { line, what } => write!(f, "SV line {line}: {what}"),
+            ModelFormatError::Empty => write!(f, "model has no support vectors"),
+        }
+    }
+}
+
+impl std::error::Error for ModelFormatError {}
+
+impl From<std::io::Error> for ModelFormatError {
+    fn from(e: std::io::Error) -> Self {
+        ModelFormatError::Io(e)
+    }
+}
+
+/// Which LIBSVM `svm_type` a model carries (affects only the header; the
+/// aggregation form is identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvmType {
+    /// 2-class C-SVC (`c_svc`).
+    CSvc,
+    /// 1-class ν-SVM (`one_class`).
+    OneClass,
+}
+
+/// Serializes a model to LIBSVM's text format.
+pub fn to_libsvm_string(model: &SvmModel, svm_type: SvmType) -> String {
+    let mut out = String::new();
+    out.push_str(match svm_type {
+        SvmType::CSvc => "svm_type c_svc\n",
+        SvmType::OneClass => "svm_type one_class\n",
+    });
+    match model.kernel() {
+        Kernel::Gaussian { gamma } => {
+            out.push_str("kernel_type rbf\n");
+            out.push_str(&format!("gamma {gamma}\n"));
+        }
+        Kernel::Polynomial {
+            gamma,
+            coef0,
+            degree,
+        } => {
+            out.push_str("kernel_type polynomial\n");
+            out.push_str(&format!("degree {degree}\n"));
+            out.push_str(&format!("gamma {gamma}\n"));
+            out.push_str(&format!("coef0 {coef0}\n"));
+        }
+        Kernel::Sigmoid { gamma, coef0 } => {
+            out.push_str("kernel_type sigmoid\n");
+            out.push_str(&format!("gamma {gamma}\n"));
+            out.push_str(&format!("coef0 {coef0}\n"));
+        }
+        Kernel::Laplacian { gamma } => {
+            // Not a LIBSVM kernel; use a vendor extension tag read back by
+            // this library only.
+            out.push_str("kernel_type x_laplacian\n");
+            out.push_str(&format!("gamma {gamma}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "nr_class {}\n",
+        if svm_type == SvmType::CSvc { 2 } else { 1 }
+    ));
+    out.push_str(&format!("total_sv {}\n", model.num_support()));
+    out.push_str(&format!("rho {}\n", model.threshold()));
+    out.push_str("SV\n");
+    for (i, p) in model.support().iter().enumerate() {
+        out.push_str(&format!("{}", model.weights()[i]));
+        for (j, &x) in p.iter().enumerate() {
+            if x != 0.0 {
+                out.push_str(&format!(" {}:{}", j + 1, x));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a model file in LIBSVM's text format.
+pub fn save_model(
+    path: impl AsRef<Path>,
+    model: &SvmModel,
+    svm_type: SvmType,
+) -> Result<(), ModelFormatError> {
+    fs::write(path, to_libsvm_string(model, svm_type))?;
+    Ok(())
+}
+
+/// Parses a model from LIBSVM's text format. `dims` may be provided to fix
+/// the dimensionality (otherwise the maximum sparse index is used).
+pub fn from_libsvm_string(
+    text: &str,
+    dims: Option<usize>,
+) -> Result<(SvmModel, SvmType), ModelFormatError> {
+    let mut svm_type = None;
+    let mut kernel_type = None;
+    let mut gamma = None;
+    let mut coef0 = 0.0f64;
+    let mut degree = 3u32;
+    let mut rho = None;
+    let mut lines = text.lines().enumerate();
+    for (_, raw) in lines.by_ref() {
+        let line = raw.trim();
+        if line == "SV" {
+            break;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once(' ') else {
+            return Err(ModelFormatError::BadHeader(line.to_string()));
+        };
+        match key {
+            "svm_type" => {
+                svm_type = Some(match value {
+                    "c_svc" => SvmType::CSvc,
+                    "one_class" => SvmType::OneClass,
+                    other => return Err(ModelFormatError::Unsupported(other.to_string())),
+                })
+            }
+            "kernel_type" => kernel_type = Some(value.to_string()),
+            "gamma" => {
+                gamma = Some(value.parse().map_err(|_| {
+                    ModelFormatError::BadHeader(line.to_string())
+                })?)
+            }
+            "coef0" => {
+                coef0 = value
+                    .parse()
+                    .map_err(|_| ModelFormatError::BadHeader(line.to_string()))?
+            }
+            "degree" => {
+                degree = value
+                    .parse()
+                    .map_err(|_| ModelFormatError::BadHeader(line.to_string()))?
+            }
+            "rho" => {
+                rho = Some(value.parse().map_err(|_| {
+                    ModelFormatError::BadHeader(line.to_string())
+                })?)
+            }
+            // nr_class, total_sv, label, nr_sv: informational, ignored.
+            _ => {}
+        }
+    }
+    let svm_type = svm_type.ok_or_else(|| ModelFormatError::BadHeader("missing svm_type".into()))?;
+    let gamma = gamma.ok_or_else(|| ModelFormatError::BadHeader("missing gamma".into()))?;
+    let rho = rho.ok_or_else(|| ModelFormatError::BadHeader("missing rho".into()))?;
+    let kernel = match kernel_type.as_deref() {
+        Some("rbf") => Kernel::gaussian(gamma),
+        Some("polynomial") => Kernel::polynomial(gamma, coef0, degree),
+        Some("sigmoid") => Kernel::sigmoid(gamma, coef0),
+        Some("x_laplacian") => Kernel::laplacian(gamma),
+        other => {
+            return Err(ModelFormatError::Unsupported(format!(
+                "kernel_type {other:?}"
+            )))
+        }
+    };
+
+    // SV block.
+    let mut weights = Vec::new();
+    let mut sparse: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut max_idx = 0usize;
+    let mut sv_line = 0usize;
+    for (_, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        sv_line += 1;
+        let mut parts = line.split_whitespace();
+        let w: f64 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or(ModelFormatError::BadSv {
+                line: sv_line,
+                what: "missing weight".into(),
+            })?;
+        let mut feats = Vec::new();
+        for pair in parts {
+            let Some((idx, val)) = pair.split_once(':') else {
+                return Err(ModelFormatError::BadSv {
+                    line: sv_line,
+                    what: format!("bad pair {pair:?}"),
+                });
+            };
+            let idx: usize = idx.parse().map_err(|_| ModelFormatError::BadSv {
+                line: sv_line,
+                what: format!("bad index in {pair:?}"),
+            })?;
+            if idx == 0 {
+                return Err(ModelFormatError::BadSv {
+                    line: sv_line,
+                    what: "indices are 1-based".into(),
+                });
+            }
+            let val: f64 = val.parse().map_err(|_| ModelFormatError::BadSv {
+                line: sv_line,
+                what: format!("bad value in {pair:?}"),
+            })?;
+            max_idx = max_idx.max(idx);
+            feats.push((idx - 1, val));
+        }
+        weights.push(w);
+        sparse.push(feats);
+    }
+    if weights.is_empty() {
+        return Err(ModelFormatError::Empty);
+    }
+    let dims = dims.unwrap_or(max_idx).max(1);
+    let mut data = vec![0.0; weights.len() * dims];
+    for (i, feats) in sparse.iter().enumerate() {
+        for &(j, v) in feats {
+            if j >= dims {
+                return Err(ModelFormatError::BadSv {
+                    line: i + 1,
+                    what: format!("index {} exceeds dims {dims}", j + 1),
+                });
+            }
+            data[i * dims + j] = v;
+        }
+    }
+    let support = PointSet::new(dims, data);
+    Ok((SvmModel::new(support, weights, rho, kernel), svm_type))
+}
+
+/// Reads a model file in LIBSVM's text format.
+pub fn load_model(
+    path: impl AsRef<Path>,
+    dims: Option<usize>,
+) -> Result<(SvmModel, SvmType), ModelFormatError> {
+    from_libsvm_string(&fs::read_to_string(path)?, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csvc::CSvc;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained_model() -> SvmModel {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            let c = if i % 2 == 0 { 1.0 } else { -1.0 };
+            data.push(c + rng.random_range(-0.3..0.3));
+            data.push(c + rng.random_range(-0.3..0.3));
+            labels.push(c);
+        }
+        CSvc::new(5.0, Kernel::gaussian(0.7)).train(&PointSet::new(2, data), &labels)
+    }
+
+    #[test]
+    fn roundtrip_preserves_decisions() {
+        let model = trained_model();
+        let text = to_libsvm_string(&model, SvmType::CSvc);
+        let (back, ty) = from_libsvm_string(&text, Some(2)).unwrap();
+        assert_eq!(ty, SvmType::CSvc);
+        assert_eq!(back.num_support(), model.num_support());
+        assert!((back.threshold() - model.threshold()).abs() < 1e-12);
+        for q in [[0.9, 1.1], [-1.0, -0.8], [0.0, 0.0]] {
+            assert!((back.decision(&q) - model.decision(&q)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn header_contains_libsvm_fields() {
+        let text = to_libsvm_string(&trained_model(), SvmType::CSvc);
+        assert!(text.contains("svm_type c_svc"));
+        assert!(text.contains("kernel_type rbf"));
+        assert!(text.contains("rho "));
+        assert!(text.contains("\nSV\n"));
+    }
+
+    #[test]
+    fn polynomial_kernel_roundtrip() {
+        let sv = PointSet::new(2, vec![0.5, -0.25, 0.0, 1.0]);
+        let model = SvmModel::new(sv, vec![0.7, -0.4], 0.123, Kernel::polynomial(0.5, 1.0, 3));
+        let text = to_libsvm_string(&model, SvmType::CSvc);
+        let (back, _) = from_libsvm_string(&text, Some(2)).unwrap();
+        assert!(matches!(
+            back.kernel(),
+            Kernel::Polynomial { degree: 3, .. }
+        ));
+        assert!((back.decision(&[0.2, 0.3]) - model.decision(&[0.2, 0.3])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_zero_features_restore_as_zero() {
+        let sv = PointSet::new(3, vec![1.0, 0.0, 2.0]);
+        let model = SvmModel::new(sv, vec![0.5], 0.0, Kernel::gaussian(1.0));
+        let text = to_libsvm_string(&model, SvmType::OneClass);
+        let (back, ty) = from_libsvm_string(&text, Some(3)).unwrap();
+        assert_eq!(ty, SvmType::OneClass);
+        assert_eq!(back.support().point(0), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        assert!(matches!(
+            from_libsvm_string("kernel_type rbf\ngamma 1\nrho 0\nSV\n0.5 1:1\n", None),
+            Err(ModelFormatError::BadHeader(_))
+        ));
+        assert!(matches!(
+            from_libsvm_string(
+                "svm_type c_svc\nkernel_type weird\ngamma 1\nrho 0\nSV\n0.5 1:1\n",
+                None
+            ),
+            Err(ModelFormatError::Unsupported(_))
+        ));
+        assert!(matches!(
+            from_libsvm_string(
+                "svm_type c_svc\nkernel_type rbf\ngamma 1\nrho 0\nSV\n0.5 0:1\n",
+                None
+            ),
+            Err(ModelFormatError::BadSv { .. })
+        ));
+        assert!(matches!(
+            from_libsvm_string("svm_type c_svc\nkernel_type rbf\ngamma 1\nrho 0\nSV\n", None),
+            Err(ModelFormatError::Empty)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("karl_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        let model = trained_model();
+        save_model(&path, &model, SvmType::CSvc).unwrap();
+        let (back, _) = load_model(&path, Some(2)).unwrap();
+        assert_eq!(back.num_support(), model.num_support());
+        std::fs::remove_file(&path).ok();
+    }
+}

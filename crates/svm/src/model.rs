@@ -1,0 +1,129 @@
+//! Trained SVM models as kernel-aggregation workloads.
+//!
+//! A trained SVM *is* a kernel aggregation query (Table III of the paper):
+//! classifying a query point `q` means testing
+//!
+//! ```text
+//! F_P(q) = Σᵢ wᵢ·K(q, pᵢ)  ≥  ρ
+//! ```
+//!
+//! where `P` is the set of support vectors, `wᵢ = yᵢαᵢ` (2-class, Type III
+//! weighting) or `wᵢ = αᵢ` (1-class, Type II weighting) and `ρ` is the
+//! trained offset. [`SvmModel`] packages exactly those pieces so they can
+//! be handed straight to a `karl_core` evaluator.
+
+use karl_core::{aggregate_exact, Kernel};
+use karl_geom::PointSet;
+
+/// A trained SVM decision function `sign(Σ wᵢK(q, pᵢ) − ρ)`.
+#[derive(Debug, Clone)]
+pub struct SvmModel {
+    support: PointSet,
+    weights: Vec<f64>,
+    rho: f64,
+    kernel: Kernel,
+}
+
+impl SvmModel {
+    /// Assembles a model from its parts.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or the support set is empty.
+    pub fn new(support: PointSet, weights: Vec<f64>, rho: f64, kernel: Kernel) -> Self {
+        assert_eq!(weights.len(), support.len(), "weights/support mismatch");
+        assert!(!support.is_empty(), "a model needs at least one support vector");
+        Self {
+            support,
+            weights,
+            rho,
+            kernel,
+        }
+    }
+
+    /// The support vectors (the point set `P` of the aggregation query).
+    pub fn support(&self) -> &PointSet {
+        &self.support
+    }
+
+    /// The aggregation weights `wᵢ` (signed for 2-class models).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The decision offset `ρ`; the TKAQ threshold `τ` of the model.
+    pub fn threshold(&self) -> f64 {
+        self.rho
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Number of support vectors.
+    pub fn num_support(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The raw decision value `Σ wᵢK(q, pᵢ) − ρ` (exact scan).
+    pub fn decision(&self, q: &[f64]) -> f64 {
+        aggregate_exact(&self.kernel, &self.support, &self.weights, q) - self.rho
+    }
+
+    /// Predicted class: `true` for the positive class / inlier.
+    pub fn predict(&self, q: &[f64]) -> bool {
+        self.decision(q) >= 0.0
+    }
+
+    /// Fraction of `points` whose prediction matches `labels` (±1).
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch.
+    pub fn accuracy(&self, points: &PointSet, labels: &[f64]) -> f64 {
+        assert_eq!(labels.len(), points.len(), "labels/points mismatch");
+        if points.is_empty() {
+            return 1.0;
+        }
+        let correct = points
+            .iter()
+            .zip(labels)
+            .filter(|(p, &y)| self.predict(p) == (y > 0.0))
+            .count();
+        correct as f64 / points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> SvmModel {
+        let sv = PointSet::new(1, vec![-1.0, 1.0]);
+        SvmModel::new(sv, vec![-0.8, 0.8], 0.0, Kernel::gaussian(1.0))
+    }
+
+    #[test]
+    fn decision_is_signed_aggregate_minus_rho() {
+        let m = toy_model();
+        // At q=1: 0.8·K(1,1) − 0.8·K(1,−1) = 0.8(1 − e^{−4}) > 0
+        assert!(m.decision(&[1.0]) > 0.0);
+        assert!(m.decision(&[-1.0]) < 0.0);
+        assert!(m.predict(&[1.0]));
+        assert!(!m.predict(&[-1.0]));
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let m = toy_model();
+        let pts = PointSet::new(1, vec![1.5, -1.5, 0.9, -0.9]);
+        let labels = vec![1.0, -1.0, 1.0, 1.0]; // last label is wrong on purpose
+        let acc = m.accuracy(&pts, &labels);
+        assert!((acc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_support_panics() {
+        SvmModel::new(PointSet::empty(2), vec![], 0.0, Kernel::gaussian(1.0));
+    }
+}

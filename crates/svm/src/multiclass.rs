@@ -1,0 +1,204 @@
+//! Multi-class kernel SVM — one of the paper's "promising future research
+//! directions" (Section VII), built the way LIBSVM does it: one-vs-one
+//! pairwise C-SVC models with majority voting. Every vote is a threshold
+//! kernel aggregation query, so the whole predictor can be served through
+//! KARL evaluators ([`FastMultiClass`]).
+
+use karl_core::{BoundMethod, Evaluator, KdEvaluator};
+use karl_geom::PointSet;
+
+use crate::csvc::CSvc;
+use crate::model::SvmModel;
+
+/// A trained one-vs-one multi-class SVM.
+#[derive(Debug, Clone)]
+pub struct MultiClassSvm {
+    classes: Vec<usize>,
+    /// `(class_a, class_b, model)` with the model voting `a` on a positive
+    /// decision.
+    pairs: Vec<(usize, usize, SvmModel)>,
+}
+
+impl MultiClassSvm {
+    /// Trains `k·(k−1)/2` pairwise models with the given base trainer.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or fewer than two classes are present.
+    pub fn train(trainer: &CSvc, points: &PointSet, labels: &[usize]) -> Self {
+        assert_eq!(labels.len(), points.len(), "labels/points mismatch");
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(classes.len() >= 2, "multi-class training needs ≥ 2 classes");
+
+        let mut pairs = Vec::with_capacity(classes.len() * (classes.len() - 1) / 2);
+        for ai in 0..classes.len() {
+            for bi in ai + 1..classes.len() {
+                let (a, b) = (classes[ai], classes[bi]);
+                let idx: Vec<usize> = (0..points.len())
+                    .filter(|&i| labels[i] == a || labels[i] == b)
+                    .collect();
+                let sub = points.select(&idx);
+                let sub_labels: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| if labels[i] == a { 1.0 } else { -1.0 })
+                    .collect();
+                pairs.push((a, b, trainer.train(&sub, &sub_labels)));
+            }
+        }
+        Self { classes, pairs }
+    }
+
+    /// The distinct class labels, ascending.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// The pairwise models.
+    pub fn pairs(&self) -> &[(usize, usize, SvmModel)] {
+        &self.pairs
+    }
+
+    /// Predicts by one-vs-one majority vote (ties break toward the smaller
+    /// label, like LIBSVM).
+    pub fn predict(&self, q: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.classes.len()];
+        for (a, b, model) in &self.pairs {
+            let winner = if model.predict(q) { a } else { b };
+            let slot = self.classes.iter().position(|c| c == winner).expect("known class");
+            votes[slot] += 1;
+        }
+        let best = votes
+            .iter()
+            .enumerate()
+            .max_by(|(ia, va), (ib, vb)| va.cmp(vb).then(ib.cmp(ia)))
+            .expect("at least one class")
+            .0;
+        self.classes[best]
+    }
+
+    /// Fraction of `points` predicted as `labels`.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch.
+    pub fn accuracy(&self, points: &PointSet, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), points.len(), "labels/points mismatch");
+        if points.is_empty() {
+            return 1.0;
+        }
+        let correct = points
+            .iter()
+            .zip(labels)
+            .filter(|(p, &y)| self.predict(p) == y)
+            .count();
+        correct as f64 / points.len() as f64
+    }
+}
+
+/// The KARL-served predictor: one kd-tree evaluator per pairwise model, so
+/// every vote is answered by a fast TKAQ instead of a support-vector scan.
+#[derive(Debug, Clone)]
+pub struct FastMultiClass {
+    classes: Vec<usize>,
+    pairs: Vec<(usize, usize, KdEvaluator, f64)>,
+}
+
+impl FastMultiClass {
+    /// Builds evaluators for every pairwise model.
+    pub fn new(model: &MultiClassSvm, method: BoundMethod, leaf_capacity: usize) -> Self {
+        let pairs = model
+            .pairs
+            .iter()
+            .map(|(a, b, m)| {
+                let eval =
+                    Evaluator::build(m.support(), m.weights(), *m.kernel(), method, leaf_capacity);
+                (*a, *b, eval, m.threshold())
+            })
+            .collect();
+        Self {
+            classes: model.classes.clone(),
+            pairs,
+        }
+    }
+
+    /// Predicts by majority vote over TKAQ answers. Produces exactly the
+    /// same label as [`MultiClassSvm::predict`].
+    pub fn predict(&self, q: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.classes.len()];
+        for (a, b, eval, tau) in &self.pairs {
+            let winner = if eval.tkaq(q, *tau) { a } else { b };
+            let slot = self.classes.iter().position(|c| c == winner).expect("known class");
+            votes[slot] += 1;
+        }
+        let best = votes
+            .iter()
+            .enumerate()
+            .max_by(|(ia, va), (ib, vb)| va.cmp(vb).then(ib.cmp(ia)))
+            .expect("at least one class")
+            .0;
+        self.classes[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karl_core::Kernel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Three well-separated blobs labeled 0/1/2.
+    fn three_blobs(n: usize, seed: u64) -> (PointSet, Vec<usize>) {
+        let centers = [(0.0, 0.0), (3.0, 0.0), (0.0, 3.0)];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % 3;
+            data.push(centers[c].0 + rng.random_range(-0.4..0.4));
+            data.push(centers[c].1 + rng.random_range(-0.4..0.4));
+            labels.push(c);
+        }
+        (PointSet::new(2, data), labels)
+    }
+
+    #[test]
+    fn three_class_training_and_voting() {
+        let (x, y) = three_blobs(240, 1);
+        let model = MultiClassSvm::train(&CSvc::new(5.0, Kernel::gaussian(1.0)), &x, &y);
+        assert_eq!(model.classes(), &[0, 1, 2]);
+        assert_eq!(model.pairs().len(), 3);
+        assert!(model.accuracy(&x, &y) >= 0.98);
+        // Cluster centers are classified as their own class.
+        assert_eq!(model.predict(&[0.0, 0.0]), 0);
+        assert_eq!(model.predict(&[3.0, 0.0]), 1);
+        assert_eq!(model.predict(&[0.0, 3.0]), 2);
+    }
+
+    #[test]
+    fn fast_predictor_matches_exact_predictor() {
+        let (x, y) = three_blobs(300, 2);
+        let model = MultiClassSvm::train(&CSvc::new(5.0, Kernel::gaussian(1.0)), &x, &y);
+        let fast = FastMultiClass::new(&model, BoundMethod::Karl, 8);
+        for i in 0..x.len() {
+            let q = x.point(i);
+            assert_eq!(fast.predict(q), model.predict(q), "vote diverged at {i}");
+        }
+    }
+
+    #[test]
+    fn non_contiguous_labels_work() {
+        let (x, y3) = three_blobs(120, 3);
+        let y: Vec<usize> = y3.iter().map(|&c| [7, 42, 99][c]).collect();
+        let model = MultiClassSvm::train(&CSvc::new(5.0, Kernel::gaussian(1.0)), &x, &y);
+        assert_eq!(model.classes(), &[7, 42, 99]);
+        assert_eq!(model.predict(&[3.0, 0.0]), 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_class_panics() {
+        let x = PointSet::new(1, vec![0.0, 1.0]);
+        MultiClassSvm::train(&CSvc::new(1.0, Kernel::gaussian(1.0)), &x, &[5, 5]);
+    }
+}

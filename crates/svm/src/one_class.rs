@@ -1,0 +1,134 @@
+//! 1-class ν-SVM training (the Type II weighting source of the paper).
+
+use karl_core::Kernel;
+use karl_geom::PointSet;
+
+use crate::model::SvmModel;
+use crate::qmatrix::KernelQ;
+use crate::smo::{solve, SmoConfig, SmoProblem};
+
+/// Schölkopf's one-class SVM for novelty/outlier detection (LIBSVM's
+/// `-s 2`).
+///
+/// Solves `min ½αᵀQα` s.t. `eᵀα = ν·n`, `0 ≤ αᵢ ≤ 1`, with `Q_ij =
+/// K(xᵢ, xⱼ)`. The decision function `Σ αᵢK(q, xᵢ) ≥ ρ` accepts inliers;
+/// all weights are positive — a Type II aggregation query.
+#[derive(Debug, Clone)]
+pub struct OneClassSvm {
+    /// The ν parameter: an upper bound on the training outlier fraction and
+    /// a lower bound on the support-vector fraction. `0 < ν ≤ 1`.
+    pub nu: f64,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Solver tolerances.
+    pub config: SmoConfig,
+    /// Kernel-row cache budget in bytes.
+    pub cache_bytes: usize,
+}
+
+impl OneClassSvm {
+    /// A trainer with LIBSVM-like defaults.
+    ///
+    /// # Panics
+    /// Panics unless `0 < nu ≤ 1`.
+    pub fn new(nu: f64, kernel: Kernel) -> Self {
+        assert!(nu > 0.0 && nu <= 1.0, "nu must be in (0, 1]");
+        Self {
+            nu,
+            kernel,
+            config: SmoConfig::default(),
+            cache_bytes: 64 << 20,
+        }
+    }
+
+    /// Trains on the (unlabeled) `points`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn train(&self, points: &PointSet) -> SvmModel {
+        assert!(!points.is_empty(), "empty training set");
+        let n = points.len();
+        // LIBSVM's feasible start: the first ⌊ν·n⌋ variables at their upper
+        // bound, one fractional variable to hit Σα = ν·n exactly.
+        let total = self.nu * n as f64;
+        let full = total.floor() as usize;
+        let mut init_alpha = vec![0.0; n];
+        for a in init_alpha.iter_mut().take(full.min(n)) {
+            *a = 1.0;
+        }
+        if full < n {
+            init_alpha[full] = total - full as f64;
+        }
+        let y = vec![1.0; n];
+        let mut q = KernelQ::new(points.clone(), self.kernel, y.clone(), self.cache_bytes);
+        let problem = SmoProblem {
+            p: vec![0.0; n],
+            y,
+            c: vec![1.0; n],
+            init_alpha,
+        };
+        let sol = solve(&mut q, &problem, &self.config);
+
+        let sv_idx: Vec<usize> = (0..n).filter(|&i| sol.alpha[i] > 1e-12).collect();
+        assert!(!sv_idx.is_empty(), "degenerate model: no support vectors");
+        let support = points.select(&sv_idx);
+        let weights: Vec<f64> = sv_idx.iter().map(|&i| sol.alpha[i]).collect();
+        SvmModel::new(support, weights, sol.rho, self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob(n: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            2,
+            (0..n * 2)
+                .map(|_| rng.random_range(-0.5..0.5))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn inliers_accepted_outliers_rejected() {
+        let ps = blob(300, 1);
+        let model = OneClassSvm::new(0.1, Kernel::gaussian(1.0)).train(&ps);
+        // The blob center is a confident inlier.
+        assert!(model.predict(&[0.0, 0.0]));
+        // A far-away point must be rejected.
+        assert!(!model.predict(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn weights_are_positive_type_ii() {
+        let ps = blob(200, 2);
+        let model = OneClassSvm::new(0.2, Kernel::gaussian(0.8)).train(&ps);
+        assert!(model.weights().iter().all(|&w| w > 0.0));
+        // Σα = ν·n is preserved by SMO's equality constraint.
+        let sum: f64 = model.weights().iter().sum();
+        assert!((sum - 0.2 * 200.0).abs() < 1e-6, "Σα = {sum}");
+    }
+
+    #[test]
+    fn nu_bounds_training_outlier_fraction() {
+        let ps = blob(400, 3);
+        let nu = 0.15;
+        let model = OneClassSvm::new(nu, Kernel::gaussian(1.5)).train(&ps);
+        let rejected = ps.iter().filter(|p| !model.predict(p)).count();
+        let frac = rejected as f64 / ps.len() as f64;
+        // ν upper-bounds the fraction of margin errors (allow solver slack).
+        assert!(frac <= nu + 0.05, "rejected fraction {frac} > ν {nu}");
+        // …and lower-bounds the support-vector fraction.
+        assert!(model.num_support() as f64 / ps.len() as f64 >= nu - 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_nu_panics() {
+        OneClassSvm::new(0.0, Kernel::gaussian(1.0));
+    }
+}

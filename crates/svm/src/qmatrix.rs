@@ -1,0 +1,221 @@
+//! Kernel (Q) matrix abstraction with an LRU row cache.
+//!
+//! SMO touches the kernel matrix one row at a time; materializing the full
+//! `n × n` matrix is wasteful for all but tiny problems. [`KernelQ`] serves
+//! rows `Q_ij = yᵢyⱼK(xᵢ, xⱼ)` computed on demand and keeps the most
+//! recently used ones inside a byte budget, which is exactly LIBSVM's
+//! caching strategy.
+
+use std::collections::HashMap;
+
+use karl_core::Kernel;
+use karl_geom::PointSet;
+
+/// A symmetric matrix the SMO solver reads row-wise.
+pub trait QMatrix {
+    /// Problem size.
+    fn n(&self) -> usize;
+    /// Copies row `i` into `out` (`out.len() == n()`).
+    fn row(&mut self, i: usize, out: &mut [f64]);
+    /// Diagonal entry `Q_ii`.
+    fn diag(&self, i: usize) -> f64;
+}
+
+/// A fully materialized dense matrix (tests and tiny problems).
+#[derive(Debug, Clone)]
+pub struct DenseQ {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseQ {
+    /// Wraps a row-major `n × n` buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n²`.
+    pub fn new(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "DenseQ requires an n×n buffer");
+        Self { n, data }
+    }
+}
+
+impl QMatrix for DenseQ {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn row(&mut self, i: usize, out: &mut [f64]) {
+        out.copy_from_slice(&self.data[i * self.n..(i + 1) * self.n]);
+    }
+
+    fn diag(&self, i: usize) -> f64 {
+        self.data[i * self.n + i]
+    }
+}
+
+/// Label-signed kernel matrix `Q_ij = yᵢ·yⱼ·K(xᵢ, xⱼ)` with an LRU row
+/// cache.
+pub struct KernelQ {
+    points: PointSet,
+    norms2: Vec<f64>,
+    kernel: Kernel,
+    y: Vec<f64>,
+    diag: Vec<f64>,
+    cache: HashMap<usize, (u64, Vec<f64>)>,
+    clock: u64,
+    max_rows: usize,
+}
+
+impl KernelQ {
+    /// Creates a cached Q matrix. `cache_bytes` bounds the row cache
+    /// (LIBSVM's `-m`, here in bytes; at least one row is always kept).
+    ///
+    /// # Panics
+    /// Panics if `y.len() != points.len()` or `points` is empty.
+    pub fn new(points: PointSet, kernel: Kernel, y: Vec<f64>, cache_bytes: usize) -> Self {
+        assert_eq!(y.len(), points.len(), "labels/points length mismatch");
+        assert!(!points.is_empty(), "empty training set");
+        let n = points.len();
+        let norms2 = points.squared_norms();
+        let mut diag = vec![0.0; n];
+        for i in 0..n {
+            let p = points.point(i);
+            diag[i] = kernel.eval_cached(p, norms2[i], p, norms2[i]); // y_i² = 1
+        }
+        let row_bytes = n * std::mem::size_of::<f64>();
+        let max_rows = (cache_bytes / row_bytes.max(1)).max(2);
+        Self {
+            points,
+            norms2,
+            kernel,
+            y,
+            diag,
+            cache: HashMap::new(),
+            clock: 0,
+            max_rows,
+        }
+    }
+
+    fn compute_row(&self, i: usize) -> Vec<f64> {
+        let n = self.points.len();
+        let xi = self.points.point(i);
+        let ni = self.norms2[i];
+        let yi = self.y[i];
+        let mut row = Vec::with_capacity(n);
+        for j in 0..n {
+            let k = self
+                .kernel
+                .eval_cached(xi, ni, self.points.point(j), self.norms2[j]);
+            row.push(yi * self.y[j] * k);
+        }
+        row
+    }
+
+    /// Number of rows currently cached (diagnostics).
+    pub fn cached_rows(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl QMatrix for KernelQ {
+    fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    fn row(&mut self, i: usize, out: &mut [f64]) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some((stamp, row)) = self.cache.get_mut(&i) {
+            *stamp = clock;
+            out.copy_from_slice(row);
+            return;
+        }
+        let row = self.compute_row(i);
+        out.copy_from_slice(&row);
+        if self.cache.len() >= self.max_rows {
+            // Evict the least recently used row.
+            if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, (stamp, _))| *stamp) {
+                self.cache.remove(&victim);
+            }
+        }
+        self.cache.insert(i, (clock, row));
+    }
+
+    fn diag(&self, i: usize) -> f64 {
+        self.diag[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_q() -> KernelQ {
+        let ps = PointSet::new(2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 2.0, -1.0, 1.0]);
+        let y = vec![1.0, -1.0, 1.0, -1.0];
+        KernelQ::new(ps, Kernel::gaussian(0.5), y, 1 << 20)
+    }
+
+    #[test]
+    fn rows_are_symmetric_and_signed() {
+        let mut q = sample_q();
+        let n = q.n();
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let mut r = vec![0.0; n];
+            q.row(i, &mut r);
+            rows.push(r);
+        }
+        #[allow(clippy::needless_range_loop)] // symmetric double index
+        for i in 0..n {
+            for j in 0..n {
+                assert!((rows[i][j] - rows[j][i]).abs() < 1e-12);
+            }
+            assert!((rows[i][i] - q.diag(i)).abs() < 1e-12);
+        }
+        // Mixed labels flip signs off the diagonal.
+        assert!(rows[0][1] < 0.0);
+        assert!(rows[0][2] > 0.0);
+    }
+
+    #[test]
+    fn diag_is_kernel_self_similarity() {
+        let q = sample_q();
+        for i in 0..q.n() {
+            assert!((q.diag(i) - 1.0).abs() < 1e-12, "Gaussian K(x,x) = 1");
+        }
+    }
+
+    #[test]
+    fn lru_eviction_keeps_results_consistent() {
+        let n = 50;
+        let ps = PointSet::new(
+            1,
+            (0..n).map(|i| i as f64 / n as f64).collect::<Vec<_>>(),
+        );
+        let y = vec![1.0; n];
+        // Budget of ~3 rows.
+        let mut q = KernelQ::new(ps, Kernel::gaussian(2.0), y, 3 * n * 8);
+        let mut first = vec![0.0; n];
+        q.row(7, &mut first);
+        // Thrash the cache.
+        let mut tmp = vec![0.0; n];
+        for i in 0..n {
+            q.row(i, &mut tmp);
+        }
+        assert!(q.cached_rows() <= 3);
+        let mut again = vec![0.0; n];
+        q.row(7, &mut again);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn dense_q_roundtrip() {
+        let mut q = DenseQ::new(2, vec![2.0, -1.0, -1.0, 2.0]);
+        assert_eq!(q.n(), 2);
+        assert_eq!(q.diag(1), 2.0);
+        let mut r = vec![0.0; 2];
+        q.row(0, &mut r);
+        assert_eq!(r, vec![2.0, -1.0]);
+    }
+}

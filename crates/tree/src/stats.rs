@@ -1,0 +1,159 @@
+//! Per-node aggregate statistics (Lemma 2 / Lemma 5 of the paper).
+
+use karl_geom::{norm2, PointSet};
+
+/// The precomputed aggregates that make the KARL linear bound functions
+/// evaluable in `O(d)` per node:
+///
+/// ```text
+/// Σᵢ wᵢ·(m·γ·dist(q,pᵢ)² + c) = m·γ·(W·‖q‖² − 2·q·a + b) + c·W
+/// ```
+///
+/// where the sums range over the points owned by the node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// Number of points in the node.
+    pub count: usize,
+    /// `W = Σ wᵢ` — total weight.
+    pub weight_sum: f64,
+    /// `a = Σ wᵢ·pᵢ` — weighted coordinate sum.
+    pub weighted_sum: Vec<f64>,
+    /// `b = Σ wᵢ·‖pᵢ‖²` — weighted squared-norm sum.
+    pub weighted_norm2: f64,
+}
+
+impl NodeStats {
+    /// Computes the aggregates over the contiguous range `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of bounds, or if
+    /// `weights.len() != points.len()`.
+    #[allow(clippy::needless_range_loop)] // i indexes weights and points in lockstep
+    pub fn from_range(points: &PointSet, weights: &[f64], start: usize, end: usize) -> Self {
+        assert!(start < end && end <= points.len(), "invalid stats range");
+        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        let d = points.dims();
+        let mut weight_sum = 0.0;
+        let mut weighted_sum = vec![0.0; d];
+        let mut weighted_norm2 = 0.0;
+        for i in start..end {
+            let w = weights[i];
+            let p = points.point(i);
+            weight_sum += w;
+            for (a, x) in weighted_sum.iter_mut().zip(p) {
+                *a += w * x;
+            }
+            weighted_norm2 += w * norm2(p);
+        }
+        Self {
+            count: end - start,
+            weight_sum,
+            weighted_sum,
+            weighted_norm2,
+        }
+    }
+
+    /// `S(q) = Σᵢ wᵢ·dist(q, pᵢ)² = W·‖q‖² − 2·q·a + b`, evaluated in O(d).
+    ///
+    /// This is the quantity the KARL bounds feed into the linear functions
+    /// and into the optimal tangent location `t_opt = γ·S/W` (Theorems 1–2).
+    #[inline]
+    pub fn weighted_dist2_sum(&self, q: &[f64], q_norm2: f64) -> f64 {
+        let mut qa = 0.0;
+        for (x, a) in q.iter().zip(&self.weighted_sum) {
+            qa += x * a;
+        }
+        self.weight_sum * q_norm2 - 2.0 * qa + self.weighted_norm2
+    }
+
+    /// `Σᵢ wᵢ·(q·pᵢ) = q·a`, evaluated in O(d). Used by the polynomial and
+    /// sigmoid kernel bounds (Section IV-B).
+    #[inline]
+    pub fn weighted_ip_sum(&self, q: &[f64]) -> f64 {
+        let mut qa = 0.0;
+        for (x, a) in q.iter().zip(&self.weighted_sum) {
+            qa += x * a;
+        }
+        qa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karl_geom::dist2;
+    use proptest::prelude::*;
+
+    #[test]
+    fn aggregates_match_bruteforce() {
+        let ps = PointSet::new(2, vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.5]);
+        let w = [0.5, 2.0, 1.5];
+        let s = NodeStats::from_range(&ps, &w, 0, 3);
+        assert_eq!(s.count, 3);
+        assert!((s.weight_sum - 4.0).abs() < 1e-12);
+        // a = 0.5*(1,2) + 2*(3,4) + 1.5*(-1,0.5)
+        assert!((s.weighted_sum[0] - 5.0).abs() < 1e-12);
+        assert!((s.weighted_sum[1] - 9.75).abs() < 1e-12);
+        // b = 0.5*5 + 2*25 + 1.5*1.25
+        assert!((s.weighted_norm2 - 54.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subrange_aggregates() {
+        let ps = PointSet::new(1, vec![1.0, 2.0, 3.0, 4.0]);
+        let w = [1.0; 4];
+        let s = NodeStats::from_range(&ps, &w, 1, 3);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.weight_sum, 2.0);
+        assert_eq!(s.weighted_sum, vec![5.0]);
+        assert_eq!(s.weighted_norm2, 13.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let ps = PointSet::new(1, vec![1.0]);
+        NodeStats::from_range(&ps, &[1.0], 1, 1);
+    }
+
+    proptest! {
+        /// The O(d) expansion of Σ wᵢ·dist² must match the brute-force sum
+        /// for random data — this is exactly Lemma 2 of the paper.
+        #[test]
+        fn prop_weighted_dist2_sum_matches_bruteforce(
+            rows in prop::collection::vec(
+                prop::collection::vec(-10.0f64..10.0, 3), 1..12),
+            ws in prop::collection::vec(0.0f64..5.0, 12),
+            q in prop::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let ps = PointSet::from_rows(&rows);
+            let w = &ws[..ps.len()];
+            let s = NodeStats::from_range(&ps, w, 0, ps.len());
+            let fast = s.weighted_dist2_sum(&q, karl_geom::norm2(&q));
+            let slow: f64 = (0..ps.len())
+                .map(|i| w[i] * dist2(&q, ps.point(i)))
+                .sum();
+            let scale = 1.0 + slow.abs();
+            prop_assert!((fast - slow).abs() / scale < 1e-9);
+        }
+
+        /// Same for the weighted inner-product sum (polynomial kernel path).
+        #[test]
+        fn prop_weighted_ip_sum_matches_bruteforce(
+            rows in prop::collection::vec(
+                prop::collection::vec(-10.0f64..10.0, 2), 1..12),
+            ws in prop::collection::vec(-3.0f64..3.0, 12),
+            q in prop::collection::vec(-10.0f64..10.0, 2),
+        ) {
+            let ps = PointSet::from_rows(&rows);
+            let w = &ws[..ps.len()];
+            let s = NodeStats::from_range(&ps, w, 0, ps.len());
+            let fast = s.weighted_ip_sum(&q);
+            let slow: f64 = (0..ps.len())
+                .map(|i| w[i] * karl_geom::dot(&q, ps.point(i)))
+                .sum();
+            let scale = 1.0 + slow.abs();
+            prop_assert!((fast - slow).abs() / scale < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The generic median-split tree shared by the kd-tree and ball-tree
+//! families.
+
+use karl_geom::{Ball, BoundingShape, PointSet, Rect};
+
+use crate::stats::NodeStats;
+
+/// Identifier of a node inside a [`Tree`]'s node arena.
+pub type NodeId = u32;
+
+/// A bounding volume that can be constructed over a contiguous range of a
+/// reordered point buffer. Implemented by [`Rect`] (kd-tree) and [`Ball`]
+/// (ball-tree).
+pub trait NodeShape: BoundingShape + Clone {
+    /// Builds the volume covering `points[start..end]`.
+    fn from_range(points: &PointSet, start: usize, end: usize) -> Self;
+}
+
+impl NodeShape for Rect {
+    fn from_range(points: &PointSet, start: usize, end: usize) -> Self {
+        Rect::bounding_range(points, start, end)
+    }
+}
+
+impl NodeShape for Ball {
+    fn from_range(points: &PointSet, start: usize, end: usize) -> Self {
+        Ball::bounding_range(points, start, end)
+    }
+}
+
+/// One tree node: a bounding volume, the Lemma-2 aggregates, the contiguous
+/// point range the node owns, and its children (if any).
+#[derive(Debug, Clone)]
+pub struct Node<S> {
+    /// Bounding volume of the node's points.
+    pub shape: S,
+    /// Aggregate statistics over the node's points.
+    pub stats: NodeStats,
+    /// First point index (inclusive) in the reordered buffer.
+    pub start: usize,
+    /// Last point index (exclusive).
+    pub end: usize,
+    /// Children node ids, `None` for leaves.
+    pub children: Option<(NodeId, NodeId)>,
+    /// Depth of the node; the root is at depth 0.
+    pub depth: u16,
+}
+
+impl<S> Node<S> {
+    /// Whether the node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+
+    /// Number of points owned by the node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the node owns no points (never true for built trees).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Phase-1 build record: `(start, end, depth, children)`.
+type SkeletonNode = (usize, usize, u16, Option<(NodeId, NodeId)>);
+
+/// A median-split tree over a weighted point set.
+///
+/// Use the [`KdTree`] / [`BallTree`] aliases; the shape parameter is the
+/// only difference between the two families.
+#[derive(Debug, Clone)]
+pub struct Tree<S: NodeShape> {
+    points: PointSet,
+    weights: Vec<f64>,
+    norms2: Vec<f64>,
+    perm: Vec<u32>,
+    nodes: Vec<Node<S>>,
+    leaf_capacity: usize,
+    max_depth: u16,
+}
+
+/// kd-tree: median-split tree with bounding-rectangle nodes.
+pub type KdTree = Tree<Rect>;
+/// ball-tree: median-split tree with bounding-ball nodes.
+pub type BallTree = Tree<Ball>;
+
+impl<S: NodeShape> Tree<S> {
+    /// Builds a tree over `points` with per-point `weights`.
+    ///
+    /// `leaf_capacity` is the maximum number of points per leaf — the
+    /// parameter the paper's index tuning sweeps (Figure 7).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, `weights.len() != points.len()`, or
+    /// `leaf_capacity == 0`.
+    pub fn build(points: PointSet, weights: &[f64], leaf_capacity: usize) -> Self {
+        assert!(!points.is_empty(), "cannot build a tree over an empty set");
+        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
+
+        let n = points.len();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        // Phase 1: recursively split the index permutation, recording the
+        // (start, end, depth, children) skeleton.
+        let mut skeleton: Vec<SkeletonNode> = Vec::new();
+        split_range(&points, &mut idx, 0, n, 0, leaf_capacity, &mut skeleton);
+
+        // Phase 2: materialize the reordered buffers and per-node payloads.
+        let usize_idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
+        let points = points.select(&usize_idx);
+        let weights: Vec<f64> = usize_idx.iter().map(|&i| weights[i]).collect();
+        let norms2 = points.squared_norms();
+
+        let mut max_depth = 0;
+        let nodes: Vec<Node<S>> = skeleton
+            .into_iter()
+            .map(|(start, end, depth, children)| {
+                max_depth = max_depth.max(depth);
+                Node {
+                    shape: S::from_range(&points, start, end),
+                    stats: NodeStats::from_range(&points, &weights, start, end),
+                    start,
+                    end,
+                    children,
+                    depth,
+                }
+            })
+            .collect();
+
+        Self {
+            points,
+            weights,
+            norms2,
+            perm: idx,
+            nodes,
+            leaf_capacity,
+            max_depth,
+        }
+    }
+
+    /// The reordered point buffer. `point(i)` here is the point whose
+    /// original index was `perm()[i]`.
+    #[inline]
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Weights aligned with [`points`](Self::points).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Precomputed `‖pᵢ‖²` aligned with [`points`](Self::points).
+    #[inline]
+    pub fn norms2(&self) -> &[f64] {
+        &self.norms2
+    }
+
+    /// `perm()[i]` is the original index of reordered point `i`.
+    #[inline]
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Id of the root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Borrow a node by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node<S> {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of nodes in the tree.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree indexes no points (never true for built trees).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the indexed points.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.points.dims()
+    }
+
+    /// The leaf-capacity parameter the tree was built with.
+    #[inline]
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// Depth of the deepest node (root = 0).
+    #[inline]
+    pub fn max_depth(&self) -> u16 {
+        self.max_depth
+    }
+
+    /// The *frontier* at depth `l`: internal nodes exactly at depth `l` plus
+    /// leaves shallower than `l`. The frontier partitions the point set and
+    /// is what the paper's Figure 13 tightness metric aggregates over, and
+    /// what the in-situ tuning's simulated tree `T_l` exposes as leaves.
+    pub fn frontier_at_depth(&self, l: u16) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if node.depth == l || node.is_leaf() {
+                out.push(id);
+            } else {
+                let (a, b) = node.children.expect("non-leaf has children");
+                stack.push(b);
+                stack.push(a);
+            }
+        }
+        out
+    }
+
+    /// Iterate over all nodes with their ids.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Node<S>)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (i as NodeId, n))
+    }
+}
+
+/// Recursive phase-1 splitter: partitions `idx[start..end]` by the median of
+/// the widest dimension and records the node skeleton in pre-order.
+fn split_range(
+    points: &PointSet,
+    idx: &mut [u32],
+    start: usize,
+    end: usize,
+    depth: u16,
+    leaf_capacity: usize,
+    skeleton: &mut Vec<SkeletonNode>,
+) -> NodeId {
+    let my_id = skeleton.len() as NodeId;
+    skeleton.push((start, end, depth, None));
+    let count = end - start;
+    if count <= leaf_capacity {
+        return my_id;
+    }
+    // Split axis: widest dimension of the bounding rectangle of the range.
+    let indices: Vec<usize> = idx[start..end].iter().map(|&i| i as usize).collect();
+    let rect = Rect::bounding(points, &indices);
+    let axis = rect.widest_dim();
+    if rect.extent(axis) == 0.0 {
+        // All points identical: splitting cannot make progress; keep a
+        // (possibly oversized) leaf instead of recursing forever.
+        return my_id;
+    }
+    let mid = count / 2;
+    idx[start..end].select_nth_unstable_by(mid, |&a, &b| {
+        let xa = points.point(a as usize)[axis];
+        let xb = points.point(b as usize)[axis];
+        xa.partial_cmp(&xb).expect("non-finite coordinate")
+    });
+    let left = split_range(points, idx, start, start + mid, depth + 1, leaf_capacity, skeleton);
+    let right = split_range(points, idx, start + mid, end, depth + 1, leaf_capacity, skeleton);
+    skeleton[my_id as usize].3 = Some((left, right));
+    my_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karl_geom::dist2;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(-10.0..10.0)).collect();
+        PointSet::new(d, data)
+    }
+
+    fn check_node_invariants<S: NodeShape>(tree: &Tree<S>) {
+        for (_, node) in tree.iter_nodes() {
+            assert!(!node.is_empty());
+            // Every owned point lies inside the node volume (distance
+            // bounds bracket zero at the point itself).
+            for i in node.start..node.end {
+                let p = tree.points().point(i);
+                assert!(node.shape.mindist2(p) <= 1e-9, "point escapes node shape");
+            }
+            // Children partition the parent range.
+            if let Some((a, b)) = node.children {
+                let (l, r) = (tree.node(a), tree.node(b));
+                assert_eq!(l.start, node.start);
+                assert_eq!(l.end, r.start);
+                assert_eq!(r.end, node.end);
+                assert_eq!(l.depth, node.depth + 1);
+                assert_eq!(r.depth, node.depth + 1);
+            } else {
+                // A leaf either respects the capacity or is a degenerate
+                // all-identical-points node.
+                if node.len() > tree.leaf_capacity() {
+                    let first = tree.points().point(node.start).to_vec();
+                    for i in node.start + 1..node.end {
+                        assert_eq!(tree.points().point(i), &first[..]);
+                    }
+                }
+            }
+            // Aggregates match a brute-force recomputation.
+            let expect =
+                NodeStats::from_range(tree.points(), tree.weights(), node.start, node.end);
+            assert_eq!(node.stats.count, expect.count);
+            assert!((node.stats.weight_sum - expect.weight_sum).abs() < 1e-9);
+            assert!((node.stats.weighted_norm2 - expect.weighted_norm2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kd_tree_invariants_random_data() {
+        let ps = random_points(300, 4, 1);
+        let w: Vec<f64> = (0..300).map(|i| 0.1 + (i % 7) as f64).collect();
+        let tree = KdTree::build(ps, &w, 8);
+        assert_eq!(tree.len(), 300);
+        check_node_invariants(&tree);
+    }
+
+    #[test]
+    fn ball_tree_invariants_random_data() {
+        let ps = random_points(300, 4, 2);
+        let w = vec![1.0; 300];
+        let tree = BallTree::build(ps, &w, 16);
+        check_node_invariants(&tree);
+    }
+
+    #[test]
+    fn perm_maps_back_to_original_points() {
+        let ps = random_points(64, 3, 3);
+        let w = vec![1.0; 64];
+        let tree = KdTree::build(ps.clone(), &w, 4);
+        for i in 0..tree.len() {
+            let orig = tree.perm()[i] as usize;
+            assert_eq!(tree.points().point(i), ps.point(orig));
+        }
+    }
+
+    #[test]
+    fn weights_follow_permutation() {
+        let ps = random_points(50, 2, 4);
+        let w: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let tree = KdTree::build(ps, &w, 4);
+        for i in 0..tree.len() {
+            assert_eq!(tree.weights()[i], tree.perm()[i] as f64);
+        }
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let ps = PointSet::new(2, vec![1.0, 2.0]);
+        let tree = KdTree::build(ps, &[3.0], 10);
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(tree.node(tree.root()).is_leaf());
+        assert_eq!(tree.node(0).stats.weight_sum, 3.0);
+        assert_eq!(tree.max_depth(), 0);
+    }
+
+    #[test]
+    fn identical_points_terminate() {
+        let ps = PointSet::from_rows(&vec![vec![1.0, 1.0]; 20]);
+        let tree = KdTree::build(ps, &[1.0; 20], 2);
+        // Cannot split identical points: single (oversized) leaf.
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(tree.node(0).is_leaf());
+    }
+
+    #[test]
+    fn leaf_capacity_one_gives_singleton_leaves() {
+        let ps = random_points(17, 2, 5);
+        let tree = KdTree::build(ps, &[1.0; 17], 1);
+        for (_, node) in tree.iter_nodes() {
+            if node.is_leaf() {
+                assert_eq!(node.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_partitions_points() {
+        let ps = random_points(200, 3, 6);
+        let tree = KdTree::build(ps, &vec![1.0; 200], 4);
+        for l in 0..=tree.max_depth() + 1 {
+            let frontier = tree.frontier_at_depth(l);
+            let total: usize = frontier.iter().map(|&id| tree.node(id).len()).sum();
+            assert_eq!(total, 200, "frontier at depth {l} must cover all points");
+            // Ranges must be disjoint: sort by start and check adjacency.
+            let mut ranges: Vec<(usize, usize)> = frontier
+                .iter()
+                .map(|&id| (tree.node(id).start, tree.node(id).end))
+                .collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_at_zero_is_root() {
+        let ps = random_points(100, 2, 7);
+        let tree = BallTree::build(ps, &vec![1.0; 100], 8);
+        assert_eq!(tree.frontier_at_depth(0), vec![tree.root()]);
+    }
+
+    #[test]
+    fn norms2_cached_correctly() {
+        let ps = random_points(40, 5, 8);
+        let tree = KdTree::build(ps, &vec![1.0; 40], 4);
+        for i in 0..tree.len() {
+            let expect = karl_geom::norm2(tree.points().point(i));
+            assert!((tree.norms2()[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn root_stats_cover_everything() {
+        let ps = random_points(128, 3, 9);
+        let w: Vec<f64> = (0..128).map(|i| (i as f64).sin().abs() + 0.1).collect();
+        let tree = KdTree::build(ps.clone(), &w, 16);
+        let root = tree.node(tree.root());
+        let total_w: f64 = w.iter().sum();
+        assert!((root.stats.weight_sum - total_w).abs() < 1e-9);
+        assert_eq!(root.stats.count, 128);
+        // mindist from any original point to the root volume is 0.
+        for p in ps.iter() {
+            assert!(root.shape.mindist2(p) <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn median_split_balances_counts() {
+        let ps = random_points(256, 2, 10);
+        let tree = KdTree::build(ps, &vec![1.0; 256], 1);
+        let root = tree.node(tree.root());
+        let (a, b) = root.children.unwrap();
+        assert_eq!(tree.node(a).len(), 128);
+        assert_eq!(tree.node(b).len(), 128);
+    }
+
+    proptest! {
+        /// Exact aggregation over the root equals brute force over the
+        /// original data, and every node's S(q) expansion is consistent.
+        #[test]
+        fn prop_tree_preserves_aggregates(
+            n in 1usize..60,
+            seed in 0u64..500,
+            qx in -10.0f64..10.0,
+            qy in -10.0f64..10.0,
+        ) {
+            let ps = random_points(n, 2, seed);
+            let w: Vec<f64> = (0..n).map(|i| 0.5 + (i % 3) as f64).collect();
+            let tree = KdTree::build(ps.clone(), &w, 4);
+            let q = [qx, qy];
+            let qn = karl_geom::norm2(&q);
+            let fast = tree.node(tree.root()).stats.weighted_dist2_sum(&q, qn);
+            let slow: f64 = (0..n).map(|i| w[i] * dist2(&q, ps.point(i))).sum();
+            prop_assert!((fast - slow).abs() / (1.0 + slow.abs()) < 1e-9);
+        }
+    }
+}

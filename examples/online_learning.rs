@@ -1,0 +1,72 @@
+//! In-situ / online-learning scenario (Section III-C, Table IX): the model
+//! arrives just before the query stream, so index construction and tuning
+//! time count. A 1-class SVM is trained on fresh data (novelty detection),
+//! then the stream is answered three ways:
+//!
+//! 1. baseline — plain sequential scan (no index to build),
+//! 2. SOTA with online tuning,
+//! 3. KARL with online tuning (build one kd-tree, probe levels on 1% of
+//!    the stream, answer the rest at the best level).
+//!
+//! ```text
+//! cargo run --release --example online_learning
+//! ```
+
+use std::time::Instant;
+
+use karl::core::{BoundMethod, Kernel, OnlineTuner, Query, Scan};
+use karl::data::{by_name, sample_queries};
+use karl::svm::OneClassSvm;
+
+fn main() {
+    let spec = by_name("nsl-kdd").expect("registry dataset");
+    let dataset = spec.generate_n(8_000);
+
+    // Train the 1-class model (Type II weighting: all weights positive).
+    let gamma = 1.0 / dataset.points.dims() as f64;
+    let kernel = Kernel::gaussian(gamma);
+    println!(
+        "training 1-class ν-SVM (ν = {}) on {} points...",
+        spec.suggested_nu,
+        dataset.points.len()
+    );
+    let model = OneClassSvm::new(spec.suggested_nu, kernel).train(&dataset.points);
+    let tau = model.threshold();
+    println!("{} support vectors, ρ = {:.4}", model.num_support(), tau);
+
+    // The query stream: novelty checks against the trained model.
+    let queries = sample_queries(&dataset.points, 4_000, 123);
+    let workload = Query::Tkaq { tau };
+
+    // 1) Baseline scan: no build cost, but every query is O(n·d).
+    let scan = Scan::new(model.support().clone(), model.weights().to_vec(), kernel);
+    let t = Instant::now();
+    let base_answers: Vec<bool> = queries.iter().map(|q| scan.tkaq(q, tau)).collect();
+    let base_tp = queries.len() as f64 / t.elapsed().as_secs_f64();
+
+    // 2) + 3) Online-tuned index evaluation, SOTA vs KARL bounds.
+    let tuner = OnlineTuner::default();
+    for (name, method) in [("SOTA", BoundMethod::Sota), ("KARL", BoundMethod::Karl)] {
+        let report = tuner.run(
+            model.support(),
+            model.weights(),
+            kernel,
+            method,
+            &queries,
+            workload,
+        );
+        for (i, &a) in report.answers.iter().enumerate() {
+            assert_eq!(a == 1.0, base_answers[i], "online answers must be exact");
+        }
+        println!(
+            "{name}_online: {:>9.1} queries/s end-to-end \
+             (build {:.1?} + tune {:.1?} + query {:.1?}; chose level {})",
+            report.throughput,
+            report.build_time,
+            report.tuning_time,
+            report.query_time,
+            report.chosen_level
+        );
+    }
+    println!("baseline scan: {base_tp:>9.1} queries/s (no build cost)");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a KARL evaluator over a synthetic dataset and compare
+//! it against the naive scan on both query types.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Instant;
+
+use karl::core::{BoundMethod, Evaluator, Kernel, Scan};
+use karl::data::{by_name, sample_queries};
+use karl::geom::Rect;
+use karl::kde::Kde;
+
+fn main() {
+    // A miniboone-like multi-modal dataset from the registry (50-d, two
+    // broad clusters + background noise), scaled to laptop size.
+    let dataset = by_name("miniboone").expect("registry dataset").generate_n(20_000);
+    println!("dataset: {} ({} points, {} dims)", dataset.name, dataset.points.len(), dataset.points.dims());
+
+    // Type I workload: kernel density estimation with Scott's-rule γ.
+    let kde = Kde::fit(dataset.points.clone());
+    println!("Scott's rule: γ = {:.3}", kde.gamma());
+    let weights = vec![kde.weight(); dataset.points.len()];
+    let kernel = Kernel::gaussian(kde.gamma());
+
+    let queries = sample_queries(&dataset.points, 200, 42);
+
+    // Baseline: exact sequential scan.
+    let scan = Scan::new(dataset.points.clone(), weights.clone(), kernel);
+    let t = Instant::now();
+    let densities: Vec<f64> = queries.iter().map(|q| scan.aggregate(q)).collect();
+    let scan_time = t.elapsed();
+    let mu = densities.iter().sum::<f64>() / densities.len() as f64;
+    println!("scan:  {:>8.1} queries/s (exact)", queries.len() as f64 / scan_time.as_secs_f64());
+
+    // KARL: same queries, answered through the linear bounds.
+    let eval = Evaluator::<Rect>::build(&dataset.points, &weights, kernel, BoundMethod::Karl, 80);
+
+    // Threshold queries at τ = μ (the paper's default Type I-τ setting).
+    let t = Instant::now();
+    let above = queries.iter().filter(|q| eval.tkaq(q, mu)).count();
+    let tkaq_time = t.elapsed();
+    println!(
+        "KARL TKAQ(τ=μ): {:>8.1} queries/s — {}/{} queries in the dense region",
+        queries.len() as f64 / tkaq_time.as_secs_f64(),
+        above,
+        queries.len()
+    );
+
+    // Approximate density queries at ε = 0.2.
+    let t = Instant::now();
+    let mut max_rel_err: f64 = 0.0;
+    for (i, q) in queries.iter().enumerate() {
+        let est = eval.ekaq(q, 0.2);
+        max_rel_err = max_rel_err.max((est - densities[i]).abs() / densities[i].max(1e-300));
+    }
+    let ekaq_time = t.elapsed();
+    println!(
+        "KARL eKAQ(ε=0.2): {:>8.1} queries/s — max observed relative error {:.3}",
+        queries.len() as f64 / ekaq_time.as_secs_f64(),
+        max_rel_err
+    );
+    assert!(max_rel_err <= 0.2 + 1e-9, "ε contract violated");
+
+    println!(
+        "speedup vs scan: {:.1}x (TKAQ), {:.1}x (eKAQ)",
+        scan_time.as_secs_f64() / tkaq_time.as_secs_f64(),
+        scan_time.as_secs_f64() / ekaq_time.as_secs_f64()
+    );
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Splices the harness outputs from results/ into EXPERIMENTS.md.
+
+Each `<!-- MEASURED:ID -->` marker is replaced by (marker + fenced block
+holding the corresponding results file), so re-running is idempotent.
+"""
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+MAP = {
+    "TABLE7": "exp_table7.txt",
+    "FIG6": "exp_fig6.txt",
+    "FIG7": "exp_fig7.txt",
+    "FIG9": "exp_fig9.txt",
+    "FIG10": "exp_fig10.txt",
+    "FIG11": "exp_fig11.txt",
+    "FIG12": "exp_fig12.txt",
+    "FIG13": "exp_fig13.txt",
+    "TABLE8": "exp_table8.txt",
+    "TABLE9": "exp_table9.txt",
+    "TABLE10": "exp_table10.txt",
+    "FIG1": "exp_fig1.txt",
+}
+
+
+def main() -> None:
+    md_path = ROOT / "EXPERIMENTS.md"
+    text = md_path.read_text()
+    for key, fname in MAP.items():
+        path = ROOT / "results" / fname
+        if not path.exists():
+            print(f"skipping {key}: {path} missing")
+            continue
+        body = path.read_text().rstrip()
+        # Trim the noisy per-step progress lines.
+        body = "\n".join(
+            line for line in body.splitlines() if not line.strip().startswith("[")
+        ).strip()
+        marker = f"<!-- MEASURED:{key} -->"
+        block = f"{marker}\n```text\n{body}\n```"
+        pattern = re.compile(
+            re.escape(marker) + r"(\n```text\n.*?\n```)?", re.DOTALL
+        )
+        text, n = pattern.subn(lambda _m: block, text, count=1)
+        print(f"{key}: {'updated' if n else 'marker not found!'}")
+    md_path.write_text(text)
+
+
+if __name__ == "__main__":
+    main()

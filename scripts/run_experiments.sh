@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs every experiment harness binary and collects the outputs under
+# results/. Scale knobs: KARL_SCALE, KARL_QUERIES, KARL_TRAIN_CAP (see
+# crates/bench/src/lib.rs).
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p karl-bench --bins
+for b in exp_fig1 exp_fig6 exp_fig7 exp_fig9 exp_fig10 exp_fig11 exp_fig12 \
+         exp_fig13 exp_table7 exp_table8 exp_table9 exp_table10; do
+    echo "=== $b ==="
+    cargo run --release -p karl-bench --bin "$b" 2>/dev/null | tee "results/$b.txt"
+done
+echo "All experiment outputs written to results/"

@@ -1,0 +1,46 @@
+//! # KARL — Kernel Aggregation Rapid Library
+//!
+//! A from-scratch Rust reproduction of *"KARL: Fast Kernel Aggregation
+//! Queries"* (Chan, Yiu, U — ICDE 2019). This facade crate re-exports the
+//! whole workspace so applications can depend on a single crate:
+//!
+//! * [`geom`] — point sets, bounding rectangles/balls, distance bounds.
+//! * [`tree`] — augmented kd-trees and ball-trees.
+//! * [`core`] — kernels, KARL/SOTA bound functions, the branch-and-bound
+//!   evaluator for threshold (TKAQ) and approximate (eKAQ) queries, and
+//!   automatic index tuning.
+//! * [`svm`] — an SMO-based SVM trainer (2-class C-SVC, 1-class ν-SVM)
+//!   producing kernel-aggregation models.
+//! * [`kde`] — kernel density estimation with Scott's-rule bandwidth.
+//! * [`data`] — seeded synthetic datasets mirroring the paper's evaluation
+//!   suite, PCA and preprocessing.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use karl::core::{BoundMethod, Evaluator, Kernel};
+//! use karl::geom::{PointSet, Rect};
+//!
+//! // A tiny dataset of 2-d points.
+//! let points = PointSet::from_rows(&[
+//!     vec![0.0, 0.0],
+//!     vec![0.1, 0.1],
+//!     vec![5.0, 5.0],
+//! ]);
+//! let weights = vec![1.0; 3];
+//! let eval = Evaluator::<Rect>::build(
+//!     &points, &weights, Kernel::gaussian(0.5), BoundMethod::Karl, 2);
+//!
+//! // Threshold query: is the aggregate at the origin at least 1.0?
+//! assert!(eval.tkaq(&[0.0, 0.0], 1.0));
+//! // Approximate query: value within 10% relative error.
+//! let f = eval.ekaq(&[0.0, 0.0], 0.1);
+//! assert!(f > 1.7 && f < 2.2);
+//! ```
+
+pub use karl_core as core;
+pub use karl_data as data;
+pub use karl_geom as geom;
+pub use karl_kde as kde;
+pub use karl_svm as svm;
+pub use karl_tree as tree;

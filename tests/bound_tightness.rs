@@ -1,0 +1,81 @@
+//! The Figure-13 invariant as a test: at every tree level, the aggregated
+//! KARL bounds are at least as tight as the aggregated SOTA bounds, and
+//! both enclose the exact aggregate. (The paper's figure reports the same
+//! quantities as averages; here they are asserted per level.)
+
+use karl::core::{node_bounds, BoundMethod, Evaluator, Kernel};
+use karl::data::{by_name, sample_queries};
+use karl::geom::{norm2, Rect};
+
+#[test]
+fn karl_frontier_bounds_dominate_sota_at_every_level() {
+    for (name, kernel) in [
+        ("home", None),                       // Scott's-rule Gaussian
+        ("nsl-kdd", Some(Kernel::gaussian(0.02))),
+        ("ijcnn1", Some(Kernel::laplacian(1.0))),
+    ] {
+        let ds = by_name(name).unwrap().generate_n(2_000);
+        let kernel = kernel.unwrap_or_else(|| {
+            Kernel::gaussian(karl::kde::scotts_gamma(&ds.points))
+        });
+        let w = vec![1.0; ds.points.len()];
+        let eval = Evaluator::<Rect>::build(&ds.points, &w, kernel, BoundMethod::Karl, 80);
+        let tree = eval.pos_tree().expect("positive weights");
+        let queries = sample_queries(&ds.points, 10, 9);
+        for q in queries.iter() {
+            let qn = norm2(q);
+            let truth = eval.exact(q);
+            for level in 0..=tree.max_depth() {
+                let mut karl = (0.0, 0.0);
+                let mut sota = (0.0, 0.0);
+                for id in tree.frontier_at_depth(level) {
+                    let node = tree.node(id);
+                    let bk =
+                        node_bounds(BoundMethod::Karl, &kernel, &node.shape, &node.stats, q, qn);
+                    let bs =
+                        node_bounds(BoundMethod::Sota, &kernel, &node.shape, &node.stats, q, qn);
+                    karl.0 += bk.lb;
+                    karl.1 += bk.ub;
+                    sota.0 += bs.lb;
+                    sota.1 += bs.ub;
+                }
+                let tol = 1e-7 * (1.0 + truth.abs());
+                // Both bracket the truth…
+                assert!(sota.0 <= truth + tol && truth <= sota.1 + tol, "{name} SOTA L{level}");
+                assert!(karl.0 <= truth + tol && truth <= karl.1 + tol, "{name} KARL L{level}");
+                // …and KARL is never looser (Lemmas 3–4 aggregated).
+                assert!(karl.0 + tol >= sota.0, "{name} L{level}: KARL LB looser");
+                assert!(karl.1 <= sota.1 + tol, "{name} L{level}: KARL UB looser");
+            }
+        }
+    }
+}
+
+#[test]
+fn frontier_bounds_tighten_monotonically_with_depth() {
+    // Descending a level never loosens the aggregated bounds: children
+    // volumes are contained in the parent volume.
+    let ds = by_name("susy").unwrap().generate_n(1_500);
+    let kernel = Kernel::gaussian(karl::kde::scotts_gamma(&ds.points));
+    let w = vec![1.0; ds.points.len()];
+    let eval = Evaluator::<Rect>::build(&ds.points, &w, kernel, BoundMethod::Karl, 16);
+    let tree = eval.pos_tree().unwrap();
+    let q = ds.points.point(7);
+    let qn = norm2(q);
+    let mut prev_gap = f64::INFINITY;
+    for level in 0..=tree.max_depth() {
+        let (mut lb, mut ub) = (0.0, 0.0);
+        for id in tree.frontier_at_depth(level) {
+            let node = tree.node(id);
+            let b = node_bounds(BoundMethod::Karl, &kernel, &node.shape, &node.stats, q, qn);
+            lb += b.lb;
+            ub += b.ub;
+        }
+        let gap = ub - lb;
+        assert!(
+            gap <= prev_gap + 1e-9 * (1.0 + prev_gap.abs()),
+            "gap grew from {prev_gap} to {gap} at level {level}"
+        );
+        prev_gap = gap;
+    }
+}

@@ -1,0 +1,118 @@
+//! Cross-cutting consistency: every (bound method × index family × kernel ×
+//! weighting type) combination must answer queries identically — only their
+//! speed may differ. This is the core soundness claim of the paper: KARL
+//! changes the bounds, never the answers.
+
+use karl::core::{
+    aggregate_exact, AnyEvaluator, BoundMethod, IndexKind, Kernel, Query,
+};
+use karl::data::{by_name, normalize_symmetric, sample_queries};
+
+fn weight_profiles(n: usize) -> Vec<(&'static str, Vec<f64>)> {
+    vec![
+        ("type1-identical", vec![0.37; n]),
+        (
+            "type2-positive",
+            (0..n).map(|i| 0.1 + ((i * 31) % 17) as f64 / 17.0).collect(),
+        ),
+        (
+            "type3-mixed",
+            (0..n)
+                .map(|i| {
+                    let w = 0.2 + ((i * 13) % 11) as f64 / 11.0;
+                    if i % 3 == 0 {
+                        -w
+                    } else {
+                        w
+                    }
+                })
+                .collect(),
+        ),
+    ]
+}
+
+#[test]
+fn all_method_index_combinations_agree_gaussian() {
+    let ds = by_name("home").unwrap().generate_n(1_500);
+    let kernel = Kernel::gaussian(3.0);
+    let queries = sample_queries(&ds.points, 25, 7);
+    for (wname, weights) in weight_profiles(ds.points.len()) {
+        let evals: Vec<AnyEvaluator> = [IndexKind::Kd, IndexKind::Ball]
+            .into_iter()
+            .flat_map(|kind| {
+                [BoundMethod::Sota, BoundMethod::Karl].into_iter().map(move |m| (kind, m))
+            })
+            .map(|(kind, m)| AnyEvaluator::build(kind, &ds.points, &weights, kernel, m, 16))
+            .collect();
+        for q in queries.iter() {
+            let truth = aggregate_exact(&kernel, &ds.points, &weights, q);
+            for delta in [-0.3, -0.01, 0.01, 0.3] {
+                let tau = truth + delta * (1.0 + truth.abs());
+                let expect = truth >= tau;
+                for e in &evals {
+                    assert_eq!(
+                        e.tkaq(q, tau),
+                        expect,
+                        "{wname}: {:?} disagreed at τ offset {delta}",
+                        e.kind()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_kernels_agree_across_methods() {
+    let ds = by_name("ijcnn1").unwrap().generate_n(900);
+    let sym = normalize_symmetric(&ds.points);
+    let d_inv = 1.0 / sym.dims() as f64;
+    let kernels = [
+        Kernel::gaussian(d_inv),
+        Kernel::polynomial(d_inv, 0.5, 3),
+        Kernel::polynomial(d_inv, 0.0, 2),
+        Kernel::polynomial(d_inv, 0.1, 5),
+        Kernel::sigmoid(d_inv, -0.1),
+    ];
+    let queries = sample_queries(&sym, 15, 8);
+    let (_, weights) = weight_profiles(sym.len()).pop().unwrap(); // type3-mixed
+    for kernel in kernels {
+        let karl = AnyEvaluator::build(IndexKind::Kd, &sym, &weights, kernel, BoundMethod::Karl, 8);
+        let sota = AnyEvaluator::build(IndexKind::Kd, &sym, &weights, kernel, BoundMethod::Sota, 8);
+        for q in queries.iter() {
+            let truth = aggregate_exact(&kernel, &sym, &weights, q);
+            for delta in [-0.2, 0.2] {
+                let tau = truth + delta * (1.0 + truth.abs());
+                let expect = truth >= tau;
+                assert_eq!(karl.tkaq(q, tau), expect, "{kernel:?} KARL");
+                assert_eq!(sota.tkaq(q, tau), expect, "{kernel:?} SOTA");
+            }
+        }
+    }
+}
+
+#[test]
+fn karl_never_needs_more_iterations_than_sota_on_gaussian_type1() {
+    // Lemmas 3–4 imply per-node bounds are tighter, so the refinement loop
+    // can only stop earlier (same refinement order heuristics).
+    let ds = by_name("miniboone").unwrap().generate_n(2_000);
+    let weights = vec![1.0; ds.points.len()];
+    let kernel = Kernel::gaussian(4.0);
+    let queries = sample_queries(&ds.points, 30, 9);
+    let karl =
+        AnyEvaluator::build(IndexKind::Kd, &ds.points, &weights, kernel, BoundMethod::Karl, 16);
+    let sota =
+        AnyEvaluator::build(IndexKind::Kd, &ds.points, &weights, kernel, BoundMethod::Sota, 16);
+    let mut karl_total = 0usize;
+    let mut sota_total = 0usize;
+    for q in queries.iter() {
+        let truth = aggregate_exact(&kernel, &ds.points, &weights, q);
+        let w = Query::Tkaq { tau: truth * 1.1 };
+        karl_total += karl.run_query(q, w, None).iterations;
+        sota_total += sota.run_query(q, w, None).iterations;
+    }
+    assert!(
+        karl_total <= sota_total,
+        "KARL {karl_total} vs SOTA {sota_total} total iterations"
+    );
+}

@@ -1,0 +1,73 @@
+//! End-to-end Type I (KDE) pipeline: registry dataset → Scott's-rule KDE →
+//! KARL/SOTA evaluators over both index families, validated against the
+//! exact scan.
+
+use karl::core::{aggregate_exact, BoundMethod, IndexKind, Kernel, Scan};
+use karl::data::{by_name, sample_queries};
+use karl::kde::Kde;
+
+#[test]
+fn kde_pipeline_matches_scan_on_all_type1_datasets() {
+    for name in ["miniboone", "home", "susy"] {
+        let ds = by_name(name).unwrap().generate_n(3_000);
+        let kde = Kde::fit(ds.points.clone());
+        let weights = vec![kde.weight(); ds.points.len()];
+        let kernel = Kernel::gaussian(kde.gamma());
+        let scan = Scan::new(ds.points.clone(), weights.clone(), kernel);
+        let queries = sample_queries(&ds.points, 40, 1);
+        let mu: f64 =
+            queries.iter().map(|q| scan.aggregate(q)).sum::<f64>() / queries.len() as f64;
+
+        for kind in [IndexKind::Kd, IndexKind::Ball] {
+            for method in [BoundMethod::Sota, BoundMethod::Karl] {
+                let eval = karl::core::AnyEvaluator::build(
+                    kind, &ds.points, &weights, kernel, method, 40,
+                );
+                for q in queries.iter() {
+                    let truth = scan.aggregate(q);
+                    // I-τ at the paper's default τ = μ (skip FP ties).
+                    if (truth - mu).abs() > 1e-9 * mu.abs() {
+                        assert_eq!(
+                            eval.tkaq(q, mu),
+                            truth >= mu,
+                            "{name}/{kind:?}/{method:?} wrong TKAQ answer"
+                        );
+                    }
+                    // I-ε at the paper's default ε = 0.2.
+                    let est = eval.ekaq(q, 0.2);
+                    assert!(
+                        est >= 0.8 * truth - 1e-12 && est <= 1.2 * truth + 1e-12,
+                        "{name}/{kind:?}/{method:?} eKAQ outside ε: {est} vs {truth}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kde_mean_density_threshold_is_discriminative() {
+    // τ = μ must split the query set non-trivially on multi-modal data —
+    // the property that makes the paper's I-τ experiments meaningful.
+    let ds = by_name("miniboone").unwrap().generate_n(4_000);
+    let kde = Kde::fit(ds.points.clone());
+    let queries = sample_queries(&ds.points, 200, 2);
+    let mu = kde.mean_density(&queries, 0.01);
+    let eval = kde.evaluator(BoundMethod::Karl, 40);
+    let above = queries.iter().filter(|q| eval.tkaq(q, mu)).count();
+    assert!(
+        above > 0 && above < queries.len(),
+        "τ=μ separated {above}/{} queries",
+        queries.len()
+    );
+}
+
+#[test]
+fn kde_density_agrees_with_direct_aggregate() {
+    let ds = by_name("home").unwrap().generate_n(1_000);
+    let kde = Kde::fit(ds.points.clone());
+    let w = vec![kde.weight(); ds.points.len()];
+    let q = ds.points.point(17);
+    let direct = aggregate_exact(&Kernel::gaussian(kde.gamma()), &ds.points, &w, q);
+    assert!((kde.density_exact(q) - direct).abs() < 1e-12);
+}

@@ -1,0 +1,87 @@
+//! End-to-end Type II / Type III pipelines: SMO training on registry
+//! datasets, classification served through KARL evaluators, answers
+//! compared with the exact model decision.
+
+use karl::core::{BoundMethod, Evaluator, Kernel, LibSvmScan};
+use karl::data::{by_name, sample_queries};
+use karl::geom::{Ball, Rect};
+use karl::svm::{CSvc, OneClassSvm};
+
+#[test]
+fn one_class_tkaq_matches_model_predictions() {
+    let spec = by_name("nsl-kdd").unwrap();
+    let ds = spec.generate_n(1_500);
+    let kernel = Kernel::gaussian(1.0 / ds.points.dims() as f64);
+    let model = OneClassSvm::new(spec.suggested_nu, kernel).train(&ds.points);
+    assert!(model.weights().iter().all(|&w| w > 0.0), "Type II weights");
+
+    let queries = sample_queries(&ds.points, 150, 3);
+    let tau = model.threshold();
+    let eval_kd =
+        Evaluator::<Rect>::build(model.support(), model.weights(), kernel, BoundMethod::Karl, 20);
+    let eval_ball =
+        Evaluator::<Ball>::build(model.support(), model.weights(), kernel, BoundMethod::Karl, 20);
+    for q in queries.iter() {
+        let expect = model.predict(q);
+        assert_eq!(eval_kd.tkaq(q, tau), expect);
+        assert_eq!(eval_ball.tkaq(q, tau), expect);
+    }
+}
+
+#[test]
+fn two_class_tkaq_matches_model_predictions() {
+    let spec = by_name("ijcnn1").unwrap();
+    let ds = spec.generate_n(1_200);
+    let labels = ds.labels.unwrap();
+    let kernel = Kernel::gaussian(1.0 / ds.points.dims() as f64);
+    let model = CSvc::new(10.0, kernel).train(&ds.points, &labels);
+    assert!(
+        model.weights().iter().any(|&w| w < 0.0),
+        "Type III weighting must mix signs"
+    );
+
+    let queries = sample_queries(&ds.points, 150, 4);
+    let tau = model.threshold();
+    let eval =
+        Evaluator::<Rect>::build(model.support(), model.weights(), kernel, BoundMethod::Karl, 20);
+    let libsvm = LibSvmScan::new(model.support().clone(), model.weights().to_vec(), kernel);
+    for q in queries.iter() {
+        let expect = model.predict(q);
+        assert_eq!(eval.tkaq(q, tau), expect, "KARL flipped a prediction");
+        assert_eq!(libsvm.tkaq(q, tau), expect, "LIBSVM-style scan disagrees");
+    }
+}
+
+#[test]
+fn polynomial_kernel_svm_served_by_karl() {
+    // The Table X pipeline: polynomial kernel (deg 3), data in [−1, 1]^d.
+    let spec = by_name("a9a").unwrap();
+    let ds = spec.generate_n(800);
+    let labels = ds.labels.unwrap();
+    let sym = karl::data::normalize_symmetric(&ds.points);
+    let kernel = Kernel::polynomial(1.0 / sym.dims() as f64, 0.0, 3);
+    let model = CSvc::new(2.0, kernel).train(&sym, &labels);
+    let queries = sample_queries(&sym, 100, 5);
+    let tau = model.threshold();
+    let eval =
+        Evaluator::<Rect>::build(model.support(), model.weights(), kernel, BoundMethod::Karl, 20);
+    for q in queries.iter() {
+        assert_eq!(eval.tkaq(q, tau), model.predict(q));
+    }
+}
+
+#[test]
+fn sota_and_karl_agree_on_svm_workloads() {
+    let spec = by_name("covtype").unwrap();
+    let ds = spec.generate_n(1_000);
+    let kernel = Kernel::gaussian(1.0 / ds.points.dims() as f64);
+    let model = OneClassSvm::new(spec.suggested_nu, kernel).train(&ds.points);
+    let queries = sample_queries(&ds.points, 100, 6);
+    let tau = model.threshold();
+    let karl =
+        Evaluator::<Rect>::build(model.support(), model.weights(), kernel, BoundMethod::Karl, 20);
+    let sota = karl.clone().with_method(BoundMethod::Sota);
+    for q in queries.iter() {
+        assert_eq!(karl.tkaq(q, tau), sota.tkaq(q, tau));
+    }
+}

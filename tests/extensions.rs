@@ -1,0 +1,133 @@
+//! Integration coverage for the features beyond the paper's core scope:
+//! the Laplacian kernel, the absolute-gap query mode, the streaming
+//! evaluator, kernel regression and multi-class SVM (the paper's stated
+//! future directions).
+
+use karl::core::{
+    aggregate_exact, BoundMethod, Evaluator, Kernel, Query, StreamingEvaluator,
+};
+use karl::data::{by_name, sample_queries};
+use karl::geom::{PointSet, Rect};
+use karl::kde::KernelRegression;
+use karl::svm::{CSvc, FastMultiClass, MultiClassSvm};
+
+#[test]
+fn laplacian_kernel_end_to_end() {
+    let ds = by_name("home").unwrap().generate_n(1_500);
+    let w = vec![1.0; ds.points.len()];
+    let kernel = Kernel::laplacian(3.0);
+    let eval = Evaluator::<Rect>::build(&ds.points, &w, kernel, BoundMethod::Karl, 16);
+    let queries = sample_queries(&ds.points, 30, 1);
+    for q in queries.iter() {
+        let truth = aggregate_exact(&kernel, &ds.points, &w, q);
+        assert!(eval.tkaq(q, truth * 0.9));
+        assert!(!eval.tkaq(q, truth * 1.1));
+        let est = eval.ekaq(q, 0.15);
+        assert!(est >= 0.85 * truth - 1e-12 && est <= 1.15 * truth + 1e-12);
+    }
+}
+
+#[test]
+fn within_query_encloses_truth_for_mixed_signs() {
+    let ds = by_name("ijcnn1").unwrap().generate_n(800);
+    let w: Vec<f64> = (0..800)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -0.7 })
+        .collect();
+    let kernel = Kernel::gaussian(4.0);
+    let eval = Evaluator::<Rect>::build(&ds.points, &w, kernel, BoundMethod::Karl, 16);
+    let queries = sample_queries(&ds.points, 20, 2);
+    for q in queries.iter() {
+        let truth = aggregate_exact(&kernel, &ds.points, &w, q);
+        for tol in [1.0, 0.1, 0.001] {
+            let (est, half) = eval.within(q, tol);
+            assert!(half <= tol / 2.0 + 1e-12);
+            assert!(
+                (est - truth).abs() <= half + 1e-9 * (1.0 + truth.abs()),
+                "estimate {est} ± {half} misses {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_evaluator_tracks_a_growing_model() {
+    // The online-kernel-learning scenario: the model grows batch by batch
+    // and every intermediate state must answer queries exactly.
+    let ds = by_name("susy").unwrap().generate_n(2_000);
+    let kernel = Kernel::gaussian(5.0);
+    let mut ev = StreamingEvaluator::<Rect>::new(ds.points.dims(), kernel, BoundMethod::Karl, 16);
+    let mut so_far = PointSet::empty(ds.points.dims());
+    let mut weights = Vec::new();
+    for (i, p) in ds.points.iter().enumerate() {
+        ev.insert(p, 1.0);
+        so_far.push(p);
+        weights.push(1.0);
+        if i % 487 == 0 {
+            let q = ds.points.point(i / 2);
+            let truth = aggregate_exact(&kernel, &so_far, &weights, q);
+            assert!((ev.exact(q) - truth).abs() < 1e-9 * (1.0 + truth));
+            assert!(!ev.tkaq(q, truth * 1.05));
+            assert!(ev.tkaq(q, truth * 0.95));
+        }
+    }
+    assert_eq!(ev.len(), 2_000);
+}
+
+#[test]
+fn kernel_regression_on_registry_data() {
+    // Regress a smooth function of the first coordinate on home-like data.
+    let ds = by_name("home").unwrap().generate_n(2_000);
+    let targets: Vec<f64> = ds.points.iter().map(|p| (4.0 * p[0]).sin()).collect();
+    let reg = KernelRegression::fit_with_gamma(ds.points.clone(), &targets, 60.0);
+    let queries = sample_queries(&ds.points, 25, 3);
+    for q in queries.iter() {
+        let exact = reg.predict_exact(q);
+        let est = reg.predict(q, 0.02);
+        assert!(est.lo <= exact + 1e-9 && exact <= est.hi + 1e-9);
+        assert!((est.value - exact).abs() <= 0.02 + 1e-9);
+    }
+}
+
+#[test]
+fn multiclass_svm_served_by_karl() {
+    // 4 latent clusters → 4 classes; the KARL-served voter must agree with
+    // the exact one-vs-one predictor on every query.
+    let ds = by_name("home").unwrap().generate_n(900);
+    // Label by quadrant of the two leading coordinates (an arbitrary but
+    // learnable 4-class structure).
+    let labels: Vec<usize> = ds
+        .points
+        .iter()
+        .map(|p| (usize::from(p[0] > 0.5)) * 2 + usize::from(p[1] > 0.5))
+        .collect();
+    let distinct: std::collections::HashSet<_> = labels.iter().collect();
+    assert!(distinct.len() >= 3, "need a real multi-class problem");
+    let trainer = CSvc::new(10.0, Kernel::gaussian(8.0));
+    let model = MultiClassSvm::train(&trainer, &ds.points, &labels);
+    assert!(model.accuracy(&ds.points, &labels) > 0.9);
+    let fast = FastMultiClass::new(&model, BoundMethod::Karl, 16);
+    let queries = sample_queries(&ds.points, 60, 4);
+    for q in queries.iter() {
+        assert_eq!(fast.predict(q), model.predict(q));
+    }
+}
+
+#[test]
+fn within_query_tol_one_shot_on_type1() {
+    // Query::Within through the AnyEvaluator `answer` plumbing.
+    let ds = by_name("miniboone").unwrap().generate_n(1_000);
+    let w = vec![1.0; 1_000];
+    let kernel = Kernel::gaussian(2.0);
+    let eval = karl::core::AnyEvaluator::build(
+        karl::core::IndexKind::Ball,
+        &ds.points,
+        &w,
+        kernel,
+        BoundMethod::Karl,
+        32,
+    );
+    let q = ds.points.point(123);
+    let truth = aggregate_exact(&kernel, &ds.points, &w, q);
+    let est = eval.answer(q, Query::Within { tol: 0.05 });
+    assert!((est - truth).abs() <= 0.025 + 1e-9);
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the automatic index tuning (Section III-C) on
+//! registry datasets.
+
+use karl::core::{BoundMethod, IndexKind, Kernel, OfflineTuner, OnlineTuner, Query, Scan};
+use karl::data::{by_name, sample_queries};
+use karl::kde::Kde;
+
+#[test]
+fn offline_tuner_sweeps_every_candidate_and_stays_correct() {
+    let ds = by_name("home").unwrap().generate_n(2_000);
+    let kde = Kde::fit(ds.points.clone());
+    let weights = vec![kde.weight(); ds.points.len()];
+    let kernel = Kernel::gaussian(kde.gamma());
+    let sample = sample_queries(&ds.points, 50, 1);
+
+    let tuner = OfflineTuner {
+        leaf_capacities: vec![10, 40, 160],
+        index_kinds: vec![IndexKind::Kd, IndexKind::Ball],
+    };
+    let out = tuner.tune(
+        &ds.points,
+        &weights,
+        kernel,
+        BoundMethod::Karl,
+        &sample,
+        Query::Ekaq { eps: 0.2 },
+    );
+    assert_eq!(out.report.len(), 6, "2 families × 3 capacities");
+
+    // The recommended evaluator honours the ε contract everywhere.
+    let scan = Scan::new(ds.points.clone(), weights, kernel);
+    for q in sample.iter() {
+        let truth = scan.aggregate(q);
+        let est = out.best.ekaq(q, 0.2);
+        assert!(est >= 0.8 * truth - 1e-12 && est <= 1.2 * truth + 1e-12);
+    }
+}
+
+#[test]
+fn online_tuner_end_to_end_on_tkaq_stream() {
+    let ds = by_name("susy").unwrap().generate_n(3_000);
+    let kde = Kde::fit(ds.points.clone());
+    let weights = vec![kde.weight(); ds.points.len()];
+    let kernel = Kernel::gaussian(kde.gamma());
+    let queries = sample_queries(&ds.points, 300, 2);
+    let scan = Scan::new(ds.points.clone(), weights.clone(), kernel);
+    let mu: f64 = queries.iter().map(|q| scan.aggregate(q)).sum::<f64>() / queries.len() as f64;
+
+    let report = OnlineTuner::default().run(
+        &ds.points,
+        &weights,
+        kernel,
+        BoundMethod::Karl,
+        &queries,
+        Query::Tkaq { tau: mu },
+    );
+    assert_eq!(report.answers.len(), queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let truth = scan.aggregate(q) >= mu;
+        assert_eq!(report.answers[i] == 1.0, truth, "query {i} answer drifted");
+    }
+    assert!(report.build_time.as_nanos() > 0);
+    assert!(report.throughput > 0.0);
+}
+
+#[test]
+fn online_tuner_level_is_within_tree_depth() {
+    let ds = by_name("miniboone").unwrap().generate_n(1_000);
+    let weights = vec![1.0; ds.points.len()];
+    let kernel = Kernel::gaussian(2.0);
+    let queries = sample_queries(&ds.points, 100, 3);
+    let tuner = OnlineTuner {
+        sample_fraction: 0.1,
+        leaf_capacity: 4,
+    };
+    let report = tuner.run(
+        &ds.points,
+        &weights,
+        kernel,
+        BoundMethod::Karl,
+        &queries,
+        Query::Ekaq { eps: 0.3 },
+    );
+    // log2(1000/4) ≈ 8 levels; the chosen level must be a real level.
+    assert!(report.chosen_level <= 16, "level {}", report.chosen_level);
+}
