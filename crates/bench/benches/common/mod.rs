@@ -4,7 +4,7 @@
 //! experiment *binaries* (`cargo run -p karl-bench --bin exp_*`) are the
 //! full-fidelity versions of the same measurements.
 
-use criterion::Criterion;
+use karl_testkit::bench::Criterion;
 use karl_bench::Config;
 
 /// The tiny benchmark configuration.

@@ -4,7 +4,7 @@
 
 mod common;
 
-use criterion::black_box;
+use karl_testkit::bench::black_box;
 use karl_core::BoundMethod;
 use karl_data::by_name;
 use karl_geom::PointSet;

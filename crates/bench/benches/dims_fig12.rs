@@ -3,7 +3,7 @@
 
 mod common;
 
-use criterion::black_box;
+use karl_testkit::bench::black_box;
 use karl_bench::workloads::build_type1_from_points;
 use karl_core::{AnyEvaluator, BoundMethod, IndexKind};
 use karl_data::{by_name, normalize_unit, Pca};

@@ -3,7 +3,7 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
+use karl_testkit::bench::{black_box, Criterion};
 use karl_bench::workloads::{build_type1, build_type2, build_type3, KernelFamily, Workload};
 use karl_core::{AnyEvaluator, BoundMethod, IndexKind, LibSvmScan, Query, Scan};
 

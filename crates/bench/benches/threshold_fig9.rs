@@ -3,7 +3,7 @@
 
 mod common;
 
-use criterion::black_box;
+use karl_testkit::bench::black_box;
 use karl_bench::workloads::build_type1;
 use karl_core::{AnyEvaluator, BoundMethod, IndexKind};
 

@@ -5,7 +5,7 @@
 
 mod common;
 
-use criterion::black_box;
+use karl_testkit::bench::black_box;
 use karl_bench::workloads::build_type1;
 use karl_core::{node_bounds, BoundMethod, Evaluator};
 use karl_geom::{norm2, Rect};

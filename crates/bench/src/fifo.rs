@@ -98,8 +98,8 @@ impl FifoEvaluator {
 mod tests {
     use super::*;
     use karl_core::aggregate_exact;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     #[test]
     fn fifo_answers_match_ground_truth() {

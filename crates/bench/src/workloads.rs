@@ -166,9 +166,9 @@ fn must_spec(name: &str) -> DatasetSpec {
 }
 
 fn pick_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use karl_testkit::rng::seq::SliceRandom;
+    use karl_testkit::rng::SeedableRng;
+    let mut rng = karl_testkit::rng::StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..n).collect();
     let (chosen, _) = idx.partial_shuffle(&mut rng, k.min(n));
     chosen.to_vec()

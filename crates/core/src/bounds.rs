@@ -90,9 +90,9 @@ mod tests {
     use crate::kernel::aggregate_exact;
     use karl_geom::{norm2, Ball, PointSet, Rect};
     use karl_tree::{BallTree, KdTree};
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
+    use karl_testkit::prop_assert;
 
     fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -231,7 +231,7 @@ mod tests {
         assert!((b.ub - exact).abs() < 1e-10);
     }
 
-    proptest! {
+    karl_testkit::props! {
         /// Randomized version of the bracketing + tightness invariants.
         #[test]
         fn prop_bounds_bracket_and_karl_tighter(

@@ -152,7 +152,7 @@ impl Curve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use karl_testkit::prop_assert;
 
     #[test]
     fn neg_exp_values() {
@@ -229,7 +229,7 @@ mod tests {
         assert!(lo < 0.0 && hi > 0.0);
     }
 
-    proptest! {
+    karl_testkit::props! {
         /// `range` must bracket pointwise values on a dense grid.
         #[test]
         fn prop_range_brackets_values(

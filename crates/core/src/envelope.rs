@@ -243,7 +243,7 @@ pub fn envelope(curve: Curve, lo: f64, hi: f64, xbar: f64) -> Envelope {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use karl_testkit::prop_assert;
 
     const CURVES: [Curve; 7] = [
         Curve::NegExp,
@@ -386,7 +386,26 @@ mod tests {
         }
     }
 
-    proptest! {
+    /// Regression pinned from a recorded proptest failure seed (formerly
+    /// `proptest-regressions/envelope.txt`, which shrank to
+    /// `a = 0.0, b = 5.0656497446710285, frac = 0.0`): with x̄ exactly at
+    /// the interval's left edge, the tangent lower bound evaluated at x̄
+    /// must still dominate SOTA's constant `f(hi)` (Lemma 4 edge case).
+    #[test]
+    fn regression_tangent_at_left_edge_dominates_sota() {
+        let (lo, hi) = (0.0, 5.0656497446710285);
+        let curve = Curve::NegExp;
+        let xbar = lo; // frac = 0.0 ⇒ x̄ degenerates onto the lower endpoint
+        let env = envelope(curve, lo, hi, xbar);
+        let (fmin, fmax) = curve.range(lo, hi);
+        for k in 0..=32 {
+            let x = lo + (hi - lo) * (k as f64 / 32.0);
+            assert!(env.upper.eval(x) <= fmax + 1e-9, "chord UB above SOTA at {x}");
+        }
+        assert!(env.lower.eval(xbar) + 1e-9 >= fmin, "tangent LB below SOTA at x̄");
+    }
+
+    karl_testkit::props! {
         /// Envelope validity on random intervals for every curve.
         #[test]
         fn prop_envelope_bounds_curve(

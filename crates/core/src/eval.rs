@@ -452,9 +452,9 @@ mod tests {
     use super::*;
     use crate::kernel::aggregate_exact;
     use karl_geom::{Ball, Rect};
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
+    use karl_testkit::{prop_assert, prop_assert_eq};
 
     fn clustered_points(n: usize, d: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -723,7 +723,7 @@ mod tests {
         }
     }
 
-    proptest! {
+    karl_testkit::props! {
         /// TKAQ must agree with the scan ground truth for random mixed-sign
         /// workloads, kernels and thresholds.
         #[test]
@@ -754,7 +754,7 @@ mod tests {
         fn prop_ekaq_within_eps(
             seed in 0u64..40,
             eps in 0.02f64..0.6,
-            ball in proptest::bool::ANY,
+            ball in karl_testkit::props::bools(),
         ) {
             let n = 200;
             let ps = clustered_points(n, 2, seed);

@@ -236,7 +236,8 @@ pub fn aggregate_exact(
 mod tests {
     use super::*;
     use karl_geom::{PointSet, Rect};
-    use proptest::prelude::*;
+    use karl_testkit::props::vec_of;
+    use karl_testkit::prop_assert;
 
     #[test]
     fn gaussian_eval() {
@@ -303,14 +304,13 @@ mod tests {
         assert!((f - (2.0 + 3.0 * (-1.0f64).exp())).abs() < 1e-12);
     }
 
-    proptest! {
+    karl_testkit::props! {
         /// X aggregate from node stats equals the brute-force Σ wᵢ·xᵢ.
         #[test]
         fn prop_x_aggregate_matches_bruteforce(
-            rows in prop::collection::vec(
-                prop::collection::vec(-5.0f64..5.0, 3), 1..10),
-            ws in prop::collection::vec(0.01f64..4.0, 10),
-            q in prop::collection::vec(-5.0f64..5.0, 3),
+            rows in vec_of(vec_of(-5.0f64..5.0, 3), 1..10),
+            ws in vec_of(0.01f64..4.0, 10),
+            q in vec_of(-5.0f64..5.0, 3),
             kid in 0usize..3,
         ) {
             let ps = PointSet::from_rows(&rows);
@@ -331,9 +331,8 @@ mod tests {
         /// eval_range over the full range equals aggregate_exact.
         #[test]
         fn prop_eval_range_matches_aggregate(
-            rows in prop::collection::vec(
-                prop::collection::vec(-3.0f64..3.0, 2), 1..10),
-            q in prop::collection::vec(-3.0f64..3.0, 2),
+            rows in vec_of(vec_of(-3.0f64..3.0, 2), 1..10),
+            q in vec_of(-3.0f64..3.0, 2),
         ) {
             let ps = PointSet::from_rows(&rows);
             let w: Vec<f64> = (0..ps.len()).map(|i| 1.0 + i as f64 * 0.1).collect();

@@ -131,8 +131,8 @@ impl LibSvmScan {
 mod tests {
     use super::*;
     use crate::kernel::aggregate_exact;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);

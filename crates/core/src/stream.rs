@@ -181,8 +181,8 @@ mod tests {
     use super::*;
     use crate::kernel::aggregate_exact;
     use karl_geom::Rect;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     fn stream_points(n: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -377,8 +377,8 @@ fn answer_at_level(eval: &KdEvaluator, q: &[f64], workload: Query, level: u16) -
 mod tests {
     use super::*;
     use crate::kernel::aggregate_exact;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     fn clustered(n: usize, d: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -5,9 +5,9 @@
 //! `[−1, 1]^d`, query sets are random samples of the data.
 
 use karl_geom::PointSet;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use karl_testkit::rng::StdRng;
+use karl_testkit::rng::seq::SliceRandom;
+use karl_testkit::rng::{Rng, SeedableRng};
 
 /// Min–max normalizes each dimension into `[0, 1]`. Dimensions with zero
 /// extent map to `0.5`.

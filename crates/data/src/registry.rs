@@ -27,8 +27,8 @@
 //! polynomial-kernel experiments.
 
 use karl_geom::PointSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use karl_testkit::rng::StdRng;
+use karl_testkit::rng::{Rng, SeedableRng};
 
 use crate::prep::normalize_unit;
 
@@ -272,12 +272,9 @@ fn push_embedded(
     }
 }
 
-/// A standard normal sample via Box–Muller (the `rand` crate alone ships no
-/// normal distribution).
+/// A standard normal sample (delegates to the testkit's Box–Muller).
 fn normal_sample(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-300);
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    rng.random_normal()
 }
 
 #[cfg(test)]

@@ -103,7 +103,8 @@ impl BoundingShape for Ball {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use karl_testkit::props::vec_of;
+    use karl_testkit::prop_assert;
 
     #[test]
     fn bounding_range_contains_members() {
@@ -154,14 +155,13 @@ mod tests {
         Ball::new(vec![0.0], -1.0);
     }
 
-    proptest! {
+    karl_testkit::props! {
         /// Distance and inner-product bounds bracket the exact values for
         /// every member point of a ball built over random data.
         #[test]
         fn prop_ball_bounds_bracket_truth(
-            rows in prop::collection::vec(
-                prop::collection::vec(-20.0f64..20.0, 3), 2..8),
-            q in prop::collection::vec(-20.0f64..20.0, 3),
+            rows in vec_of(vec_of(-20.0f64..20.0, 3), 2..8),
+            q in vec_of(-20.0f64..20.0, 3),
         ) {
             let ps = PointSet::from_rows(&rows);
             let b = Ball::bounding_range(&ps, 0, ps.len());

@@ -168,7 +168,8 @@ impl BoundingShape for Rect {
 mod tests {
     use super::*;
     use crate::dist::{dist2, dot};
-    use proptest::prelude::*;
+    use karl_testkit::props::vec_of;
+    use karl_testkit::prop_assert;
 
     fn unit_square() -> Rect {
         Rect::new(vec![0.0, 0.0], vec![1.0, 1.0])
@@ -247,15 +248,15 @@ mod tests {
         assert_eq!(r.ip_min(&q), r.ip_max(&q));
     }
 
-    proptest! {
+    karl_testkit::props! {
         /// For random rectangles, queries and points inside the rectangle,
         /// the distance and inner-product bounds must bracket the exact
         /// values (the correctness contract of `BoundingShape`).
         #[test]
         fn prop_rect_bounds_bracket_truth(
-            corners in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..5),
-            q in prop::collection::vec(-50.0f64..50.0, 2),
-            frac in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..6),
+            corners in vec_of((-50.0f64..50.0, -50.0f64..50.0), 2..5),
+            q in vec_of(-50.0f64..50.0, 2),
+            frac in vec_of((0.0f64..=1.0, 0.0f64..=1.0), 1..6),
         ) {
             let rows: Vec<Vec<f64>> = corners.iter().map(|&(a, b)| vec![a, b]).collect();
             let ps = PointSet::from_rows(&rows);

@@ -135,8 +135,8 @@ impl Kde {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     fn blob(n: usize, d: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);

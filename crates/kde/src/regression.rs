@@ -139,8 +139,8 @@ impl KernelRegression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     /// y = sin(2πx) + noise on [0, 1].
     fn sine_data(n: usize, seed: u64) -> (PointSet, Vec<f64>) {

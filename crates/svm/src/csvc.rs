@@ -74,8 +74,8 @@ impl CSvc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     /// Two Gaussian blobs, labels by blob.
     fn blobs(n: usize, sep: f64, seed: u64) -> (PointSet, Vec<f64>) {

@@ -292,8 +292,8 @@ pub fn load_model(
 mod tests {
     use super::*;
     use crate::csvc::CSvc;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     fn trained_model() -> SvmModel {
         let mut rng = StdRng::seed_from_u64(1);

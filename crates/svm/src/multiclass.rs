@@ -144,8 +144,8 @@ impl FastMultiClass {
 mod tests {
     use super::*;
     use karl_core::Kernel;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     /// Three well-separated blobs labeled 0/1/2.
     fn three_blobs(n: usize, seed: u64) -> (PointSet, Vec<usize>) {

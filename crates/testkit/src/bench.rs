@@ -1,0 +1,187 @@
+//! A wall-clock micro-benchmark timer with a Criterion-shaped API.
+//!
+//! The 16 bench targets under `crates/bench/benches/` were written against
+//! Criterion; this module keeps their source shape (`Criterion`,
+//! `benchmark_group`, `bench_function`, `b.iter(..)`, `black_box`) while
+//! replacing the statistics engine with a plain median-of-samples timer,
+//! so the suite builds with zero registry dependencies. It reports
+//! median/min/max nanoseconds per iteration on stdout. It does *no*
+//! outlier analysis — for paper-grade numbers use the experiment binaries
+//! (`cargo run -p karl-bench --bin exp_*`).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (API work-alike of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(700),
+            filter: None,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Reads CLI arguments: the first non-flag argument becomes a substring
+    /// filter on benchmark ids; harness flags (`--bench`, `--exact`, …) are
+    /// ignored for compatibility with `cargo bench` invocation.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--sample-size" {
+                if let Some(v) = args.next() {
+                    self.sample_size = v.parse().expect("--sample-size takes a number");
+                }
+            } else if !a.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(a);
+            }
+        }
+        self
+    }
+
+    /// Starts a named group; ids become `group/function`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.into(), sample_size: None }
+    }
+
+    /// Times one function under a bare id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let n = self.sample_size;
+        self.run_one(id, n, f);
+        self
+    }
+
+    /// Prints a closing line. (Criterion compatibility; statistics were
+    /// already printed per benchmark.)
+    pub fn final_summary(self) {
+        eprintln!("karl-testkit bench: {} benchmark(s) run", self.ran);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up doubles as calibration: find an iteration count whose
+        // batch runtime is long enough to swamp timer quantisation.
+        let mut iters: u64 = 1;
+        let warm_deadline = Instant::now() + self.warm_up;
+        let per_iter = loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            let per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+            if Instant::now() >= warm_deadline {
+                break per_iter;
+            }
+            iters = iters.saturating_mul(2).min(1 << 30);
+        };
+        let per_sample = self.measurement.max(Duration::from_millis(1)) / sample_size as u32;
+        let batch = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+        let mut samples: Vec<f64> = (0..sample_size)
+            .map(|_| {
+                let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        self.ran += 1;
+    }
+}
+
+/// A named group of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Times one function under `prefix/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, id.as_ref());
+        let n = self.sample_size.unwrap_or(self.c.sample_size);
+        self.c.run_one(&full, n, f);
+        self
+    }
+
+    /// Ends the group (Criterion compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the workload a set number of times.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `f`, keeping results opaque to
+    /// the optimiser.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}

@@ -1,0 +1,23 @@
+//! Hermetic test substrate for the KARL workspace.
+//!
+//! Every crate in this workspace tests against this crate instead of
+//! registry dev-dependencies (`rand`, `proptest`, `criterion`), so
+//! `cargo build --release && cargo test -q` resolves and passes with the
+//! network disabled. Four pieces:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (SplitMix64 seeding a
+//!   xoshiro256++ core) with uniform ranges, Gaussian sampling and slice
+//!   shuffling, API-compatible with the `rand` call sites it replaced.
+//! * [`props`] — a minimal property-testing harness (the [`props!`] macro)
+//!   with case generation, greedy failure shrinking and fixed-seed replay
+//!   via the `KARL_TEST_SEED` environment variable.
+//! * [`oracle`] — brute-force reference implementations (exact kernel
+//!   sums, naive k-NN) and an interval checker used to verify the paper's
+//!   soundness claims: KARL's bounds change *speed*, never *answers*.
+//! * [`bench`] — a tiny wall-clock micro-benchmark timer with a
+//!   Criterion-shaped API for the `criterion-benches`-gated bench targets.
+
+pub mod bench;
+pub mod oracle;
+pub mod props;
+pub mod rng;

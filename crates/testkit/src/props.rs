@@ -1,0 +1,430 @@
+//! Minimal property-based testing: generation, shrinking, seeded replay.
+//!
+//! The [`props!`] macro is the porting target for the workspace's former
+//! `proptest!` blocks:
+//!
+//! ```
+//! karl_testkit::props! {
+//!     #[test]
+//!     fn addition_commutes(a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6) {
+//!         karl_testkit::prop_assert!((a + b - (b + a)).abs() == 0.0);
+//!     }
+//! }
+//! ```
+//!
+//! Each property runs a fixed number of generated cases (default 64,
+//! `KARL_TEST_CASES` overrides). The base seed is a fixed constant mixed
+//! with the property's name, so every test owns a deterministic stream and
+//! two executions are bit-identical. On failure the harness greedily
+//! shrinks the counterexample (halving numbers toward their lower bound,
+//! dropping vector elements) and panics with the shrunk input plus the
+//! `KARL_TEST_SEED=<seed>` incantation that replays the exact run.
+
+use crate::rng::{bounded_u64, RngCore, SampleRange, SeedableRng, StdRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Fixed base seed for all property streams (overridden by `KARL_TEST_SEED`).
+pub const DEFAULT_BASE_SEED: u64 = 0x4B41_524C_5445_5354; // "KARLTEST"
+
+/// Default number of generated cases per property (`KARL_TEST_CASES` overrides).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Upper bound on accepted shrink steps, to keep failing runs fast.
+const MAX_SHRINK_STEPS: u32 = 512;
+
+/// A source of random values of one type, plus candidate simplifications
+/// used to shrink a failing input.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Returns strictly-simpler candidate replacements for `value` (may be
+    /// empty). Candidates must stay inside the strategy's domain.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.clone().sample(rng)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64(*value, self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.clone().sample(rng)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64(*value, *self.start())
+    }
+}
+
+/// Candidates moving `v` toward `lo`: the bound itself, the midpoint, and
+/// the integer truncation (rounder numbers make failures readable).
+fn shrink_f64(v: f64, lo: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if v != lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2.0;
+        if mid != v && mid != lo {
+            out.push(mid);
+        }
+        let trunc = v.trunc();
+        if trunc != v && trunc > lo {
+            out.push(trunc);
+        }
+    }
+    out
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample(rng)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (v, lo) = (*value, self.start);
+                let mut out = Vec::new();
+                if v != lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != v && mid != lo {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo && v - 1 != mid {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+
+int_strategy!(usize, u64, u32, i64, i32);
+
+/// Strategy for a fair boolean; `true` shrinks to `false`.
+#[derive(Clone, Copy, Debug)]
+pub struct Bools;
+
+/// Returns the boolean strategy (the port of `proptest::bool::ANY`).
+pub fn bools() -> Bools {
+    Bools
+}
+
+impl Strategy for Bools {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Inclusive bounds on a generated vector's length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy producing `Vec<E::Value>` (the port of `prop::collection::vec`).
+#[derive(Clone, Debug)]
+pub struct VecStrategy<E> {
+    elem: E,
+    len: SizeRange,
+}
+
+/// Builds a vector strategy: `len` accepts a fixed `usize`, `a..b`, or `a..=b`.
+pub fn vec_of<E: Strategy>(elem: E, len: impl Into<SizeRange>) -> VecStrategy<E> {
+    VecStrategy { elem, len: len.into() }
+}
+
+impl<E: Strategy> Strategy for VecStrategy<E> {
+    type Value = Vec<E::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<E::Value> {
+        let span = (self.len.max - self.len.min) as u64;
+        let n = self.len.min + if span == 0 { 0 } else { bounded_u64(rng, span + 1) as usize };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<E::Value>) -> Vec<Vec<E::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: dropping elements simplifies fastest.
+        if value.len() > self.len.min {
+            for i in 0..value.len() {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        for (i, elem) in value.iter().enumerate() {
+            for candidate in self.elem.shrink(elem) {
+                let mut simpler = value.clone();
+                simpler[i] = candidate;
+                out.push(simpler);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+),)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut simpler = value.clone();
+                        simpler.$idx = candidate;
+                        out.push(simpler);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+}
+
+/// The outcome of one case execution.
+enum CaseResult {
+    Pass,
+    Fail(String),
+}
+
+fn run_case<V, F: Fn(V)>(test: &F, value: V) -> CaseResult {
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(()) => CaseResult::Pass,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            CaseResult::Fail(msg)
+        }
+    }
+}
+
+/// Restores the previous panic hook when dropped, even on unwind.
+struct HookGuard;
+
+impl HookGuard {
+    fn silence() -> Self {
+        // Shrinking re-runs the failing body many times; the default hook
+        // would spam a backtrace per attempt. The message is captured from
+        // the payload instead and reported once at the end.
+        std::panic::set_hook(Box::new(|_| {}));
+        HookGuard
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// Per-test seed: the base seed (env override or default) mixed with the
+/// property name via FNV-1a, so each property owns an independent stream.
+fn effective_seeds(name: &str) -> (u64, u64) {
+    let base = match std::env::var("KARL_TEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("KARL_TEST_SEED must be a u64, got {s:?}")),
+        Err(_) => DEFAULT_BASE_SEED,
+    };
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (base, base ^ h)
+}
+
+fn case_count() -> u32 {
+    match std::env::var("KARL_TEST_CASES") {
+        Ok(s) => s
+            .trim()
+            .parse::<u32>()
+            .unwrap_or_else(|_| panic!("KARL_TEST_CASES must be a u32, got {s:?}")),
+        Err(_) => DEFAULT_CASES,
+    }
+}
+
+/// Outcome of [`run_property_raw`]: the shrunk counterexample, if any.
+pub struct Failure<V> {
+    /// The first generated input that failed.
+    pub original: V,
+    /// The simplest failing input the shrinker reached.
+    pub shrunk: V,
+    /// Panic message from the shrunk input's execution.
+    pub message: String,
+    /// Index of the failing case within the run.
+    pub case: u32,
+    /// Base seed that replays the run.
+    pub base_seed: u64,
+    /// Number of accepted shrink steps.
+    pub shrink_steps: u32,
+}
+
+/// Runs `cases` generated inputs of `strat` through `test`, shrinking the
+/// first failure. Library entry point — the [`props!`] macro and the
+/// harness's own meta-tests build on this.
+pub fn run_property_raw<S: Strategy, F: Fn(S::Value)>(
+    name: &str,
+    strat: &S,
+    cases: u32,
+    test: F,
+) -> Result<(), Failure<S::Value>> {
+    let (base_seed, stream_seed) = effective_seeds(name);
+    let mut rng = StdRng::seed_from_u64(stream_seed);
+    let _guard = HookGuard::silence();
+    for case in 0..cases {
+        let value = strat.generate(&mut rng);
+        let msg = match run_case(&test, value.clone()) {
+            CaseResult::Pass => continue,
+            CaseResult::Fail(msg) => msg,
+        };
+        // Greedy shrink: take the first simpler candidate that still fails.
+        let original = value.clone();
+        let mut best = value;
+        let mut best_msg = msg;
+        let mut steps = 0;
+        'outer: while steps < MAX_SHRINK_STEPS {
+            for candidate in strat.shrink(&best) {
+                if let CaseResult::Fail(m) = run_case(&test, candidate.clone()) {
+                    best = candidate;
+                    best_msg = m;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        return Err(Failure {
+            original,
+            shrunk: best,
+            message: best_msg,
+            case,
+            base_seed,
+            shrink_steps: steps,
+        });
+    }
+    Ok(())
+}
+
+/// Macro-facing wrapper: runs the property and panics with a replayable
+/// report on failure.
+pub fn run_property<S: Strategy, F: Fn(S::Value)>(name: &str, strat: S, test: F) {
+    if let Err(fail) = run_property_raw(name, &strat, case_count(), test) {
+        panic!(
+            "property {name} failed (case {case} of the run)\n\
+             shrunk input ({steps} shrink steps): {shrunk:?}\n\
+             original input: {orig:?}\n\
+             assertion: {msg}\n\
+             replay with: KARL_TEST_SEED={seed} cargo test {name}",
+            name = name,
+            case = fail.case,
+            steps = fail.shrink_steps,
+            shrunk = fail.shrunk,
+            orig = fail.original,
+            msg = fail.message,
+            seed = fail.base_seed,
+        );
+    }
+}
+
+/// Declares property tests: `fn name(binding in strategy, ...) { body }`.
+///
+/// Each function becomes a `#[test]` (attributes written on the function
+/// are preserved) whose bindings are generated from the given strategies.
+/// Use [`prop_assert!`]/[`prop_assert_eq!`] (or plain `assert!`) in the body.
+#[macro_export]
+macro_rules! props {
+    ($( $(#[$attr:meta])* fn $name:ident( $($pat:ident in $strat:expr),+ $(,)? ) $body:block )+) => {$(
+        $(#[$attr])*
+        fn $name() {
+            $crate::props::run_property(
+                stringify!($name),
+                ($($strat,)+),
+                |($($pat,)+)| { $body },
+            );
+        }
+    )+};
+}
+
+/// Asserts a property-body condition (API-compatible with proptest's).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality in a property body (API-compatible with proptest's).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}

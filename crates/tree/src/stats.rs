@@ -82,7 +82,8 @@ impl NodeStats {
 mod tests {
     use super::*;
     use karl_geom::dist2;
-    use proptest::prelude::*;
+    use karl_testkit::props::vec_of;
+    use karl_testkit::prop_assert;
 
     #[test]
     fn aggregates_match_bruteforce() {
@@ -116,15 +117,14 @@ mod tests {
         NodeStats::from_range(&ps, &[1.0], 1, 1);
     }
 
-    proptest! {
+    karl_testkit::props! {
         /// The O(d) expansion of Σ wᵢ·dist² must match the brute-force sum
         /// for random data — this is exactly Lemma 2 of the paper.
         #[test]
         fn prop_weighted_dist2_sum_matches_bruteforce(
-            rows in prop::collection::vec(
-                prop::collection::vec(-10.0f64..10.0, 3), 1..12),
-            ws in prop::collection::vec(0.0f64..5.0, 12),
-            q in prop::collection::vec(-10.0f64..10.0, 3),
+            rows in vec_of(vec_of(-10.0f64..10.0, 3), 1..12),
+            ws in vec_of(0.0f64..5.0, 12),
+            q in vec_of(-10.0f64..10.0, 3),
         ) {
             let ps = PointSet::from_rows(&rows);
             let w = &ws[..ps.len()];
@@ -140,10 +140,9 @@ mod tests {
         /// Same for the weighted inner-product sum (polynomial kernel path).
         #[test]
         fn prop_weighted_ip_sum_matches_bruteforce(
-            rows in prop::collection::vec(
-                prop::collection::vec(-10.0f64..10.0, 2), 1..12),
-            ws in prop::collection::vec(-3.0f64..3.0, 12),
-            q in prop::collection::vec(-10.0f64..10.0, 2),
+            rows in vec_of(vec_of(-10.0f64..10.0, 2), 1..12),
+            ws in vec_of(-3.0f64..3.0, 12),
+            q in vec_of(-10.0f64..10.0, 2),
         ) {
             let ps = PointSet::from_rows(&rows);
             let w = &ws[..ps.len()];

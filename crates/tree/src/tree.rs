@@ -287,9 +287,9 @@ fn split_range(
 mod tests {
     use super::*;
     use karl_geom::dist2;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use karl_testkit::prop_assert;
+    use karl_testkit::rng::StdRng;
+    use karl_testkit::rng::{Rng, SeedableRng};
 
     fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -463,7 +463,7 @@ mod tests {
         assert_eq!(tree.node(b).len(), 128);
     }
 
-    proptest! {
+    karl_testkit::props! {
         /// Exact aggregation over the root equals brute force over the
         /// original data, and every node's S(q) expansion is consistent.
         #[test]

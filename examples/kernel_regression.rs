@@ -11,8 +11,8 @@ use std::time::Instant;
 
 use karl::geom::PointSet;
 use karl::kde::KernelRegression;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use karl_testkit::rng::StdRng;
+use karl_testkit::rng::{Rng, SeedableRng};
 
 fn main() {
     // A noisy 1-d regression problem: y = sin(2πx) + x + noise.
