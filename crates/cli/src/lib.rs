@@ -5,6 +5,7 @@
 //! * `datasets` — list the paper's synthetic dataset registry.
 //! * `generate` — write a registry dataset to CSV.
 //! * `kde` — answer density queries (TKAQ or eKAQ) over a CSV dataset.
+//! * `batch` — the same queries through the parallel batch engine.
 //! * `svm-train` — train a C-SVC / one-class model, save LIBSVM format.
 //! * `svm-predict` — classify queries with a saved model through KARL.
 //! * `tune` — run the offline index tuner and print the grid report.
@@ -27,6 +28,9 @@ commands:
   generate  --name N --n COUNT --out FILE [--labeled]
   kde       --data FILE --queries FILE (--tau T | --eps E)
             [--method karl|sota] [--leaf CAP] [--gamma G]
+  batch     --data FILE --queries FILE (--tau T | --eps E | --tol W)
+            [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
+            parallel batch engine; KARL_THREADS env sets the default N
   svm-train --data FILE --svm csvc|oneclass --out MODEL
             [--format csv-last|csv-first|libsvm] [--c C] [--nu NU]
             [--kernel rbf|poly|sigmoid|laplacian] [--gamma G]
@@ -44,6 +48,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("datasets") => commands::datasets(&parsed),
         Some("generate") => commands::generate(&parsed),
         Some("kde") => commands::kde(&parsed),
+        Some("batch") => commands::batch(&parsed),
         Some("svm-train") => commands::svm_train(&parsed),
         Some("svm-predict") => commands::svm_predict(&parsed),
         Some("tune") => commands::tune(&parsed),
@@ -147,6 +152,115 @@ mod tests {
         let answers: Vec<&str> = result.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(answers.len(), 400);
         assert!(answers.iter().all(|&a| a == "1" || a == "0"));
+    }
+
+    #[test]
+    fn batch_answers_match_sequential_kde_exactly() {
+        let data = tmp("batch_home.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "700",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        for workload in [["--eps", "0.2"], ["--tau", "0.05"]] {
+            let mut kde_args = vec![
+                "kde",
+                "--data",
+                data.to_str().unwrap(),
+                "--queries",
+                data.to_str().unwrap(),
+            ];
+            kde_args.extend_from_slice(&workload);
+            let sequential = run_vec(&kde_args).unwrap();
+            for threads in ["1", "2", "4"] {
+                let mut batch_args = vec![
+                    "batch",
+                    "--data",
+                    data.to_str().unwrap(),
+                    "--queries",
+                    data.to_str().unwrap(),
+                    "--threads",
+                    threads,
+                ];
+                batch_args.extend_from_slice(&workload);
+                let parallel = run_vec(&batch_args).unwrap();
+                assert_eq!(
+                    strip(&sequential),
+                    strip(&parallel),
+                    "batch ({threads} threads) must match kde for {workload:?}"
+                );
+                assert!(parallel.lines().any(|l| l.starts_with("# throughput")));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_within_mode_prints_finite_estimates() {
+        let data = tmp("batch_within.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "300",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_vec(&[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--tol",
+            "0.001",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        let values: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(values.len(), 300);
+        assert!(values.iter().all(|v| v.parse::<f64>().unwrap().is_finite()));
+    }
+
+    #[test]
+    fn batch_requires_exactly_one_workload() {
+        let data = tmp("batch_wl.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "100",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run_vec(&[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--tau",
+            "0.1",
+            "--eps",
+            "0.1",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--tau, --eps or --tol"));
     }
 
     #[test]

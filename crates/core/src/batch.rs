@@ -1,0 +1,493 @@
+//! Batch query execution: scoped-thread workers over one evaluator.
+//!
+//! The paper measures single-query refinement cost; a serving system cares
+//! about *throughput over a stream of queries*. This module amortizes the
+//! index across a whole batch:
+//!
+//! * **Parallelism** — `std::thread::scope` workers (no runtime, no
+//!   registry dependencies) pull chunks of query indices off an atomic
+//!   work-stealing cursor, so skewed per-query refinement cost balances
+//!   automatically.
+//! * **Allocation reuse** — each worker owns one [`Scratch`] (priority
+//!   queue storage + trace buffer) threaded through
+//!   [`Evaluator::run_with_scratch`], so the per-query hot path performs
+//!   zero heap allocations once the buffers reach the workload's
+//!   high-water mark.
+//! * **Determinism** — every query's [`RunOutcome`] is written to its own
+//!   slot, each query is evaluated by exactly the same code path as the
+//!   sequential [`Evaluator::run_query`], and the heap's refinement order
+//!   is a pure function of the query (equal-gap ties break on node id).
+//!   A batch result is therefore **bitwise identical** to the sequential
+//!   loop, at any thread count.
+//!
+//! The thread count resolves in order: [`QueryBatch::threads`] override →
+//! `KARL_THREADS` environment variable → `available_parallelism`, and is
+//! finally capped by the number of queries.
+//!
+//! ```
+//! use karl_core::{BoundMethod, Evaluator, Kernel, Query, QueryBatch};
+//! use karl_geom::{PointSet, Rect};
+//!
+//! let points = PointSet::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+//! let eval = Evaluator::<Rect>::build(
+//!     &points, &[1.0, 1.0], Kernel::gaussian(0.5), BoundMethod::Karl, 2);
+//! let queries = PointSet::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]);
+//!
+//! let out = QueryBatch::new(&queries, Query::Tkaq { tau: 1.0 })
+//!     .threads(2)
+//!     .run(&eval);
+//! assert_eq!(out.decisions(), vec![true, false]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use karl_geom::PointSet;
+use karl_tree::NodeShape;
+
+use crate::eval::{decide_tkaq, estimate_ekaq, Evaluator, Query, RunOutcome, Scratch};
+use crate::tuning::AnyEvaluator;
+
+/// Queries are handed to workers in index chunks of this size: large enough
+/// that the `fetch_add` on the shared cursor is negligible next to even the
+/// cheapest query, small enough that a straggler chunk cannot idle the
+/// other workers at the end of a batch.
+const CHUNK: usize = 16;
+
+/// Resolves the worker count for a batch: explicit request →
+/// `KARL_THREADS` → `available_parallelism` → 1. Zero and unparsable
+/// values of `KARL_THREADS` are ignored rather than honored as nonsense.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("KARL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A set of queries to evaluate under one query specification.
+///
+/// Built once, runnable against any evaluator whose dimensionality matches;
+/// see the [module docs](self) for the execution model.
+#[derive(Debug, Clone)]
+pub struct QueryBatch<'a> {
+    queries: &'a PointSet,
+    query: Query,
+    threads: Option<usize>,
+    level_cap: Option<u16>,
+}
+
+impl<'a> QueryBatch<'a> {
+    /// Creates a batch of `queries` all answering `query`.
+    ///
+    /// # Panics
+    /// Panics if the query's budget parameter is invalid (`eps <= 0` or
+    /// `tol <= 0`) — validated here once instead of per query.
+    pub fn new(queries: &'a PointSet, query: Query) -> Self {
+        match query {
+            Query::Ekaq { eps } => assert!(eps > 0.0, "eps must be positive"),
+            Query::Within { tol } => assert!(tol > 0.0, "tol must be positive"),
+            Query::Tkaq { .. } => {}
+        }
+        Self {
+            queries,
+            query,
+            threads: None,
+            level_cap: None,
+        }
+    }
+
+    /// Overrides the worker count (otherwise `KARL_THREADS` /
+    /// `available_parallelism`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "thread count must be at least 1");
+        self.threads = Some(n);
+        self
+    }
+
+    /// Restricts refinement to the top `level` tree levels (the simulated
+    /// tree of the in-situ tuner).
+    pub fn level_cap(mut self, level: u16) -> Self {
+        self.level_cap = Some(level);
+        self
+    }
+
+    /// Evaluates the batch against `eval`.
+    ///
+    /// # Panics
+    /// Panics if the query dimensionality does not match the evaluator's,
+    /// or if a worker thread panics.
+    pub fn run<S: NodeShape + Sync>(&self, eval: &Evaluator<S>) -> BatchOutcome {
+        assert_eq!(
+            self.queries.dims(),
+            eval.dims(),
+            "query dimensionality mismatch"
+        );
+        let n = self.queries.len();
+        let threads = resolve_threads(self.threads).min(n.max(1));
+        let start = Instant::now();
+        let outcomes = if threads <= 1 {
+            let mut scratch = Scratch::new();
+            (0..n)
+                .map(|i| {
+                    eval.run_with_scratch(
+                        self.queries.point(i),
+                        self.query,
+                        self.level_cap,
+                        &mut scratch,
+                    )
+                })
+                .collect()
+        } else {
+            self.run_parallel(eval, n, threads)
+        };
+        BatchOutcome {
+            query: self.query,
+            threads,
+            elapsed: start.elapsed(),
+            outcomes,
+        }
+    }
+
+    /// [`run`](Self::run) over a runtime-dispatched evaluator.
+    pub fn run_any(&self, eval: &AnyEvaluator) -> BatchOutcome {
+        match eval {
+            AnyEvaluator::Kd(e) => self.run(e),
+            AnyEvaluator::Ball(e) => self.run(e),
+        }
+    }
+
+    fn run_parallel<S: NodeShape + Sync>(
+        &self,
+        eval: &Evaluator<S>,
+        n: usize,
+        threads: usize,
+    ) -> Vec<RunOutcome> {
+        let cursor = AtomicUsize::new(0);
+        let queries = self.queries;
+        let (query, level_cap) = (self.query, self.level_cap);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = Scratch::new();
+                        let mut local: Vec<(usize, RunOutcome)> =
+                            Vec::with_capacity(n / threads + CHUNK);
+                        loop {
+                            let lo = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                            if lo >= n {
+                                break;
+                            }
+                            let hi = (lo + CHUNK).min(n);
+                            for i in lo..hi {
+                                let out = eval.run_with_scratch(
+                                    queries.point(i),
+                                    query,
+                                    level_cap,
+                                    &mut scratch,
+                                );
+                                local.push((i, out));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            // Stitch the stolen chunks back into query order; this is what
+            // makes the outcome independent of scheduling.
+            let mut out = vec![
+                RunOutcome {
+                    lb: 0.0,
+                    ub: 0.0,
+                    iterations: 0
+                };
+                n
+            ];
+            for w in workers {
+                for (i, r) in w.join().expect("batch worker panicked") {
+                    out[i] = r;
+                }
+            }
+            out
+        })
+    }
+}
+
+/// Per-query bound outcomes of a batch run, plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    query: Query,
+    threads: usize,
+    elapsed: Duration,
+    outcomes: Vec<RunOutcome>,
+}
+
+impl BatchOutcome {
+    /// Raw bound outcomes, in query order.
+    pub fn outcomes(&self) -> &[RunOutcome] {
+        &self.outcomes
+    }
+
+    /// The query specification the batch answered.
+    pub fn query(&self) -> Query {
+        self.query
+    }
+
+    /// Worker threads the run actually used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Wall-clock time of the run.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Queries answered per second.
+    pub fn throughput(&self) -> f64 {
+        self.outcomes.len() as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the batch held no queries.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Total refinement iterations across the batch.
+    pub fn total_iterations(&self) -> usize {
+        self.outcomes.iter().map(|o| o.iterations).sum()
+    }
+
+    /// TKAQ decisions, in query order.
+    ///
+    /// # Panics
+    /// Panics if the batch was not a [`Query::Tkaq`] batch.
+    pub fn decisions(&self) -> Vec<bool> {
+        let Query::Tkaq { tau } = self.query else {
+            panic!("decisions() requires a TKAQ batch, got {:?}", self.query);
+        };
+        self.outcomes.iter().map(|o| decide_tkaq(o, tau)).collect()
+    }
+
+    /// Scalar answers, in query order: the eKAQ estimate, the Within
+    /// midpoint, or `1.0`/`0.0` for TKAQ decisions (matching
+    /// [`AnyEvaluator::answer`]).
+    pub fn estimates(&self) -> Vec<f64> {
+        match self.query {
+            Query::Tkaq { tau } => self
+                .outcomes
+                .iter()
+                .map(|o| if decide_tkaq(o, tau) { 1.0 } else { 0.0 })
+                .collect(),
+            Query::Ekaq { .. } => self.outcomes.iter().map(estimate_ekaq).collect(),
+            Query::Within { .. } => self
+                .outcomes
+                .iter()
+                .map(|o| 0.5 * (o.lb + o.ub))
+                .collect(),
+        }
+    }
+
+    /// `(midpoint, half_width)` intervals, in query order.
+    ///
+    /// # Panics
+    /// Panics if the batch was not a [`Query::Within`] batch.
+    pub fn intervals(&self) -> Vec<(f64, f64)> {
+        let Query::Within { .. } = self.query else {
+            panic!("intervals() requires a Within batch, got {:?}", self.query);
+        };
+        self.outcomes
+            .iter()
+            .map(|o| (0.5 * (o.lb + o.ub), 0.5 * (o.ub - o.lb).max(0.0)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::BoundMethod;
+    use crate::kernel::Kernel;
+    use karl_geom::{Ball, Rect};
+    use karl_testkit::rng::{Rng, SeedableRng, StdRng};
+
+    fn clustered_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            let center = if i % 2 == 0 { -2.0 } else { 2.0 };
+            for _ in 0..d {
+                data.push(center + rng.random_range(-0.5..0.5));
+            }
+        }
+        PointSet::new(d, data)
+    }
+
+    fn mixed_weights(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let w: f64 = rng.random_range(0.2..2.0);
+                if rng.random_bool(0.4) {
+                    -w
+                } else {
+                    w
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_thread_count() {
+        let ps = clustered_points(400, 3, 1);
+        let w = mixed_weights(400, 2);
+        let eval =
+            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.6), BoundMethod::Karl, 8);
+        let queries = clustered_points(67, 3, 3);
+        for query in [
+            Query::Tkaq { tau: 0.2 },
+            Query::Ekaq { eps: 0.15 },
+            Query::Within { tol: 0.05 },
+        ] {
+            let sequential: Vec<RunOutcome> = queries
+                .iter()
+                .map(|q| eval.run_query(q, query, None))
+                .collect();
+            for threads in [1, 2, 4, 8] {
+                let batch = QueryBatch::new(&queries, query).threads(threads).run(&eval);
+                assert_eq!(batch.outcomes(), &sequential[..], "{query:?} x{threads}");
+                assert!(batch.threads() <= threads);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_works_over_ball_trees_and_any_evaluator() {
+        let ps = clustered_points(200, 2, 4);
+        let w = vec![1.0; 200];
+        let kernel = Kernel::gaussian(0.5);
+        let ball = Evaluator::<Ball>::build(&ps, &w, kernel, BoundMethod::Karl, 16);
+        let queries = clustered_points(20, 2, 5);
+        let batch = QueryBatch::new(&queries, Query::Ekaq { eps: 0.1 });
+        let direct = batch.threads(3).run(&ball);
+        let any = AnyEvaluator::Ball(ball);
+        let dispatched = QueryBatch::new(&queries, Query::Ekaq { eps: 0.1 })
+            .threads(3)
+            .run_any(&any);
+        assert_eq!(direct.outcomes(), dispatched.outcomes());
+        for (est, q) in dispatched.estimates().iter().zip(queries.iter()) {
+            assert_eq!(*est, any.ekaq(q, 0.1));
+        }
+    }
+
+    #[test]
+    fn decisions_match_scalar_tkaq() {
+        let ps = clustered_points(150, 2, 6);
+        let w = mixed_weights(150, 7);
+        let eval =
+            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.8), BoundMethod::Karl, 8);
+        let queries = clustered_points(30, 2, 8);
+        let out = QueryBatch::new(&queries, Query::Tkaq { tau: 0.1 })
+            .threads(4)
+            .run(&eval);
+        let expect: Vec<bool> = queries.iter().map(|q| eval.tkaq(q, 0.1)).collect();
+        assert_eq!(out.decisions(), expect);
+        assert_eq!(out.len(), 30);
+        assert!(out.total_iterations() > 0);
+    }
+
+    #[test]
+    fn intervals_respect_the_tolerance() {
+        let ps = clustered_points(200, 2, 9);
+        let w = mixed_weights(200, 10);
+        let eval =
+            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.9), BoundMethod::Karl, 8);
+        let queries = clustered_points(15, 2, 11);
+        let out = QueryBatch::new(&queries, Query::Within { tol: 0.02 })
+            .threads(2)
+            .run(&eval);
+        for (mid, half) in out.intervals() {
+            assert!(half <= 0.01 + 1e-12);
+            assert!(mid.is_finite());
+        }
+    }
+
+    #[test]
+    fn level_cap_is_forwarded() {
+        let ps = clustered_points(128, 2, 12);
+        let w = vec![1.0; 128];
+        let eval =
+            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.7), BoundMethod::Karl, 1);
+        let queries = clustered_points(10, 2, 13);
+        let out = QueryBatch::new(&queries, Query::Ekaq { eps: 0.1 })
+            .level_cap(2)
+            .threads(2)
+            .run(&eval);
+        let expect: Vec<RunOutcome> = queries
+            .iter()
+            .map(|q| eval.run_query(q, Query::Ekaq { eps: 0.1 }, Some(2)))
+            .collect();
+        assert_eq!(out.outcomes(), &expect[..]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let ps = clustered_points(10, 2, 14);
+        let eval = Evaluator::<Rect>::build(
+            &ps,
+            &[1.0; 10],
+            Kernel::gaussian(1.0),
+            BoundMethod::Karl,
+            4,
+        );
+        let queries = PointSet::empty(2);
+        let out = QueryBatch::new(&queries, Query::Tkaq { tau: 0.5 })
+            .threads(4)
+            .run(&eval);
+        assert!(out.is_empty());
+        assert_eq!(out.decisions(), Vec::<bool>::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics_at_batch_entry() {
+        let ps = clustered_points(10, 3, 15);
+        let eval = Evaluator::<Rect>::build(
+            &ps,
+            &[1.0; 10],
+            Kernel::gaussian(1.0),
+            BoundMethod::Karl,
+            4,
+        );
+        let queries = clustered_points(5, 2, 16);
+        QueryBatch::new(&queries, Query::Tkaq { tau: 0.5 }).run(&eval);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_eps_panics_at_construction() {
+        let queries = clustered_points(5, 2, 17);
+        QueryBatch::new(&queries, Query::Ekaq { eps: 0.0 });
+    }
+
+    #[test]
+    fn explicit_thread_request_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -81,7 +81,7 @@ struct Entry {
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.gap == other.gap
+        self.gap == other.gap && self.node == other.node && self.negated == other.negated
     }
 }
 impl Eq for Entry {}
@@ -92,7 +92,41 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gap.total_cmp(&other.gap)
+        // Ties on `gap` are broken on (node, negated) so the refinement
+        // order — and therefore every trace and iteration count — is a
+        // pure function of the inputs. Equal-gap entries pop smallest node
+        // id first, positive tree before negated.
+        self.gap
+            .total_cmp(&other.gap)
+            .then_with(|| other.node.cmp(&self.node))
+            .then_with(|| other.negated.cmp(&self.negated))
+    }
+}
+
+/// Reusable per-query workspace for [`Evaluator::run_with_scratch`]: the
+/// priority-queue storage (which doubles as the entry pool — `BinaryHeap`
+/// keeps its backing buffer across [`clear`](BinaryHeap::clear)) and the
+/// trace buffer. After the first few queries have grown the buffers to the
+/// workload's high-water mark, evaluation performs no heap allocation.
+///
+/// One `Scratch` per worker thread is the intended usage; see
+/// [`crate::batch`].
+#[derive(Debug, Default)]
+pub struct Scratch {
+    heap: BinaryHeap<Entry>,
+    trace: Vec<TraceStep>,
+}
+
+impl Scratch {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bound trajectory recorded by the last traced run (empty for
+    /// untraced runs).
+    pub fn trace(&self) -> &[TraceStep] {
+        &self.trace
     }
 }
 
@@ -262,14 +296,14 @@ impl<S: NodeShape> Evaluator<S> {
 
     /// Threshold query: `F_P(q) ≥ τ`?
     pub fn tkaq(&self, q: &[f64], tau: f64) -> bool {
-        let out = self.run(q, Query::Tkaq { tau }, None, None);
+        let out = self.run(q, Query::Tkaq { tau }, None);
         decide_tkaq(&out, tau)
     }
 
     /// Threshold query restricted to the top `level` tree levels (the
     /// simulated tree `T_level` of the in-situ tuning, Section III-C).
     pub fn tkaq_at_level(&self, q: &[f64], tau: f64, level: u16) -> bool {
-        let out = self.run(q, Query::Tkaq { tau }, Some(level), None);
+        let out = self.run(q, Query::Tkaq { tau }, Some(level));
         decide_tkaq(&out, tau)
     }
 
@@ -281,14 +315,14 @@ impl<S: NodeShape> Evaluator<S> {
     /// Panics unless `eps > 0`.
     pub fn ekaq(&self, q: &[f64], eps: f64) -> f64 {
         assert!(eps > 0.0, "eps must be positive");
-        let out = self.run(q, Query::Ekaq { eps }, None, None);
+        let out = self.run(q, Query::Ekaq { eps }, None);
         estimate_ekaq(&out)
     }
 
     /// Approximate query restricted to the top `level` tree levels.
     pub fn ekaq_at_level(&self, q: &[f64], eps: f64, level: u16) -> f64 {
         assert!(eps > 0.0, "eps must be positive");
-        let out = self.run(q, Query::Ekaq { eps }, Some(level), None);
+        let out = self.run(q, Query::Ekaq { eps }, Some(level));
         estimate_ekaq(&out)
     }
 
@@ -300,45 +334,68 @@ impl<S: NodeShape> Evaluator<S> {
     /// Panics unless `tol > 0`.
     pub fn within(&self, q: &[f64], tol: f64) -> (f64, f64) {
         assert!(tol > 0.0, "tol must be positive");
-        let out = self.run(q, Query::Within { tol }, None, None);
+        let out = self.run(q, Query::Within { tol }, None);
         (0.5 * (out.lb + out.ub), 0.5 * (out.ub - out.lb).max(0.0))
     }
 
     /// Runs a threshold query recording the bound trajectory (Figure 6).
     pub fn trace_tkaq(&self, q: &[f64], tau: f64) -> (bool, Vec<TraceStep>) {
-        let mut trace = Vec::new();
-        let out = self.run(q, Query::Tkaq { tau }, None, Some(&mut trace));
-        (decide_tkaq(&out, tau), trace)
+        let mut scratch = Scratch::new();
+        let out = self.run_core(q, Query::Tkaq { tau }, None, &mut scratch, true);
+        (decide_tkaq(&out, tau), std::mem::take(&mut scratch.trace))
     }
 
     /// Runs an approximate query recording the bound trajectory.
     pub fn trace_ekaq(&self, q: &[f64], eps: f64) -> (f64, Vec<TraceStep>) {
         assert!(eps > 0.0, "eps must be positive");
-        let mut trace = Vec::new();
-        let out = self.run(q, Query::Ekaq { eps }, None, Some(&mut trace));
-        (estimate_ekaq(&out), trace)
+        let mut scratch = Scratch::new();
+        let out = self.run_core(q, Query::Ekaq { eps }, None, &mut scratch, true);
+        (estimate_ekaq(&out), std::mem::take(&mut scratch.trace))
     }
 
     /// Runs a query and returns the raw bound outcome (used by the harness
     /// and the tuners; `level_cap` simulates the top-`level` tree).
     pub fn run_query(&self, q: &[f64], query: Query, level_cap: Option<u16>) -> RunOutcome {
-        self.run(q, query, level_cap, None)
+        self.run(q, query, level_cap)
+    }
+
+    /// [`run_query`](Self::run_query) with caller-owned scratch buffers:
+    /// after the buffers have grown to the workload's high-water mark, the
+    /// query path performs zero heap allocations. This is the hot entry
+    /// point of the batch engine (one [`Scratch`] per worker thread); the
+    /// outcome is bit-identical to [`run_query`](Self::run_query).
+    pub fn run_with_scratch(
+        &self,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        scratch: &mut Scratch,
+    ) -> RunOutcome {
+        self.run_core(q, query, level_cap, scratch, false)
     }
 
     fn check_query(&self, q: &[f64]) {
         assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
     }
 
-    fn run(
+    fn run(&self, q: &[f64], query: Query, level_cap: Option<u16>) -> RunOutcome {
+        self.run_core(q, query, level_cap, &mut Scratch::new(), false)
+    }
+
+    fn run_core(
         &self,
         q: &[f64],
         query: Query,
         level_cap: Option<u16>,
-        mut trace: Option<&mut Vec<TraceStep>>,
+        scratch: &mut Scratch,
+        record_trace: bool,
     ) -> RunOutcome {
         self.check_query(q);
         let qn = norm2(q);
-        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        scratch.heap.clear();
+        scratch.trace.clear();
+        let heap = &mut scratch.heap;
+        let trace = &mut scratch.trace;
         let mut lb = 0.0f64;
         let mut ub = 0.0f64;
 
@@ -358,15 +415,15 @@ impl<S: NodeShape> Evaluator<S> {
         };
 
         if let Some(tree) = &self.pos {
-            push(&mut heap, &mut lb, &mut ub, tree, tree.root(), false);
+            push(heap, &mut lb, &mut ub, tree, tree.root(), false);
         }
         if let Some(tree) = &self.neg {
-            push(&mut heap, &mut lb, &mut ub, tree, tree.root(), true);
+            push(heap, &mut lb, &mut ub, tree, tree.root(), true);
         }
 
         let mut iterations = 0usize;
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceStep { iteration: 0, lb, ub });
+        if record_trace {
+            trace.push(TraceStep { iteration: 0, lb, ub });
         }
         loop {
             if terminated(query, lb, ub) {
@@ -399,11 +456,11 @@ impl<S: NodeShape> Evaluator<S> {
                 ub += signed;
             } else {
                 let (a, b) = node.children.expect("non-leaf node has children");
-                push(&mut heap, &mut lb, &mut ub, tree, a, entry.negated);
-                push(&mut heap, &mut lb, &mut ub, tree, b, entry.negated);
+                push(heap, &mut lb, &mut ub, tree, a, entry.negated);
+                push(heap, &mut lb, &mut ub, tree, b, entry.negated);
             }
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceStep { iteration: iterations, lb, ub });
+            if record_trace {
+                trace.push(TraceStep { iteration: iterations, lb, ub });
             }
         }
         RunOutcome { lb, ub, iterations }
@@ -428,7 +485,7 @@ fn terminated(query: Query, lb: f64, ub: f64) -> bool {
     }
 }
 
-fn decide_tkaq(out: &RunOutcome, tau: f64) -> bool {
+pub(crate) fn decide_tkaq(out: &RunOutcome, tau: f64) -> bool {
     if out.lb >= tau {
         true
     } else if out.ub < tau {
@@ -439,7 +496,7 @@ fn decide_tkaq(out: &RunOutcome, tau: f64) -> bool {
     }
 }
 
-fn estimate_ekaq(out: &RunOutcome) -> f64 {
+pub(crate) fn estimate_ekaq(out: &RunOutcome) -> f64 {
     if out.lb > 0.0 && out.ub > out.lb {
         out.lb
     } else {
@@ -688,6 +745,48 @@ mod tests {
         assert!(est >= 0.8 * truth - 1e-12 && est <= 1.2 * truth + 1e-12);
         let last = trace.last().unwrap();
         assert!(last.ub <= (1.0 + 0.2) * last.lb + 1e-12 || last.ub <= last.lb + 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        let ps = clustered_points(300, 3, 42);
+        let w = mixed_weights(300, 43);
+        let kernel = Kernel::gaussian(0.6);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        let mut scratch = Scratch::new();
+        let queries = clustered_points(20, 3, 44);
+        for q in queries.iter() {
+            for query in [
+                Query::Tkaq { tau: 0.3 },
+                Query::Ekaq { eps: 0.1 },
+                Query::Within { tol: 0.05 },
+            ] {
+                let fresh = eval.run_query(q, query, None);
+                let reused = eval.run_with_scratch(q, query, None, &mut scratch);
+                assert_eq!(fresh, reused, "{query:?}");
+            }
+        }
+        assert!(scratch.trace().is_empty(), "untraced runs record no trace");
+    }
+
+    #[test]
+    fn equal_gap_entries_refine_deterministically() {
+        // A perfectly symmetric point set makes sibling gaps collide; the
+        // (gap, node, negated) tie-break must still give a reproducible
+        // trace.
+        let ps = PointSet::from_rows(&[
+            vec![-1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, -1.0],
+            vec![0.0, 1.0],
+        ]);
+        let w = vec![1.0, 1.0, -1.0, -1.0];
+        let eval =
+            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.5), BoundMethod::Karl, 1);
+        let q = [0.0, 0.0];
+        let (_, t1) = eval.trace_tkaq(&q, 0.1);
+        let (_, t2) = eval.trace_tkaq(&q, 0.1);
+        assert_eq!(t1, t2);
     }
 
     #[test]

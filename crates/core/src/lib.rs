@@ -19,6 +19,8 @@
 //! * [`eval`] — the priority-queue refinement evaluator (Section II-B)
 //!   supporting all three weighting types via the P⁺/P⁻ split.
 //! * [`scan`] — the SCAN and LIBSVM-style exact baselines.
+//! * [`batch`] — the scoped-thread batch executor with reusable per-worker
+//!   scratch (deterministic at any thread count).
 //! * [`tuning`] — offline (`KARL_auto`) and in-situ (`KARL_online`) index
 //!   tuning.
 //!
@@ -45,6 +47,7 @@
 //! assert!((f - exact).abs() <= 0.1 * exact);
 //! ```
 
+pub mod batch;
 pub mod bounds;
 pub mod curve;
 pub mod envelope;
@@ -54,10 +57,11 @@ pub mod scan;
 pub mod stream;
 pub mod tuning;
 
+pub use batch::{resolve_threads, BatchOutcome, QueryBatch};
 pub use bounds::{node_bounds, BoundMethod, BoundPair};
 pub use curve::{Curvature, Curve};
 pub use envelope::{envelope, Envelope, Line};
-pub use eval::{BallEvaluator, Evaluator, KdEvaluator, Query, RunOutcome, TraceStep};
+pub use eval::{BallEvaluator, Evaluator, KdEvaluator, Query, RunOutcome, Scratch, TraceStep};
 pub use kernel::{aggregate_exact, Kernel};
 pub use scan::{LibSvmScan, Scan};
 pub use stream::StreamingEvaluator;

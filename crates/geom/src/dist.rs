@@ -1,7 +1,12 @@
 //! Dense vector primitives: squared distance, dot product, squared norm.
 //!
-//! These are the innermost loops of every scan and every bound evaluation,
-//! so they are written as straight slice iteration that LLVM auto-vectorizes.
+//! These are the innermost loops of every scan and every bound evaluation.
+//! Each reduction runs over `chunks_exact(4)` with four independent partial
+//! sums: a single accumulator serializes every floating-point add behind
+//! the previous one (4–5 cycle latency each), while four independent
+//! chains let LLVM keep the loop in SIMD registers and the adds pipelined.
+//! The summation order is fixed — `(acc0+acc1) + (acc2+acc3) + tail` — so
+//! results are reproducible run-to-run and thread-count-independent.
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
@@ -10,12 +15,26 @@
 #[inline]
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b.iter()) {
-        let diff = x - y;
-        acc += diff * diff;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    let mut acc = [0.0f64; 4];
+    for (xa, xb) in ca.zip(cb) {
+        let d0 = xa[0] - xb[0];
+        let d1 = xa[1] - xb[1];
+        let d2 = xa[2] - xb[2];
+        let d3 = xa[3] - xb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
     }
-    acc
+    let mut tail = 0.0;
+    for (x, y) in ra.iter().zip(rb) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Inner (dot) product of two equal-length slices.
@@ -25,21 +44,40 @@ pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b.iter()) {
-        acc += x * y;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    let mut acc = [0.0f64; 4];
+    for (xa, xb) in ca.zip(cb) {
+        acc[0] += xa[0] * xb[0];
+        acc[1] += xa[1] * xb[1];
+        acc[2] += xa[2] * xb[2];
+        acc[3] += xa[3] * xb[3];
     }
-    acc
+    let mut tail = 0.0;
+    for (x, y) in ra.iter().zip(rb) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Squared Euclidean norm of a slice.
 #[inline]
 pub fn norm2(a: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for x in a {
-        acc += x * x;
+    let ca = a.chunks_exact(4);
+    let ra = ca.remainder();
+    let mut acc = [0.0f64; 4];
+    for xa in ca {
+        acc[0] += xa[0] * xa[0];
+        acc[1] += xa[1] * xa[1];
+        acc[2] += xa[2] * xa[2];
+        acc[3] += xa[3] * xa[3];
     }
-    acc
+    let mut tail = 0.0;
+    for x in ra {
+        tail += x * x;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 #[cfg(test)]
@@ -86,6 +124,25 @@ mod tests {
         assert_eq!(dist2(&[], &[]), 0.0);
         assert_eq!(dot(&[], &[]), 0.0);
         assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn blocked_reduction_matches_scalar_reference_at_every_length() {
+        // Exercise every remainder length around the 4-wide blocking.
+        for n in 0..13usize {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() * 2.0).collect();
+            let (mut d_ref, mut dot_ref, mut n_ref) = (0.0, 0.0, 0.0);
+            for i in 0..n {
+                let diff = a[i] - b[i];
+                d_ref += diff * diff;
+                dot_ref += a[i] * b[i];
+                n_ref += a[i] * a[i];
+            }
+            assert!((dist2(&a, &b) - d_ref).abs() < 1e-12, "dist2 at n={n}");
+            assert!((dot(&a, &b) - dot_ref).abs() < 1e-12, "dot at n={n}");
+            assert!((norm2(&a) - n_ref).abs() < 1e-12, "norm2 at n={n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the batch-engine throughput bench and records the results as JSON.
+#
+# Produces BENCH_PR2.json at the repo root: sequential vs QueryBatch
+# throughput at 1/2/4/8 worker threads over a synthetic 100 000-point
+# Type-I workload (eKAQ and TKAQ), plus the host's available_parallelism
+# so numbers from different machines are interpretable.
+#
+# Usage: scripts/bench_json.sh [output.json]
+# Sizing overrides: KARL_BENCH_N (points), KARL_BENCH_QUERIES (queries).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo bench runs the bench binary from the package directory, so make
+# the output path absolute before handing it over.
+out="${1:-BENCH_PR2.json}"
+case "$out" in
+    /*) ;;
+    *) out="$(pwd)/$out" ;;
+esac
+
+KARL_BENCH_JSON="$out" cargo bench -p karl-bench \
+    --features criterion-benches --bench throughput_batch --offline
+
+echo "==> wrote $out"

@@ -18,8 +18,11 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q (whole workspace)"
 cargo test --workspace -q --offline
 
-echo "==> guard: benches must build under --features criterion-benches"
-cargo build -p karl-bench --benches --features criterion-benches --offline
+echo "==> guard: benches must build under --features criterion-benches (release)"
+cargo build --release -p karl-bench --benches --features criterion-benches --offline
+
+echo "==> guard: batch engine bitwise-identical to sequential at KARL_THREADS=4"
+KARL_THREADS=4 cargo test -q --offline -p karl --test batch_equivalence
 
 echo "==> guard: no registry dependencies in the resolved graph"
 # cargo metadata reports "source": null for path dependencies and a
