@@ -1,17 +1,18 @@
-//! Batch-engine throughput: sequential `run_query` loop vs the
-//! `QueryBatch` executor at 1/2/4/8 worker threads, over a synthetic
-//! 100 000-point Type-I workload.
+//! Batch-engine throughput: sequential pointer-engine loop (baseline) vs
+//! the default frozen engine, scratch reuse, and the `QueryBatch`
+//! executor at 1/2/4/8 worker threads, over a synthetic 100 000-point
+//! Type-I workload.
 //!
 //! Unlike the other bench targets this one measures whole-batch wall
 //! clock (the quantity the batch engine optimizes), not per-call latency,
 //! and can emit machine-readable JSON: set `KARL_BENCH_JSON=<path>` and
 //! the results are written there (this is how `scripts/bench_json.sh`
-//! produces `BENCH_PR2.json`). Sizing overrides: `KARL_BENCH_N` (points),
+//! produces `BENCH_PR3.json`). Sizing overrides: `KARL_BENCH_N` (points),
 //! `KARL_BENCH_QUERIES` (queries).
 
 use std::time::Instant;
 
-use karl_core::{BoundMethod, Evaluator, KdEvaluator, Kernel, Query, QueryBatch, Scratch};
+use karl_core::{BoundMethod, Engine, Evaluator, KdEvaluator, Kernel, Query, QueryBatch, Scratch};
 use karl_geom::PointSet;
 use karl_kde::scotts_gamma;
 use karl_testkit::bench::black_box;
@@ -71,8 +72,20 @@ fn run_workload(
 ) {
     let mut results = Vec::new();
 
-    // Sequential baseline: the public per-query API, fresh buffers each
-    // call — exactly what a caller without the batch engine writes.
+    // Pointer-engine baseline: the pre-freeze evaluation path, fresh
+    // buffers each call. Every speedup below is relative to this.
+    results.push(Measurement {
+        mode: "sequential_pointer",
+        threads: 1,
+        queries_per_s: measure(queries.len(), || {
+            for q in queries.iter() {
+                black_box(eval.run_query_on(Engine::Pointer, q, query, None));
+            }
+        }),
+    });
+
+    // Default (frozen-engine) per-query API, fresh buffers each call —
+    // exactly what a caller without the batch engine writes.
     results.push(Measurement {
         mode: "sequential",
         threads: 1,
@@ -107,16 +120,19 @@ fn run_workload(
         });
     }
 
-    let seq = results[0].queries_per_s;
+    let base = results[0].queries_per_s;
     println!("\n== throughput_batch/{label} ==");
-    println!("{:<20} {:>7} {:>12} {:>8}", "mode", "threads", "queries/s", "speedup");
+    println!(
+        "{:<20} {:>7} {:>12} {:>8}",
+        "mode", "threads", "queries/s", "speedup"
+    );
     for m in &results {
         println!(
             "{:<20} {:>7} {:>12.0} {:>7.2}x",
             m.mode,
             m.threads,
             m.queries_per_s,
-            m.queries_per_s / seq
+            m.queries_per_s / base
         );
     }
     out.push((label.to_string(), results));
@@ -173,16 +189,16 @@ fn main() {
         );
         json.push_str("  \"workloads\": {\n");
         for (wi, (label, results)) in all.iter().enumerate() {
-            let seq = results[0].queries_per_s;
+            let base = results[0].queries_per_s;
             json.push_str(&format!("    \"{label}\": [\n"));
             for (i, m) in results.iter().enumerate() {
                 json.push_str(&format!(
                     "      {{\"mode\": \"{}\", \"threads\": {}, \"queries_per_s\": {:.1}, \
-                     \"speedup_vs_sequential\": {:.3}}}{}\n",
+                     \"speedup_vs_sequential_pointer\": {:.3}}}{}\n",
                     m.mode,
                     m.threads,
                     m.queries_per_s,
-                    m.queries_per_s / seq,
+                    m.queries_per_s / base,
                     if i + 1 < results.len() { "," } else { "" }
                 ));
             }

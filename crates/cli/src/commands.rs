@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use karl_core::{
-    AnyEvaluator, BoundMethod, IndexKind, Kernel, OfflineTuner, Query, QueryBatch, Scan,
+    AnyEvaluator, BoundMethod, Engine, IndexKind, Kernel, OfflineTuner, Query, QueryBatch, Scan,
 };
 use karl_data::{
     by_name, load_csv, load_labeled_csv, load_libsvm, registry, save_csv, LabelColumn,
@@ -45,7 +45,8 @@ pub fn generate(p: &Parsed) -> CmdResult {
         .get_or("n", 10_000, "a point count")
         .map_err(|e| e.to_string())?;
     let out_path = p.required("out").map_err(|e| e.to_string())?;
-    let spec = by_name(name).ok_or_else(|| format!("unknown dataset {name:?} (try `karl datasets`)"))?;
+    let spec =
+        by_name(name).ok_or_else(|| format!("unknown dataset {name:?} (try `karl datasets`)"))?;
     let ds = spec.generate_n(n);
     let labels = if p.has("labeled") {
         Some(
@@ -61,7 +62,11 @@ pub fn generate(p: &Parsed) -> CmdResult {
         "wrote {} points x {} dims to {out_path}{}\n",
         ds.points.len(),
         ds.points.dims(),
-        if labels.is_some() { " (label last)" } else { "" }
+        if labels.is_some() {
+            " (label last)"
+        } else {
+            ""
+        }
     ))
 }
 
@@ -86,10 +91,10 @@ fn gamma_for(p: &Parsed, points: &PointSet) -> Result<f64, String> {
 pub fn kde(p: &Parsed) -> CmdResult {
     p.expect_flags(&["data", "queries", "tau", "eps", "method", "leaf", "gamma"])
         .map_err(|e| e.to_string())?;
-    let data = load_csv(p.required("data").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    let queries = load_csv(p.required("queries").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
+    let data =
+        load_csv(p.required("data").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    let queries =
+        load_csv(p.required("queries").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
     if queries.dims() != data.dims() {
         return Err(format!(
             "query dims {} != data dims {}",
@@ -98,7 +103,9 @@ pub fn kde(p: &Parsed) -> CmdResult {
         ));
     }
     let method = parse_method(p)?;
-    let leaf: usize = p.get_or("leaf", 80, "a leaf capacity").map_err(|e| e.to_string())?;
+    let leaf: usize = p
+        .get_or("leaf", 80, "a leaf capacity")
+        .map_err(|e| e.to_string())?;
     let gamma = gamma_for(p, &data)?;
     let tau: Option<f64> = p.get_parsed("tau", "a number").map_err(|e| e.to_string())?;
     let eps: Option<f64> = p.get_parsed("eps", "a number").map_err(|e| e.to_string())?;
@@ -145,17 +152,18 @@ pub fn kde(p: &Parsed) -> CmdResult {
 /// Same queries and answers as `kde`, executed through the parallel
 /// [`QueryBatch`] engine. Worker count: `--threads` flag, else the
 /// `KARL_THREADS` environment variable, else `available_parallelism`.
-/// Answers are bitwise identical to the sequential `kde` path at any
-/// thread count.
+/// `--engine frozen|pointer` selects the evaluation index (default
+/// `frozen` — the SoA index with fused bound kernels); both engines and
+/// every thread count produce bitwise-identical answers.
 pub fn batch(p: &Parsed) -> CmdResult {
     p.expect_flags(&[
-        "data", "queries", "tau", "eps", "tol", "method", "leaf", "gamma", "threads",
+        "data", "queries", "tau", "eps", "tol", "method", "leaf", "gamma", "threads", "engine",
     ])
     .map_err(|e| e.to_string())?;
-    let data = load_csv(p.required("data").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    let queries = load_csv(p.required("queries").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
+    let data =
+        load_csv(p.required("data").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    let queries =
+        load_csv(p.required("queries").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
     if queries.dims() != data.dims() {
         return Err(format!(
             "query dims {} != data dims {}",
@@ -164,7 +172,9 @@ pub fn batch(p: &Parsed) -> CmdResult {
         ));
     }
     let method = parse_method(p)?;
-    let leaf: usize = p.get_or("leaf", 80, "a leaf capacity").map_err(|e| e.to_string())?;
+    let leaf: usize = p
+        .get_or("leaf", 80, "a leaf capacity")
+        .map_err(|e| e.to_string())?;
     let gamma = gamma_for(p, &data)?;
     let tau: Option<f64> = p.get_parsed("tau", "a number").map_err(|e| e.to_string())?;
     let eps: Option<f64> = p.get_parsed("eps", "a number").map_err(|e| e.to_string())?;
@@ -185,7 +195,14 @@ pub fn batch(p: &Parsed) -> CmdResult {
         }
         _ => return Err("exactly one of --tau, --eps or --tol is required".into()),
     };
-    let threads: Option<usize> = p.get_parsed("threads", "a thread count").map_err(|e| e.to_string())?;
+    let threads: Option<usize> = p
+        .get_parsed("threads", "a thread count")
+        .map_err(|e| e.to_string())?;
+    let engine = match p.get("engine") {
+        None | Some("frozen") => Engine::Frozen,
+        Some("pointer") => Engine::Pointer,
+        Some(other) => return Err(format!("unknown engine {other:?} (frozen|pointer)")),
+    };
 
     let n = data.len();
     let weights = vec![1.0 / n as f64; n];
@@ -197,7 +214,7 @@ pub fn batch(p: &Parsed) -> CmdResult {
         method,
         leaf,
     );
-    let mut spec = QueryBatch::new(&queries, query);
+    let mut spec = QueryBatch::new(&queries, query).engine(engine);
     if let Some(t) = threads {
         if t == 0 {
             return Err("--threads must be at least 1".into());
@@ -221,7 +238,7 @@ pub fn batch(p: &Parsed) -> CmdResult {
     }
     let _ = writeln!(
         out,
-        "# throughput {:.0} queries/s over {} points (gamma {:.4}, {:?}, leaf {leaf}, threads {})",
+        "# throughput {:.0} queries/s over {} points (gamma {:.4}, {:?}, leaf {leaf}, threads {}, engine {engine:?})",
         outcome.throughput(),
         n,
         gamma,
@@ -260,8 +277,12 @@ fn kernel_from_flags(p: &Parsed, points: &PointSet) -> Result<Kernel, String> {
             .parse()
             .map_err(|_| format!("--gamma {v:?}: expected a number or 'auto'"))?,
     };
-    let coef0: f64 = p.get_or("coef0", 0.0, "a number").map_err(|e| e.to_string())?;
-    let degree: u32 = p.get_or("degree", 3, "an integer").map_err(|e| e.to_string())?;
+    let coef0: f64 = p
+        .get_or("coef0", 0.0, "a number")
+        .map_err(|e| e.to_string())?;
+    let degree: u32 = p
+        .get_or("degree", 3, "an integer")
+        .map_err(|e| e.to_string())?;
     match p.get("kernel") {
         None | Some("rbf") | Some("gaussian") => Ok(Kernel::gaussian(gamma)),
         Some("poly") | Some("polynomial") => Ok(Kernel::polynomial(gamma, coef0, degree)),
@@ -292,7 +313,10 @@ pub fn svm_train(p: &Parsed) -> CmdResult {
         }
         "oneclass" => {
             let nu: f64 = p.get_or("nu", 0.1, "a number").map_err(|e| e.to_string())?;
-            (OneClassSvm::new(nu, kernel).train(&points), SvmType::OneClass)
+            (
+                OneClassSvm::new(nu, kernel).train(&points),
+                SvmType::OneClass,
+            )
         }
         other => return Err(format!("unknown --svm {other:?} (csvc|oneclass)")),
     };
@@ -311,20 +335,26 @@ pub fn svm_train(p: &Parsed) -> CmdResult {
 pub fn svm_predict(p: &Parsed) -> CmdResult {
     p.expect_flags(&["model", "queries", "method", "leaf"])
         .map_err(|e| e.to_string())?;
-    let queries = load_csv(p.required("queries").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
+    let queries =
+        load_csv(p.required("queries").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
     let (model, _) = load_model(
         p.required("model").map_err(|e| e.to_string())?,
         Some(queries.dims()),
     )
     .map_err(|e| e.to_string())?;
     let tau = model.threshold();
-    let leaf: usize = p.get_or("leaf", 40, "a leaf capacity").map_err(|e| e.to_string())?;
+    let leaf: usize = p
+        .get_or("leaf", 40, "a leaf capacity")
+        .map_err(|e| e.to_string())?;
 
     let mut out = String::with_capacity(queries.len() * 4);
     let start = Instant::now();
     if p.get("method") == Some("scan") {
-        let scan = Scan::new(model.support().clone(), model.weights().to_vec(), *model.kernel());
+        let scan = Scan::new(
+            model.support().clone(),
+            model.weights().to_vec(),
+            *model.kernel(),
+        );
         for q in queries.iter() {
             out.push_str(if scan.tkaq(q, tau) { "+1\n" } else { "-1\n" });
         }
@@ -356,10 +386,10 @@ pub fn svm_predict(p: &Parsed) -> CmdResult {
 pub fn tune(p: &Parsed) -> CmdResult {
     p.expect_flags(&["data", "queries", "tau", "eps", "method", "gamma"])
         .map_err(|e| e.to_string())?;
-    let data = load_csv(p.required("data").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    let queries = load_csv(p.required("queries").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
+    let data =
+        load_csv(p.required("data").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    let queries =
+        load_csv(p.required("queries").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
     let method = parse_method(p)?;
     let gamma = gamma_for(p, &data)?;
     let tau: Option<f64> = p.get_parsed("tau", "a number").map_err(|e| e.to_string())?;

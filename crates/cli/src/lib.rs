@@ -30,7 +30,9 @@ commands:
             [--method karl|sota] [--leaf CAP] [--gamma G]
   batch     --data FILE --queries FILE (--tau T | --eps E | --tol W)
             [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
-            parallel batch engine; KARL_THREADS env sets the default N
+            [--engine frozen|pointer]
+            parallel batch engine; KARL_THREADS env sets the default N;
+            frozen (default) is the SoA index, bitwise equal to pointer
   svm-train --data FILE --svm csvc|oneclass --out MODEL
             [--format csv-last|csv-first|libsvm] [--c C] [--nu NU]
             [--kernel rbf|poly|sigmoid|laplacian] [--gamma G]
@@ -203,6 +205,61 @@ mod tests {
                 assert!(parallel.lines().any(|l| l.starts_with("# throughput")));
             }
         }
+    }
+
+    #[test]
+    fn batch_engine_flag_selects_bitwise_equal_paths() {
+        let data = tmp("batch_engine.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "400",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let run_engine = |engine: &str| {
+            run_vec(&[
+                "batch",
+                "--data",
+                data.to_str().unwrap(),
+                "--queries",
+                data.to_str().unwrap(),
+                "--eps",
+                "0.15",
+                "--threads",
+                "2",
+                "--engine",
+                engine,
+            ])
+            .unwrap()
+        };
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        let frozen = run_engine("frozen");
+        let pointer = run_engine("pointer");
+        assert_eq!(strip(&frozen), strip(&pointer));
+        assert!(frozen.contains("engine Frozen"));
+        assert!(pointer.contains("engine Pointer"));
+        let err = run_vec(&[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.15",
+            "--engine",
+            "hybrid",
+        ])
+        .unwrap_err();
+        assert!(err.contains("frozen|pointer"));
     }
 
     #[test]

@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 use karl_geom::PointSet;
 use karl_tree::NodeShape;
 
-use crate::eval::{decide_tkaq, estimate_ekaq, Evaluator, Query, RunOutcome, Scratch};
+use crate::eval::{decide_tkaq, estimate_ekaq, Engine, Evaluator, Query, RunOutcome, Scratch};
 use crate::tuning::AnyEvaluator;
 
 /// Queries are handed to workers in index chunks of this size: large enough
@@ -81,6 +81,7 @@ pub struct QueryBatch<'a> {
     query: Query,
     threads: Option<usize>,
     level_cap: Option<u16>,
+    engine: Engine,
 }
 
 impl<'a> QueryBatch<'a> {
@@ -100,6 +101,7 @@ impl<'a> QueryBatch<'a> {
             query,
             threads: None,
             level_cap: None,
+            engine: Engine::default(),
         }
     }
 
@@ -121,7 +123,19 @@ impl<'a> QueryBatch<'a> {
         self
     }
 
+    /// Selects the evaluation engine (default [`Engine::Frozen`]). Both
+    /// engines are bitwise-identical; [`Engine::Pointer`] exists for
+    /// differential testing and perf comparison.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Evaluates the batch against `eval`.
+    ///
+    /// Dimensionality is validated **once here for the whole batch**; the
+    /// per-query hot path ([`Evaluator::run_with_scratch_on`]) only
+    /// `debug_assert!`s it.
     ///
     /// # Panics
     /// Panics if the query dimensionality does not match the evaluator's,
@@ -139,7 +153,8 @@ impl<'a> QueryBatch<'a> {
             let mut scratch = Scratch::new();
             (0..n)
                 .map(|i| {
-                    eval.run_with_scratch(
+                    eval.run_with_scratch_on(
+                        self.engine,
                         self.queries.point(i),
                         self.query,
                         self.level_cap,
@@ -174,7 +189,7 @@ impl<'a> QueryBatch<'a> {
     ) -> Vec<RunOutcome> {
         let cursor = AtomicUsize::new(0);
         let queries = self.queries;
-        let (query, level_cap) = (self.query, self.level_cap);
+        let (query, level_cap, engine) = (self.query, self.level_cap, self.engine);
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
@@ -189,7 +204,8 @@ impl<'a> QueryBatch<'a> {
                             }
                             let hi = (lo + CHUNK).min(n);
                             for i in lo..hi {
-                                let out = eval.run_with_scratch(
+                                let out = eval.run_with_scratch_on(
+                                    engine,
                                     queries.point(i),
                                     query,
                                     level_cap,
@@ -294,11 +310,7 @@ impl BatchOutcome {
                 .map(|o| if decide_tkaq(o, tau) { 1.0 } else { 0.0 })
                 .collect(),
             Query::Ekaq { .. } => self.outcomes.iter().map(estimate_ekaq).collect(),
-            Query::Within { .. } => self
-                .outcomes
-                .iter()
-                .map(|o| 0.5 * (o.lb + o.ub))
-                .collect(),
+            Query::Within { .. } => self.outcomes.iter().map(|o| 0.5 * (o.lb + o.ub)).collect(),
         }
     }
 
@@ -355,8 +367,7 @@ mod tests {
     fn batch_matches_sequential_for_every_thread_count() {
         let ps = clustered_points(400, 3, 1);
         let w = mixed_weights(400, 2);
-        let eval =
-            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.6), BoundMethod::Karl, 8);
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.6), BoundMethod::Karl, 8);
         let queries = clustered_points(67, 3, 3);
         for query in [
             Query::Tkaq { tau: 0.2 },
@@ -373,6 +384,21 @@ mod tests {
                 assert!(batch.threads() <= threads);
             }
         }
+    }
+
+    #[test]
+    fn pointer_engine_batch_matches_frozen_default() {
+        let ps = clustered_points(240, 3, 30);
+        let w = mixed_weights(240, 31);
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.5), BoundMethod::Karl, 8);
+        let queries = clustered_points(40, 3, 32);
+        let query = Query::Ekaq { eps: 0.1 };
+        let frozen = QueryBatch::new(&queries, query).threads(2).run(&eval);
+        let pointer = QueryBatch::new(&queries, query)
+            .engine(Engine::Pointer)
+            .threads(2)
+            .run(&eval);
+        assert_eq!(frozen.outcomes(), pointer.outcomes());
     }
 
     #[test]
@@ -398,8 +424,7 @@ mod tests {
     fn decisions_match_scalar_tkaq() {
         let ps = clustered_points(150, 2, 6);
         let w = mixed_weights(150, 7);
-        let eval =
-            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.8), BoundMethod::Karl, 8);
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.8), BoundMethod::Karl, 8);
         let queries = clustered_points(30, 2, 8);
         let out = QueryBatch::new(&queries, Query::Tkaq { tau: 0.1 })
             .threads(4)
@@ -414,8 +439,7 @@ mod tests {
     fn intervals_respect_the_tolerance() {
         let ps = clustered_points(200, 2, 9);
         let w = mixed_weights(200, 10);
-        let eval =
-            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.9), BoundMethod::Karl, 8);
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.9), BoundMethod::Karl, 8);
         let queries = clustered_points(15, 2, 11);
         let out = QueryBatch::new(&queries, Query::Within { tol: 0.02 })
             .threads(2)
@@ -430,8 +454,7 @@ mod tests {
     fn level_cap_is_forwarded() {
         let ps = clustered_points(128, 2, 12);
         let w = vec![1.0; 128];
-        let eval =
-            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.7), BoundMethod::Karl, 1);
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.7), BoundMethod::Karl, 1);
         let queries = clustered_points(10, 2, 13);
         let out = QueryBatch::new(&queries, Query::Ekaq { eps: 0.1 })
             .level_cap(2)
@@ -447,13 +470,8 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let ps = clustered_points(10, 2, 14);
-        let eval = Evaluator::<Rect>::build(
-            &ps,
-            &[1.0; 10],
-            Kernel::gaussian(1.0),
-            BoundMethod::Karl,
-            4,
-        );
+        let eval =
+            Evaluator::<Rect>::build(&ps, &[1.0; 10], Kernel::gaussian(1.0), BoundMethod::Karl, 4);
         let queries = PointSet::empty(2);
         let out = QueryBatch::new(&queries, Query::Tkaq { tau: 0.5 })
             .threads(4)
@@ -466,13 +484,8 @@ mod tests {
     #[should_panic]
     fn dimension_mismatch_panics_at_batch_entry() {
         let ps = clustered_points(10, 3, 15);
-        let eval = Evaluator::<Rect>::build(
-            &ps,
-            &[1.0; 10],
-            Kernel::gaussian(1.0),
-            BoundMethod::Karl,
-            4,
-        );
+        let eval =
+            Evaluator::<Rect>::build(&ps, &[1.0; 10], Kernel::gaussian(1.0), BoundMethod::Karl, 4);
         let queries = clustered_points(5, 2, 16);
         QueryBatch::new(&queries, Query::Tkaq { tau: 0.5 }).run(&eval);
     }

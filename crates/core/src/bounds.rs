@@ -7,9 +7,10 @@
 //! (negative weights are handled a level up by the P⁺/P⁻ split of
 //! Section IV-A2).
 
-use karl_geom::BoundingShape;
-use karl_tree::NodeStats;
+use karl_geom::{ball_dist, ball_ip, norm2, rect_dist, rect_ip, BoundingShape};
+use karl_tree::{FrozenShapes, FrozenTree, NodeId, NodeStats};
 
+use crate::curve::Curve;
 use crate::envelope::envelope;
 use crate::kernel::Kernel;
 
@@ -59,7 +60,20 @@ pub fn node_bounds<S: BoundingShape>(
         return BoundPair { lb: 0.0, ub: 0.0 };
     }
     let (lo, hi) = kernel.x_interval(shape, q);
-    let curve = kernel.curve();
+    let x_agg = match method {
+        // SOTA never needs the aggregate; 0.0 is ignored by assemble.
+        BoundMethod::Sota => 0.0,
+        BoundMethod::Karl => kernel.x_aggregate(stats, q, q_norm2),
+    };
+    assemble(method, kernel.curve(), w, lo, hi, x_agg)
+}
+
+/// Turns the scalar interval `[lo, hi]`, the node weight `w` and (for
+/// KARL) the scalar aggregate `X` into the final `[LB, UB]` pair. Shared
+/// verbatim by the pointer and frozen evaluation paths so their bound
+/// assembly is bit-identical.
+#[inline]
+fn assemble(method: BoundMethod, curve: Curve, w: f64, lo: f64, hi: f64, x_agg: f64) -> BoundPair {
     let (fmin, fmax) = curve.range(lo, hi);
     let (sota_lb, sota_ub) = (w * fmin, w * fmax);
     match method {
@@ -68,7 +82,6 @@ pub fn node_bounds<S: BoundingShape>(
             ub: sota_ub,
         },
         BoundMethod::Karl => {
-            let x_agg = kernel.x_aggregate(stats, q, q_norm2);
             let env = envelope(curve, lo, hi, x_agg / w);
             let lb = env.lower.m * x_agg + env.lower.c * w;
             let ub = env.upper.m * x_agg + env.upper.c * w;
@@ -84,15 +97,170 @@ pub fn node_bounds<S: BoundingShape>(
     }
 }
 
+/// How a kernel maps geometry to its scalar `x`: through squared distance
+/// (Gaussian/Laplacian, with the γ or γ² prescale) or through the inner
+/// product (polynomial/sigmoid).
+#[derive(Debug, Clone, Copy)]
+enum XMode {
+    /// `x = scale · dist²` — `scale` is γ (Gaussian) or γ² (Laplacian).
+    Dist {
+        /// Prescale applied to squared distances.
+        scale: f64,
+    },
+    /// `x = γ · (q·p) + β`.
+    Ip {
+        /// Inner-product scale γ.
+        gamma: f64,
+        /// Offset β.
+        coef0: f64,
+    },
+}
+
+/// Per-query invariants of bound evaluation, hoisted out of the per-node
+/// path: `‖q‖²` (and its square root for ball inner products), the scalar
+/// curve, the kernel's constants and the bound method. Built once per
+/// query; every frozen-tree node probe then reuses it.
+#[derive(Debug, Clone)]
+pub struct QueryContext<'q> {
+    q: &'q [f64],
+    q_norm2: f64,
+    q_norm: f64,
+    curve: Curve,
+    method: BoundMethod,
+    mode: XMode,
+    karl: bool,
+}
+
+impl<'q> QueryContext<'q> {
+    /// Precomputes the per-query invariants for `q` under `kernel` and
+    /// `method`.
+    pub fn new(kernel: &Kernel, method: BoundMethod, q: &'q [f64]) -> Self {
+        let q_norm2 = norm2(q);
+        let mode = match *kernel {
+            Kernel::Gaussian { gamma } => XMode::Dist { scale: gamma },
+            Kernel::Laplacian { gamma } => XMode::Dist {
+                scale: gamma * gamma,
+            },
+            Kernel::Polynomial { gamma, coef0, .. } | Kernel::Sigmoid { gamma, coef0 } => {
+                XMode::Ip { gamma, coef0 }
+            }
+        };
+        Self {
+            q,
+            q_norm2,
+            q_norm: q_norm2.sqrt(),
+            curve: kernel.curve(),
+            method,
+            mode,
+            karl: method == BoundMethod::Karl,
+        }
+    }
+
+    /// The query point.
+    #[inline]
+    pub fn q(&self) -> &[f64] {
+        self.q
+    }
+
+    /// The hoisted `‖q‖²`.
+    #[inline]
+    pub fn q_norm2(&self) -> f64 {
+        self.q_norm2
+    }
+}
+
+/// Computes the `[LB, UB]` pair for one frozen-tree node — the fused
+/// counterpart of [`node_bounds`].
+///
+/// One pass over the node's `d` SoA coordinates yields the scalar interval
+/// and (for KARL) the `q·a_R` aggregate together; the per-lane summation
+/// order matches the separate pointer-path reductions, so the result is
+/// bit-identical to `node_bounds` on the originating tree node.
+pub fn node_bounds_frozen(ctx: &QueryContext<'_>, tree: &FrozenTree, id: NodeId) -> BoundPair {
+    let w = tree.weight_sum(id);
+    if w <= 0.0 {
+        // A node of all-zero weights contributes nothing either way.
+        return BoundPair { lb: 0.0, ub: 0.0 };
+    }
+    let d = tree.dims();
+    let s = id as usize * d;
+    let a = tree.weighted_sum(id);
+    let q = ctx.q;
+    let (lo, hi, x_agg) = match (tree.shapes(), ctx.mode) {
+        (FrozenShapes::Rect { lo, hi }, XMode::Dist { scale }) => {
+            let (lo, hi) = (&lo[s..s + d], &hi[s..s + d]);
+            let (mn, mx, qa) = if ctx.karl {
+                rect_dist::<true>(q, lo, hi, a)
+            } else {
+                rect_dist::<false>(q, lo, hi, a)
+            };
+            let x_agg = if ctx.karl {
+                scale * (w * ctx.q_norm2 - 2.0 * qa + tree.weighted_norm2(id))
+            } else {
+                0.0
+            };
+            (scale * mn, scale * mx, x_agg)
+        }
+        (FrozenShapes::Rect { lo, hi }, XMode::Ip { gamma, coef0 }) => {
+            let (lo, hi) = (&lo[s..s + d], &hi[s..s + d]);
+            let (mn, mx, qa) = if ctx.karl {
+                rect_ip::<true>(q, lo, hi, a)
+            } else {
+                rect_ip::<false>(q, lo, hi, a)
+            };
+            let x_agg = if ctx.karl {
+                gamma * qa + coef0 * w
+            } else {
+                0.0
+            };
+            (gamma * mn + coef0, gamma * mx + coef0, x_agg)
+        }
+        (FrozenShapes::Ball { center, radius }, XMode::Dist { scale }) => {
+            let c = &center[s..s + d];
+            let r = radius[id as usize];
+            let (d2c, qa) = if ctx.karl {
+                ball_dist::<true>(q, c, a)
+            } else {
+                ball_dist::<false>(q, c, a)
+            };
+            let dc = d2c.sqrt();
+            let mn = (dc - r).max(0.0);
+            let mx = dc + r;
+            let x_agg = if ctx.karl {
+                scale * (w * ctx.q_norm2 - 2.0 * qa + tree.weighted_norm2(id))
+            } else {
+                0.0
+            };
+            (scale * (mn * mn), scale * (mx * mx), x_agg)
+        }
+        (FrozenShapes::Ball { center, radius }, XMode::Ip { gamma, coef0 }) => {
+            let c = &center[s..s + d];
+            let (qc, qa) = if ctx.karl {
+                ball_ip::<true>(q, c, a)
+            } else {
+                ball_ip::<false>(q, c, a)
+            };
+            let rq = radius[id as usize] * ctx.q_norm;
+            let x_agg = if ctx.karl {
+                gamma * qa + coef0 * w
+            } else {
+                0.0
+            };
+            (gamma * (qc - rq) + coef0, gamma * (qc + rq) + coef0, x_agg)
+        }
+    };
+    assemble(ctx.method, ctx.curve, w, lo, hi, x_agg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kernel::aggregate_exact;
     use karl_geom::{norm2, Ball, PointSet, Rect};
-    use karl_tree::{BallTree, KdTree};
+    use karl_testkit::prop_assert;
     use karl_testkit::rng::StdRng;
     use karl_testkit::rng::{Rng, SeedableRng};
-    use karl_testkit::prop_assert;
+    use karl_tree::{BallTree, KdTree};
 
     fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);

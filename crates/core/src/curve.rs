@@ -140,7 +140,11 @@ impl Curve {
             Curve::PowInt { degree } if degree % 2 == 0 => {
                 let (a, b) = (self.value(lo), self.value(hi));
                 let max = a.max(b);
-                let min = if lo <= 0.0 && 0.0 <= hi { 0.0 } else { a.min(b) };
+                let min = if lo <= 0.0 && 0.0 <= hi {
+                    0.0
+                } else {
+                    a.min(b)
+                };
                 (min, max)
             }
             // odd powers and tanh are increasing
@@ -209,7 +213,10 @@ mod tests {
         assert_eq!(cube.curvature_on(-1.0, 1.0), Curvature::ConcaveThenConvex);
         assert_eq!(Curve::Tanh.curvature_on(0.1, 3.0), Curvature::Concave);
         assert_eq!(Curve::Tanh.curvature_on(-3.0, -0.1), Curvature::Convex);
-        assert_eq!(Curve::Tanh.curvature_on(-1.0, 1.0), Curvature::ConvexThenConcave);
+        assert_eq!(
+            Curve::Tanh.curvature_on(-1.0, 1.0),
+            Curvature::ConvexThenConcave
+        );
     }
 
     #[test]

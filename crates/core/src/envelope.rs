@@ -400,9 +400,15 @@ mod tests {
         let (fmin, fmax) = curve.range(lo, hi);
         for k in 0..=32 {
             let x = lo + (hi - lo) * (k as f64 / 32.0);
-            assert!(env.upper.eval(x) <= fmax + 1e-9, "chord UB above SOTA at {x}");
+            assert!(
+                env.upper.eval(x) <= fmax + 1e-9,
+                "chord UB above SOTA at {x}"
+            );
         }
-        assert!(env.lower.eval(xbar) + 1e-9 >= fmin, "tangent LB below SOTA at x̄");
+        assert!(
+            env.lower.eval(xbar) + 1e-9 >= fmin,
+            "tangent LB below SOTA at x̄"
+        );
     }
 
     karl_testkit::props! {

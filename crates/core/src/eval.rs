@@ -20,10 +20,27 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use karl_geom::{norm2, PointSet};
-use karl_tree::{NodeId, NodeShape, Tree};
+use karl_tree::{FrozenTree, NodeId, NodeShape, Tree};
 
-use crate::bounds::{node_bounds, BoundMethod, BoundPair};
+use crate::bounds::{node_bounds, node_bounds_frozen, BoundMethod, BoundPair, QueryContext};
 use crate::kernel::Kernel;
+
+/// Which evaluation index [`Evaluator`] routes a query through.
+///
+/// Both engines walk the same refinement loop with the same bound values
+/// and produce bitwise-identical outcomes and traces (enforced by
+/// `tests/frozen_equivalence.rs`); they differ only in memory layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The frozen SoA index with fused per-node bound kernels — the
+    /// default evaluation path.
+    #[default]
+    Frozen,
+    /// The pointer-style node arena the trees are built as. Retained for
+    /// construction and introspection, and as the differential-testing
+    /// oracle for the frozen path.
+    Pointer,
+}
 
 /// One recorded refinement step, for the convergence traces of Figure 6.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,6 +157,10 @@ impl Scratch {
 pub struct Evaluator<S: NodeShape> {
     pos: Option<Tree<S>>,
     neg: Option<Tree<S>>,
+    /// SoA compilations of `pos`/`neg`, frozen at construction. Always
+    /// `Some` exactly where the pointer tree is `Some`.
+    pos_frozen: Option<FrozenTree>,
+    neg_frozen: Option<FrozenTree>,
     kernel: Kernel,
     method: BoundMethod,
     dims: usize,
@@ -168,8 +189,15 @@ impl<S: NodeShape> Evaluator<S> {
         method: BoundMethod,
         leaf_capacity: usize,
     ) -> Self {
-        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
-        assert!(!points.is_empty(), "cannot build an evaluator over no points");
+        assert_eq!(
+            weights.len(),
+            points.len(),
+            "weights/points length mismatch"
+        );
+        assert!(
+            !points.is_empty(),
+            "cannot build an evaluator over no points"
+        );
         assert!(
             weights.iter().all(|w| w.is_finite()),
             "weights must be finite"
@@ -198,9 +226,13 @@ impl<S: NodeShape> Evaluator<S> {
                 .collect();
             Some(Tree::build(pts, &ws, leaf_capacity))
         };
+        let pos = build_side(&pos_idx, false);
+        let neg = build_side(&neg_idx, true);
         Self {
-            pos: build_side(&pos_idx, false),
-            neg: build_side(&neg_idx, true),
+            pos_frozen: pos.as_ref().map(Tree::freeze),
+            neg_frozen: neg.as_ref().map(Tree::freeze),
+            pos,
+            neg,
             kernel,
             method,
             dims: points.dims(),
@@ -212,7 +244,12 @@ impl<S: NodeShape> Evaluator<S> {
     ///
     /// # Panics
     /// Panics if both trees are `None` or their dimensionalities disagree.
-    pub fn from_trees(pos: Option<Tree<S>>, neg: Option<Tree<S>>, kernel: Kernel, method: BoundMethod) -> Self {
+    pub fn from_trees(
+        pos: Option<Tree<S>>,
+        neg: Option<Tree<S>>,
+        kernel: Kernel,
+        method: BoundMethod,
+    ) -> Self {
         let dims = match (&pos, &neg) {
             (Some(p), Some(n)) => {
                 assert_eq!(p.dims(), n.dims(), "tree dimensionality mismatch");
@@ -223,6 +260,8 @@ impl<S: NodeShape> Evaluator<S> {
             (None, None) => panic!("at least one tree is required"),
         };
         Self {
+            pos_frozen: pos.as_ref().map(Tree::freeze),
+            neg_frozen: neg.as_ref().map(Tree::freeze),
             pos,
             neg,
             kernel,
@@ -283,13 +322,30 @@ impl<S: NodeShape> Evaluator<S> {
         self.neg.as_ref()
     }
 
+    /// The frozen SoA index of the positive-weight tree, if any.
+    pub fn pos_frozen(&self) -> Option<&FrozenTree> {
+        self.pos_frozen.as_ref()
+    }
+
+    /// The frozen SoA index of the negative-weight tree, if any.
+    pub fn neg_frozen(&self) -> Option<&FrozenTree> {
+        self.neg_frozen.as_ref()
+    }
+
     /// Exact `F_P(q)` by scanning both trees (no pruning). Ground truth.
     pub fn exact(&self, q: &[f64]) -> f64 {
         self.check_query(q);
         let qn = norm2(q);
         let side = |tree: &Tree<S>| {
-            self.kernel
-                .eval_range(tree.points(), tree.weights(), tree.norms2(), 0, tree.len(), q, qn)
+            self.kernel.eval_range(
+                tree.points(),
+                tree.weights(),
+                tree.norms2(),
+                0,
+                tree.len(),
+                q,
+                qn,
+            )
         };
         self.pos.as_ref().map_or(0.0, side) - self.neg.as_ref().map_or(0.0, side)
     }
@@ -340,17 +396,29 @@ impl<S: NodeShape> Evaluator<S> {
 
     /// Runs a threshold query recording the bound trajectory (Figure 6).
     pub fn trace_tkaq(&self, q: &[f64], tau: f64) -> (bool, Vec<TraceStep>) {
-        let mut scratch = Scratch::new();
-        let out = self.run_core(q, Query::Tkaq { tau }, None, &mut scratch, true);
-        (decide_tkaq(&out, tau), std::mem::take(&mut scratch.trace))
+        let (out, trace) = self.trace_run_on(Engine::default(), q, Query::Tkaq { tau });
+        (decide_tkaq(&out, tau), trace)
     }
 
     /// Runs an approximate query recording the bound trajectory.
     pub fn trace_ekaq(&self, q: &[f64], eps: f64) -> (f64, Vec<TraceStep>) {
         assert!(eps > 0.0, "eps must be positive");
+        let (out, trace) = self.trace_run_on(Engine::default(), q, Query::Ekaq { eps });
+        (estimate_ekaq(&out), trace)
+    }
+
+    /// Runs a query on a chosen engine, recording the bound trajectory.
+    /// The differential entry point of `tests/frozen_equivalence.rs`.
+    pub fn trace_run_on(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+    ) -> (RunOutcome, Vec<TraceStep>) {
+        self.check_query(q);
         let mut scratch = Scratch::new();
-        let out = self.run_core(q, Query::Ekaq { eps }, None, &mut scratch, true);
-        (estimate_ekaq(&out), std::mem::take(&mut scratch.trace))
+        let out = self.run_core_on(engine, q, query, None, &mut scratch, true);
+        (out, std::mem::take(&mut scratch.trace))
     }
 
     /// Runs a query and returns the raw bound outcome (used by the harness
@@ -359,11 +427,27 @@ impl<S: NodeShape> Evaluator<S> {
         self.run(q, query, level_cap)
     }
 
+    /// [`run_query`](Self::run_query) on a chosen engine.
+    pub fn run_query_on(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+    ) -> RunOutcome {
+        self.check_query(q);
+        self.run_core_on(engine, q, query, level_cap, &mut Scratch::new(), false)
+    }
+
     /// [`run_query`](Self::run_query) with caller-owned scratch buffers:
     /// after the buffers have grown to the workload's high-water mark, the
     /// query path performs zero heap allocations. This is the hot entry
     /// point of the batch engine (one [`Scratch`] per worker thread); the
     /// outcome is bit-identical to [`run_query`](Self::run_query).
+    ///
+    /// Dimensionality is only `debug_assert!`ed here — callers (like
+    /// [`crate::batch::QueryBatch`]) validate once per batch, not once per
+    /// query.
     pub fn run_with_scratch(
         &self,
         q: &[f64],
@@ -371,7 +455,19 @@ impl<S: NodeShape> Evaluator<S> {
         level_cap: Option<u16>,
         scratch: &mut Scratch,
     ) -> RunOutcome {
-        self.run_core(q, query, level_cap, scratch, false)
+        self.run_core_on(Engine::default(), q, query, level_cap, scratch, false)
+    }
+
+    /// [`run_with_scratch`](Self::run_with_scratch) on a chosen engine.
+    pub fn run_with_scratch_on(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        scratch: &mut Scratch,
+    ) -> RunOutcome {
+        self.run_core_on(engine, q, query, level_cap, scratch, false)
     }
 
     fn check_query(&self, q: &[f64]) {
@@ -379,10 +475,38 @@ impl<S: NodeShape> Evaluator<S> {
     }
 
     fn run(&self, q: &[f64], query: Query, level_cap: Option<u16>) -> RunOutcome {
-        self.run_core(q, query, level_cap, &mut Scratch::new(), false)
+        self.check_query(q);
+        self.run_core_on(
+            Engine::default(),
+            q,
+            query,
+            level_cap,
+            &mut Scratch::new(),
+            false,
+        )
     }
 
-    fn run_core(
+    #[inline]
+    fn run_core_on(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        scratch: &mut Scratch,
+        record_trace: bool,
+    ) -> RunOutcome {
+        match engine {
+            Engine::Frozen => self.run_core_frozen(q, query, level_cap, scratch, record_trace),
+            Engine::Pointer => self.run_core_pointer(q, query, level_cap, scratch, record_trace),
+        }
+    }
+
+    /// The frozen-path refinement loop: identical control flow to
+    /// [`run_core_pointer`](Self::run_core_pointer), but per-node bounds
+    /// come from the SoA index through the fused kernels, with the
+    /// per-query invariants hoisted into one [`QueryContext`].
+    fn run_core_frozen(
         &self,
         q: &[f64],
         query: Query,
@@ -390,7 +514,107 @@ impl<S: NodeShape> Evaluator<S> {
         scratch: &mut Scratch,
         record_trace: bool,
     ) -> RunOutcome {
-        self.check_query(q);
+        debug_assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
+        let ctx = QueryContext::new(&self.kernel, self.method, q);
+        scratch.heap.clear();
+        scratch.trace.clear();
+        let heap = &mut scratch.heap;
+        let trace = &mut scratch.trace;
+        let mut lb = 0.0f64;
+        let mut ub = 0.0f64;
+        let pos = self.pos.as_ref().zip(self.pos_frozen.as_ref());
+        let neg = self.neg.as_ref().zip(self.neg_frozen.as_ref());
+
+        let push = |heap: &mut BinaryHeap<Entry>,
+                    lb: &mut f64,
+                    ub: &mut f64,
+                    frozen: &FrozenTree,
+                    node: NodeId,
+                    negated: bool| {
+            let b = node_bounds_frozen(&ctx, frozen, node);
+            let (elb, eub) = contribution(&b, negated);
+            *lb += elb;
+            *ub += eub;
+            heap.push(Entry {
+                gap: eub - elb,
+                node,
+                negated,
+                lb: elb,
+                ub: eub,
+            });
+        };
+
+        if let Some((_, frozen)) = pos {
+            push(heap, &mut lb, &mut ub, frozen, frozen.root(), false);
+        }
+        if let Some((_, frozen)) = neg {
+            push(heap, &mut lb, &mut ub, frozen, frozen.root(), true);
+        }
+
+        let mut iterations = 0usize;
+        if record_trace {
+            trace.push(TraceStep {
+                iteration: 0,
+                lb,
+                ub,
+            });
+        }
+        loop {
+            if terminated(query, lb, ub) {
+                break;
+            }
+            let Some(entry) = heap.pop() else { break };
+            iterations += 1;
+            lb -= entry.lb;
+            ub -= entry.ub;
+            let (tree, frozen) = if entry.negated {
+                neg.expect("negated entry without neg tree")
+            } else {
+                pos.expect("entry without pos tree")
+            };
+            let refine_exactly = frozen.is_leaf(entry.node)
+                || level_cap.is_some_and(|cap| frozen.depth(entry.node) >= cap);
+            if refine_exactly {
+                let (start, end) = frozen.range(entry.node);
+                let exact = self.kernel.eval_range(
+                    tree.points(),
+                    tree.weights(),
+                    tree.norms2(),
+                    start,
+                    end,
+                    q,
+                    ctx.q_norm2(),
+                );
+                let signed = if entry.negated { -exact } else { exact };
+                lb += signed;
+                ub += signed;
+            } else {
+                let (a, b) = frozen
+                    .children(entry.node)
+                    .expect("non-leaf node has children");
+                push(heap, &mut lb, &mut ub, frozen, a, entry.negated);
+                push(heap, &mut lb, &mut ub, frozen, b, entry.negated);
+            }
+            if record_trace {
+                trace.push(TraceStep {
+                    iteration: iterations,
+                    lb,
+                    ub,
+                });
+            }
+        }
+        RunOutcome { lb, ub, iterations }
+    }
+
+    fn run_core_pointer(
+        &self,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        scratch: &mut Scratch,
+        record_trace: bool,
+    ) -> RunOutcome {
+        debug_assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
         let qn = norm2(q);
         scratch.heap.clear();
         scratch.trace.clear();
@@ -399,7 +623,12 @@ impl<S: NodeShape> Evaluator<S> {
         let mut lb = 0.0f64;
         let mut ub = 0.0f64;
 
-        let push = |heap: &mut BinaryHeap<Entry>, lb: &mut f64, ub: &mut f64, tree: &Tree<S>, node: NodeId, negated: bool| {
+        let push = |heap: &mut BinaryHeap<Entry>,
+                    lb: &mut f64,
+                    ub: &mut f64,
+                    tree: &Tree<S>,
+                    node: NodeId,
+                    negated: bool| {
             let n = tree.node(node);
             let b = node_bounds(self.method, &self.kernel, &n.shape, &n.stats, q, qn);
             let (elb, eub) = contribution(&b, negated);
@@ -423,7 +652,11 @@ impl<S: NodeShape> Evaluator<S> {
 
         let mut iterations = 0usize;
         if record_trace {
-            trace.push(TraceStep { iteration: 0, lb, ub });
+            trace.push(TraceStep {
+                iteration: 0,
+                lb,
+                ub,
+            });
         }
         loop {
             if terminated(query, lb, ub) {
@@ -439,8 +672,7 @@ impl<S: NodeShape> Evaluator<S> {
                 self.pos.as_ref().expect("entry without pos tree")
             };
             let node = tree.node(entry.node);
-            let refine_exactly = node.is_leaf()
-                || level_cap.is_some_and(|cap| node.depth >= cap);
+            let refine_exactly = node.is_leaf() || level_cap.is_some_and(|cap| node.depth >= cap);
             if refine_exactly {
                 let exact = self.kernel.eval_range(
                     tree.points(),
@@ -460,7 +692,11 @@ impl<S: NodeShape> Evaluator<S> {
                 push(heap, &mut lb, &mut ub, tree, b, entry.negated);
             }
             if record_trace {
-                trace.push(TraceStep { iteration: iterations, lb, ub });
+                trace.push(TraceStep {
+                    iteration: iterations,
+                    lb,
+                    ub,
+                });
             }
         }
         RunOutcome { lb, ub, iterations }
@@ -781,8 +1017,7 @@ mod tests {
             vec![0.0, 1.0],
         ]);
         let w = vec![1.0, 1.0, -1.0, -1.0];
-        let eval =
-            Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.5), BoundMethod::Karl, 1);
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.5), BoundMethod::Karl, 1);
         let q = [0.0, 0.0];
         let (_, t1) = eval.trace_tkaq(&q, 0.1);
         let (_, t2) = eval.trace_tkaq(&q, 0.1);

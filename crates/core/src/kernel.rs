@@ -262,8 +262,8 @@ pub fn aggregate_exact(
 mod tests {
     use super::*;
     use karl_geom::{PointSet, Rect};
-    use karl_testkit::props::vec_of;
     use karl_testkit::prop_assert;
+    use karl_testkit::props::vec_of;
 
     #[test]
     fn gaussian_eval() {
@@ -317,7 +317,10 @@ mod tests {
             let (lo, hi) = k.x_interval(&rect, &q);
             for p in ps.iter() {
                 let x = k.x_of(&q, p);
-                assert!(lo <= x + 1e-12 && x <= hi + 1e-12, "{k:?}: {x} ∉ [{lo},{hi}]");
+                assert!(
+                    lo <= x + 1e-12 && x <= hi + 1e-12,
+                    "{k:?}: {x} ∉ [{lo},{hi}]"
+                );
             }
         }
     }

@@ -58,10 +58,12 @@ pub mod stream;
 pub mod tuning;
 
 pub use batch::{resolve_threads, BatchOutcome, QueryBatch};
-pub use bounds::{node_bounds, BoundMethod, BoundPair};
+pub use bounds::{node_bounds, node_bounds_frozen, BoundMethod, BoundPair, QueryContext};
 pub use curve::{Curvature, Curve};
 pub use envelope::{envelope, Envelope, Line};
-pub use eval::{BallEvaluator, Evaluator, KdEvaluator, Query, RunOutcome, Scratch, TraceStep};
+pub use eval::{
+    BallEvaluator, Engine, Evaluator, KdEvaluator, Query, RunOutcome, Scratch, TraceStep,
+};
 pub use kernel::{aggregate_exact, Kernel};
 pub use scan::{LibSvmScan, Scan};
 pub use stream::StreamingEvaluator;

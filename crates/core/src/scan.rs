@@ -27,7 +27,11 @@ impl Scan {
     /// # Panics
     /// Panics if lengths mismatch or `points` is empty.
     pub fn new(points: PointSet, weights: Vec<f64>, kernel: Kernel) -> Self {
-        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        assert_eq!(
+            weights.len(),
+            points.len(),
+            "weights/points length mismatch"
+        );
         assert!(!points.is_empty(), "empty point set");
         Self {
             points,
@@ -100,7 +104,11 @@ impl LibSvmScan {
     /// # Panics
     /// Panics if lengths mismatch or `points` is empty.
     pub fn new(points: PointSet, weights: Vec<f64>, kernel: Kernel) -> Self {
-        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        assert_eq!(
+            weights.len(),
+            points.len(),
+            "weights/points length mismatch"
+        );
         assert!(!points.is_empty(), "empty point set");
         let norms2 = points.squared_norms();
         Self {

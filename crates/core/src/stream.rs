@@ -188,14 +188,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         PointSet::new(
             2,
-            (0..n * 2).map(|_| rng.random_range(-1.0..1.0)).collect::<Vec<_>>(),
+            (0..n * 2)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect::<Vec<_>>(),
         )
     }
 
     fn build_streaming(n: usize, seed: u64) -> (StreamingEvaluator<Rect>, PointSet, Vec<f64>) {
         let ps = stream_points(n, seed);
         let w: Vec<f64> = (0..n).map(|i| 0.5 + (i % 3) as f64 * 0.25).collect();
-        let mut ev = StreamingEvaluator::<Rect>::new(2, Kernel::gaussian(1.5), BoundMethod::Karl, 16);
+        let mut ev =
+            StreamingEvaluator::<Rect>::new(2, Kernel::gaussian(1.5), BoundMethod::Karl, 16);
         ev.extend(&ps, &w);
         (ev, ps, w)
     }
@@ -262,7 +265,9 @@ mod tests {
     #[test]
     fn mixed_sign_stream_is_exact_on_tkaq() {
         let ps = stream_points(400, 5);
-        let w: Vec<f64> = (0..400).map(|i| if i % 3 == 0 { -1.0 } else { 0.8 }).collect();
+        let w: Vec<f64> = (0..400)
+            .map(|i| if i % 3 == 0 { -1.0 } else { 0.8 })
+            .collect();
         let mut ev =
             StreamingEvaluator::<Rect>::new(2, Kernel::gaussian(2.0), BoundMethod::Karl, 8);
         ev.extend(&ps, &w);

@@ -299,8 +299,8 @@ impl OnlineTuner {
         // Candidate levels 0..=max_depth, thinned so every candidate gets at
         // least one probe query.
         let max_depth = eval.max_depth();
-        let sample_count = ((queries.len() as f64 * self.sample_fraction).ceil() as usize)
-            .clamp(1, queries.len());
+        let sample_count =
+            ((queries.len() as f64 * self.sample_fraction).ceil() as usize).clamp(1, queries.len());
         let num_candidates = (max_depth as usize + 1).min(sample_count);
         let candidates: Vec<u16> = (0..num_candidates)
             .map(|i| {
@@ -422,7 +422,14 @@ mod tests {
             leaf_capacities: vec![4, 64],
             index_kinds: vec![IndexKind::Kd, IndexKind::Ball],
         };
-        let out = tuner.tune(&ps, &w, kernel, BoundMethod::Karl, &sample, Query::Ekaq { eps: 0.2 });
+        let out = tuner.tune(
+            &ps,
+            &w,
+            kernel,
+            BoundMethod::Karl,
+            &sample,
+            Query::Ekaq { eps: 0.2 },
+        );
         assert_eq!(out.report.len(), 4);
         // Report is sorted fastest-first and the winner matches `best`.
         for pair in out.report.windows(2) {

@@ -27,24 +27,38 @@ impl Ball {
     /// `[start, end)`: center = mean of the points, radius = distance to the
     /// farthest member. This is the classic ball-tree node construction.
     pub fn bounding_range(points: &PointSet, start: usize, end: usize) -> Self {
+        Self::bounding_range_scratch(points, start, end, &mut Vec::new())
+    }
+
+    /// Like [`Ball::bounding_range`], but accumulates the centroid in a
+    /// caller-provided scratch buffer so a tree build constructing
+    /// thousands of balls only allocates the exact-size center each node
+    /// keeps.
+    pub fn bounding_range_scratch(
+        points: &PointSet,
+        start: usize,
+        end: usize,
+        scratch: &mut Vec<f64>,
+    ) -> Self {
         assert!(start < end && end <= points.len(), "invalid range");
         let d = points.dims();
-        let mut center = vec![0.0; d];
+        scratch.clear();
+        scratch.resize(d, 0.0);
         for i in start..end {
-            for (c, x) in center.iter_mut().zip(points.point(i)) {
+            for (c, x) in scratch.iter_mut().zip(points.point(i)) {
                 *c += x;
             }
         }
         let inv = 1.0 / (end - start) as f64;
-        for c in &mut center {
+        for c in scratch.iter_mut() {
             *c *= inv;
         }
         let mut r2: f64 = 0.0;
         for i in start..end {
-            r2 = r2.max(dist2(&center, points.point(i)));
+            r2 = r2.max(dist2(scratch, points.point(i)));
         }
         Self {
-            center,
+            center: scratch.clone(),
             radius: r2.sqrt(),
         }
     }
@@ -103,8 +117,8 @@ impl BoundingShape for Ball {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use karl_testkit::props::vec_of;
     use karl_testkit::prop_assert;
+    use karl_testkit::props::vec_of;
 
     #[test]
     fn bounding_range_contains_members() {

@@ -1,0 +1,335 @@
+//! Fused single-pass per-node probe kernels over SoA buffers.
+//!
+//! The branch-and-bound evaluator needs up to three reductions over the
+//! same `d` coordinates at every heap pop: `mindist²(q, R)`,
+//! `maxdist²(q, R)` and the aggregate inner product `q · a_R`. Computing
+//! them separately walks the node's buffers three times; the fused kernels
+//! here do one pass with shared loads and one 4-wide blocked accumulator
+//! per output, so a frozen-tree probe touches each cache line once.
+//!
+//! **Bitwise contract.** Every accumulator replicates the exact blocked
+//! summation of the single-output primitives (`dist::dist2`/`dot` and the
+//! `Rect` bound methods): lane `k` sums the terms at coordinates
+//! `k, k+4, k+8, …` and the final reduction is
+//! `(acc0+acc1) + (acc2+acc3) + tail`. Interleaving independent
+//! accumulators in one loop does not change the order of adds *within*
+//! each accumulator, so the fused outputs are bit-identical to the
+//! separate passes — the property the frozen/pointer differential tests
+//! rely on. The shared per-coordinate term helpers below are the single
+//! source of truth for both code paths.
+//!
+//! The `AGG` const parameter compiles the `q · a_R` accumulator in or out:
+//! SOTA bounds never need the aggregate, and the branch folds away at
+//! monomorphization time. With `AGG = false` the `a` slice is ignored
+//! (pass `&[]`).
+
+/// Per-coordinate term of `mindist²`: squared gap between `x` and the
+/// interval `[l, h]` (zero inside).
+#[inline(always)]
+pub(crate) fn rect_min_term(x: f64, l: f64, h: f64) -> f64 {
+    let diff = if x < l {
+        l - x
+    } else if x > h {
+        x - h
+    } else {
+        0.0
+    };
+    diff * diff
+}
+
+/// Per-coordinate term of `maxdist²`: squared distance from `x` to the
+/// farther end of `[l, h]`.
+#[inline(always)]
+pub(crate) fn rect_max_term(x: f64, l: f64, h: f64) -> f64 {
+    let diff = (x - l).abs().max((h - x).abs());
+    diff * diff
+}
+
+/// Per-coordinate term of the inner-product lower bound over `[l, h]`.
+#[inline(always)]
+pub(crate) fn rect_ip_min_term(x: f64, l: f64, h: f64) -> f64 {
+    (x * l).min(x * h)
+}
+
+/// Per-coordinate term of the inner-product upper bound over `[l, h]`.
+#[inline(always)]
+pub(crate) fn rect_ip_max_term(x: f64, l: f64, h: f64) -> f64 {
+    (x * l).max(x * h)
+}
+
+/// Fused rectangle distance probe: `(mindist², maxdist², q·a)` in one pass
+/// over `q`, `lo`, `hi` (and `a` when `AGG`).
+///
+/// Bitwise identical to `Rect::mindist2` / `Rect::maxdist2` /
+/// `dist::dot(q, a)` computed separately.
+#[inline]
+pub fn rect_dist<const AGG: bool>(q: &[f64], lo: &[f64], hi: &[f64], a: &[f64]) -> (f64, f64, f64) {
+    let d = q.len();
+    debug_assert_eq!(lo.len(), d);
+    debug_assert_eq!(hi.len(), d);
+    debug_assert!(!AGG || a.len() == d);
+    let blocks = d - d % 4;
+    let mut mn = [0.0f64; 4];
+    let mut mx = [0.0f64; 4];
+    let mut qa = [0.0f64; 4];
+    let mut j = 0;
+    while j < blocks {
+        let (x0, l0, h0) = (q[j], lo[j], hi[j]);
+        let (x1, l1, h1) = (q[j + 1], lo[j + 1], hi[j + 1]);
+        let (x2, l2, h2) = (q[j + 2], lo[j + 2], hi[j + 2]);
+        let (x3, l3, h3) = (q[j + 3], lo[j + 3], hi[j + 3]);
+        mn[0] += rect_min_term(x0, l0, h0);
+        mn[1] += rect_min_term(x1, l1, h1);
+        mn[2] += rect_min_term(x2, l2, h2);
+        mn[3] += rect_min_term(x3, l3, h3);
+        mx[0] += rect_max_term(x0, l0, h0);
+        mx[1] += rect_max_term(x1, l1, h1);
+        mx[2] += rect_max_term(x2, l2, h2);
+        mx[3] += rect_max_term(x3, l3, h3);
+        if AGG {
+            qa[0] += x0 * a[j];
+            qa[1] += x1 * a[j + 1];
+            qa[2] += x2 * a[j + 2];
+            qa[3] += x3 * a[j + 3];
+        }
+        j += 4;
+    }
+    let (mut mn_t, mut mx_t, mut qa_t) = (0.0, 0.0, 0.0);
+    while j < d {
+        let (x, l, h) = (q[j], lo[j], hi[j]);
+        mn_t += rect_min_term(x, l, h);
+        mx_t += rect_max_term(x, l, h);
+        if AGG {
+            qa_t += x * a[j];
+        }
+        j += 1;
+    }
+    (
+        (mn[0] + mn[1]) + (mn[2] + mn[3]) + mn_t,
+        (mx[0] + mx[1]) + (mx[2] + mx[3]) + mx_t,
+        if AGG {
+            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
+        } else {
+            0.0
+        },
+    )
+}
+
+/// Fused rectangle inner-product probe: `(ip_min, ip_max, q·a)` in one
+/// pass. Bitwise identical to `Rect::ip_min` / `Rect::ip_max` /
+/// `dist::dot(q, a)` computed separately.
+#[inline]
+pub fn rect_ip<const AGG: bool>(q: &[f64], lo: &[f64], hi: &[f64], a: &[f64]) -> (f64, f64, f64) {
+    let d = q.len();
+    debug_assert_eq!(lo.len(), d);
+    debug_assert_eq!(hi.len(), d);
+    debug_assert!(!AGG || a.len() == d);
+    let blocks = d - d % 4;
+    let mut mn = [0.0f64; 4];
+    let mut mx = [0.0f64; 4];
+    let mut qa = [0.0f64; 4];
+    let mut j = 0;
+    while j < blocks {
+        let (x0, l0, h0) = (q[j], lo[j], hi[j]);
+        let (x1, l1, h1) = (q[j + 1], lo[j + 1], hi[j + 1]);
+        let (x2, l2, h2) = (q[j + 2], lo[j + 2], hi[j + 2]);
+        let (x3, l3, h3) = (q[j + 3], lo[j + 3], hi[j + 3]);
+        mn[0] += rect_ip_min_term(x0, l0, h0);
+        mn[1] += rect_ip_min_term(x1, l1, h1);
+        mn[2] += rect_ip_min_term(x2, l2, h2);
+        mn[3] += rect_ip_min_term(x3, l3, h3);
+        mx[0] += rect_ip_max_term(x0, l0, h0);
+        mx[1] += rect_ip_max_term(x1, l1, h1);
+        mx[2] += rect_ip_max_term(x2, l2, h2);
+        mx[3] += rect_ip_max_term(x3, l3, h3);
+        if AGG {
+            qa[0] += x0 * a[j];
+            qa[1] += x1 * a[j + 1];
+            qa[2] += x2 * a[j + 2];
+            qa[3] += x3 * a[j + 3];
+        }
+        j += 4;
+    }
+    let (mut mn_t, mut mx_t, mut qa_t) = (0.0, 0.0, 0.0);
+    while j < d {
+        let (x, l, h) = (q[j], lo[j], hi[j]);
+        mn_t += rect_ip_min_term(x, l, h);
+        mx_t += rect_ip_max_term(x, l, h);
+        if AGG {
+            qa_t += x * a[j];
+        }
+        j += 1;
+    }
+    (
+        (mn[0] + mn[1]) + (mn[2] + mn[3]) + mn_t,
+        (mx[0] + mx[1]) + (mx[2] + mx[3]) + mx_t,
+        if AGG {
+            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
+        } else {
+            0.0
+        },
+    )
+}
+
+/// Fused ball distance probe: `(dist²(q, center), q·a)` in one pass.
+/// Bitwise identical to `dist::dist2(q, center)` / `dist::dot(q, a)`.
+#[inline]
+pub fn ball_dist<const AGG: bool>(q: &[f64], center: &[f64], a: &[f64]) -> (f64, f64) {
+    let d = q.len();
+    debug_assert_eq!(center.len(), d);
+    debug_assert!(!AGG || a.len() == d);
+    let blocks = d - d % 4;
+    let mut ds = [0.0f64; 4];
+    let mut qa = [0.0f64; 4];
+    let mut j = 0;
+    while j < blocks {
+        let (x0, x1, x2, x3) = (q[j], q[j + 1], q[j + 2], q[j + 3]);
+        let d0 = x0 - center[j];
+        let d1 = x1 - center[j + 1];
+        let d2 = x2 - center[j + 2];
+        let d3 = x3 - center[j + 3];
+        ds[0] += d0 * d0;
+        ds[1] += d1 * d1;
+        ds[2] += d2 * d2;
+        ds[3] += d3 * d3;
+        if AGG {
+            qa[0] += x0 * a[j];
+            qa[1] += x1 * a[j + 1];
+            qa[2] += x2 * a[j + 2];
+            qa[3] += x3 * a[j + 3];
+        }
+        j += 4;
+    }
+    let (mut ds_t, mut qa_t) = (0.0, 0.0);
+    while j < d {
+        let x = q[j];
+        let dd = x - center[j];
+        ds_t += dd * dd;
+        if AGG {
+            qa_t += x * a[j];
+        }
+        j += 1;
+    }
+    (
+        (ds[0] + ds[1]) + (ds[2] + ds[3]) + ds_t,
+        if AGG {
+            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
+        } else {
+            0.0
+        },
+    )
+}
+
+/// Fused ball inner-product probe: `(q·center, q·a)` in one pass.
+/// Bitwise identical to two separate `dist::dot` calls.
+#[inline]
+pub fn ball_ip<const AGG: bool>(q: &[f64], center: &[f64], a: &[f64]) -> (f64, f64) {
+    let d = q.len();
+    debug_assert_eq!(center.len(), d);
+    debug_assert!(!AGG || a.len() == d);
+    let blocks = d - d % 4;
+    let mut qc = [0.0f64; 4];
+    let mut qa = [0.0f64; 4];
+    let mut j = 0;
+    while j < blocks {
+        let (x0, x1, x2, x3) = (q[j], q[j + 1], q[j + 2], q[j + 3]);
+        qc[0] += x0 * center[j];
+        qc[1] += x1 * center[j + 1];
+        qc[2] += x2 * center[j + 2];
+        qc[3] += x3 * center[j + 3];
+        if AGG {
+            qa[0] += x0 * a[j];
+            qa[1] += x1 * a[j + 1];
+            qa[2] += x2 * a[j + 2];
+            qa[3] += x3 * a[j + 3];
+        }
+        j += 4;
+    }
+    let (mut qc_t, mut qa_t) = (0.0, 0.0);
+    while j < d {
+        let x = q[j];
+        qc_t += x * center[j];
+        if AGG {
+            qa_t += x * a[j];
+        }
+        j += 1;
+    }
+    (
+        (qc[0] + qc[1]) + (qc[2] + qc[3]) + qc_t,
+        if AGG {
+            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
+        } else {
+            0.0
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{dist2, dot};
+    use crate::{BoundingShape, Rect};
+
+    /// Deterministic quasi-random vectors exercising every remainder
+    /// length around the 4-wide blocking.
+    fn vectors(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let lo: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() * 2.0 - 1.5).collect();
+        let hi: Vec<f64> = lo.iter().map(|l| l + 2.0).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.31).tan().clamp(-4.0, 4.0))
+            .collect();
+        (q, lo, hi, a)
+    }
+
+    #[test]
+    fn rect_dist_bitwise_matches_separate_passes() {
+        for n in 1..13usize {
+            let (q, lo, hi, a) = vectors(n);
+            let rect = Rect::new(lo.clone(), hi.clone());
+            let (mn, mx, qa) = rect_dist::<true>(&q, &lo, &hi, &a);
+            assert_eq!(mn, rect.mindist2(&q), "mindist2 at n={n}");
+            assert_eq!(mx, rect.maxdist2(&q), "maxdist2 at n={n}");
+            assert_eq!(qa, dot(&q, &a), "q·a at n={n}");
+            let (mn0, mx0, qa0) = rect_dist::<false>(&q, &lo, &hi, &[]);
+            assert_eq!((mn0, mx0, qa0), (mn, mx, 0.0));
+        }
+    }
+
+    #[test]
+    fn rect_ip_bitwise_matches_separate_passes() {
+        for n in 1..13usize {
+            let (q, lo, hi, a) = vectors(n);
+            let rect = Rect::new(lo.clone(), hi.clone());
+            let (mn, mx, qa) = rect_ip::<true>(&q, &lo, &hi, &a);
+            assert_eq!(mn, rect.ip_min(&q), "ip_min at n={n}");
+            assert_eq!(mx, rect.ip_max(&q), "ip_max at n={n}");
+            assert_eq!(qa, dot(&q, &a), "q·a at n={n}");
+            let (mn0, mx0, qa0) = rect_ip::<false>(&q, &lo, &hi, &[]);
+            assert_eq!((mn0, mx0, qa0), (mn, mx, 0.0));
+        }
+    }
+
+    #[test]
+    fn ball_probes_bitwise_match_separate_passes() {
+        for n in 1..13usize {
+            let (q, c, _, a) = vectors(n);
+            let (d2, qa) = ball_dist::<true>(&q, &c, &a);
+            assert_eq!(d2, dist2(&q, &c), "dist2 at n={n}");
+            assert_eq!(qa, dot(&q, &a), "q·a at n={n}");
+            assert_eq!(ball_dist::<false>(&q, &c, &[]), (d2, 0.0));
+            let (qc, qa2) = ball_ip::<true>(&q, &c, &a);
+            assert_eq!(qc, dot(&q, &c), "q·c at n={n}");
+            assert_eq!(qa2, qa);
+            assert_eq!(ball_ip::<false>(&q, &c, &[]), (qc, 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero() {
+        assert_eq!(rect_dist::<true>(&[], &[], &[], &[]), (0.0, 0.0, 0.0));
+        assert_eq!(rect_ip::<false>(&[], &[], &[], &[]), (0.0, 0.0, 0.0));
+        assert_eq!(ball_dist::<true>(&[], &[], &[]), (0.0, 0.0));
+        assert_eq!(ball_ip::<false>(&[], &[], &[]), (0.0, 0.0));
+    }
+}

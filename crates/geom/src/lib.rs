@@ -16,11 +16,13 @@
 
 pub mod ball;
 pub mod dist;
+pub mod fused;
 pub mod points;
 pub mod rect;
 
 pub use ball::Ball;
 pub use dist::{dist2, dot, norm2};
+pub use fused::{ball_dist, ball_ip, rect_dist, rect_ip};
 pub use points::PointSet;
 pub use rect::Rect;
 

@@ -1,5 +1,6 @@
 //! Axis-aligned minimum bounding rectangles (Definition 2 of the paper).
 
+use crate::fused::{rect_ip_max_term, rect_ip_min_term, rect_max_term, rect_min_term};
 use crate::points::PointSet;
 use crate::BoundingShape;
 
@@ -50,10 +51,25 @@ impl Rect {
     /// The minimum bounding rectangle of a contiguous index range
     /// `[start, end)` in `points`.
     pub fn bounding_range(points: &PointSet, start: usize, end: usize) -> Self {
+        Self::bounding_range_scratch(points, start, end, &mut Vec::new())
+    }
+
+    /// Like [`Rect::bounding_range`], but sweeps through a caller-provided
+    /// scratch buffer so a tree build constructing thousands of rectangles
+    /// only allocates the exact-size `lo`/`hi` each node keeps. The scratch
+    /// holds `lo` in `[..d]` and `hi` in `[d..2d]` between calls.
+    pub fn bounding_range_scratch(
+        points: &PointSet,
+        start: usize,
+        end: usize,
+        scratch: &mut Vec<f64>,
+    ) -> Self {
         assert!(start < end && end <= points.len(), "invalid range");
         let d = points.dims();
-        let mut lo = points.point(start).to_vec();
-        let mut hi = lo.clone();
+        scratch.clear();
+        scratch.extend_from_slice(points.point(start));
+        scratch.extend_from_slice(points.point(start));
+        let (lo, hi) = scratch.split_at_mut(d);
         for i in start + 1..end {
             let p = points.point(i);
             for j in 0..d {
@@ -65,7 +81,10 @@ impl Rect {
                 }
             }
         }
-        Self { lo, hi }
+        Self {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        }
     }
 
     /// Lower corner.
@@ -109,53 +128,53 @@ impl Rect {
     }
 }
 
+/// Expands to a 4-wide blocked reduction of `$term(x, l, h)` over
+/// `(q, lo, hi)` in the workspace's fixed summation order
+/// `(acc0+acc1) + (acc2+acc3) + tail` — the same per-lane order as the
+/// fused probes in [`crate::fused`], so single-output and fused bound
+/// evaluation are bitwise identical.
+macro_rules! rect_reduce {
+    ($q:expr, $lo:expr, $hi:expr, $term:ident) => {{
+        let q: &[f64] = $q;
+        debug_assert_eq!(q.len(), $lo.len());
+        let cq = q.chunks_exact(4);
+        let cl = $lo.chunks_exact(4);
+        let ch = $hi.chunks_exact(4);
+        let (rq, rl, rh) = (cq.remainder(), cl.remainder(), ch.remainder());
+        let mut acc = [0.0f64; 4];
+        for ((xq, xl), xh) in cq.zip(cl).zip(ch) {
+            acc[0] += $term(xq[0], xl[0], xh[0]);
+            acc[1] += $term(xq[1], xl[1], xh[1]);
+            acc[2] += $term(xq[2], xl[2], xh[2]);
+            acc[3] += $term(xq[3], xl[3], xh[3]);
+        }
+        let mut tail = 0.0;
+        for ((x, l), h) in rq.iter().zip(rl).zip(rh) {
+            tail += $term(*x, *l, *h);
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }};
+}
+
 impl BoundingShape for Rect {
     #[inline]
     fn mindist2(&self, q: &[f64]) -> f64 {
-        debug_assert_eq!(q.len(), self.lo.len());
-        let mut acc = 0.0;
-        for ((x, l), h) in q.iter().zip(&self.lo).zip(&self.hi) {
-            let diff = if x < l {
-                l - x
-            } else if x > h {
-                x - h
-            } else {
-                0.0
-            };
-            acc += diff * diff;
-        }
-        acc
+        rect_reduce!(q, self.lo, self.hi, rect_min_term)
     }
 
     #[inline]
     fn maxdist2(&self, q: &[f64]) -> f64 {
-        debug_assert_eq!(q.len(), self.lo.len());
-        let mut acc = 0.0;
-        for ((x, l), h) in q.iter().zip(&self.lo).zip(&self.hi) {
-            let diff = (x - l).abs().max((h - x).abs());
-            acc += diff * diff;
-        }
-        acc
+        rect_reduce!(q, self.lo, self.hi, rect_max_term)
     }
 
     #[inline]
     fn ip_min(&self, q: &[f64]) -> f64 {
-        debug_assert_eq!(q.len(), self.lo.len());
-        let mut acc = 0.0;
-        for ((x, l), h) in q.iter().zip(&self.lo).zip(&self.hi) {
-            acc += (x * l).min(x * h);
-        }
-        acc
+        rect_reduce!(q, self.lo, self.hi, rect_ip_min_term)
     }
 
     #[inline]
     fn ip_max(&self, q: &[f64]) -> f64 {
-        debug_assert_eq!(q.len(), self.lo.len());
-        let mut acc = 0.0;
-        for ((x, l), h) in q.iter().zip(&self.lo).zip(&self.hi) {
-            acc += (x * l).max(x * h);
-        }
-        acc
+        rect_reduce!(q, self.lo, self.hi, rect_ip_max_term)
     }
 
     #[inline]
@@ -168,8 +187,8 @@ impl BoundingShape for Rect {
 mod tests {
     use super::*;
     use crate::dist::{dist2, dot};
-    use karl_testkit::props::vec_of;
     use karl_testkit::prop_assert;
+    use karl_testkit::props::vec_of;
 
     fn unit_square() -> Rect {
         Rect::new(vec![0.0, 0.0], vec![1.0, 1.0])

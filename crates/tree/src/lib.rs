@@ -21,8 +21,10 @@
 //! scan, and the "top-i-levels" tree views used by in-situ tuning fall out
 //! for free (treat depth-`i` nodes as leaves).
 
+pub mod frozen;
 pub mod stats;
 pub mod tree;
 
+pub use frozen::{FrozenShapes, FrozenTree, NO_CHILD};
 pub use stats::NodeStats;
 pub use tree::{BallTree, KdTree, Node, NodeId, NodeShape, Tree};

@@ -1,6 +1,6 @@
 //! Per-node aggregate statistics (Lemma 2 / Lemma 5 of the paper).
 
-use karl_geom::{norm2, PointSet};
+use karl_geom::{dot, norm2, PointSet};
 
 /// The precomputed aggregates that make the KARL linear bound functions
 /// evaluable in `O(d)` per node:
@@ -31,7 +31,11 @@ impl NodeStats {
     #[allow(clippy::needless_range_loop)] // i indexes weights and points in lockstep
     pub fn from_range(points: &PointSet, weights: &[f64], start: usize, end: usize) -> Self {
         assert!(start < end && end <= points.len(), "invalid stats range");
-        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        assert_eq!(
+            weights.len(),
+            points.len(),
+            "weights/points length mismatch"
+        );
         let d = points.dims();
         let mut weight_sum = 0.0;
         let mut weighted_sum = vec![0.0; d];
@@ -59,10 +63,9 @@ impl NodeStats {
     /// and into the optimal tangent location `t_opt = γ·S/W` (Theorems 1–2).
     #[inline]
     pub fn weighted_dist2_sum(&self, q: &[f64], q_norm2: f64) -> f64 {
-        let mut qa = 0.0;
-        for (x, a) in q.iter().zip(&self.weighted_sum) {
-            qa += x * a;
-        }
+        // Blocked `dot` so the pointer evaluator's q·a matches the fused
+        // frozen-path accumulator bitwise (see karl_geom::fused).
+        let qa = dot(q, &self.weighted_sum);
         self.weight_sum * q_norm2 - 2.0 * qa + self.weighted_norm2
     }
 
@@ -70,11 +73,7 @@ impl NodeStats {
     /// sigmoid kernel bounds (Section IV-B).
     #[inline]
     pub fn weighted_ip_sum(&self, q: &[f64]) -> f64 {
-        let mut qa = 0.0;
-        for (x, a) in q.iter().zip(&self.weighted_sum) {
-            qa += x * a;
-        }
-        qa
+        dot(q, &self.weighted_sum)
     }
 }
 
@@ -82,8 +81,8 @@ impl NodeStats {
 mod tests {
     use super::*;
     use karl_geom::dist2;
-    use karl_testkit::props::vec_of;
     use karl_testkit::prop_assert;
+    use karl_testkit::props::vec_of;
 
     #[test]
     fn aggregates_match_bruteforce() {

@@ -3,6 +3,7 @@
 
 use karl_geom::{Ball, BoundingShape, PointSet, Rect};
 
+use crate::frozen::FrozenShapes;
 use crate::stats::NodeStats;
 
 /// Identifier of a node inside a [`Tree`]'s node arena.
@@ -12,19 +13,66 @@ pub type NodeId = u32;
 /// reordered point buffer. Implemented by [`Rect`] (kd-tree) and [`Ball`]
 /// (ball-tree).
 pub trait NodeShape: BoundingShape + Clone {
-    /// Builds the volume covering `points[start..end]`.
-    fn from_range(points: &PointSet, start: usize, end: usize) -> Self;
+    /// Builds the volume covering `points[start..end]`. `scratch` is a
+    /// reusable accumulation buffer shared across an entire tree build, so
+    /// constructing thousands of nodes allocates no intermediates.
+    fn from_range(points: &PointSet, start: usize, end: usize, scratch: &mut Vec<f64>) -> Self;
+
+    /// Allocates empty SoA shape buffers for a frozen tree of this family
+    /// (see [`crate::frozen`]), sized for `nodes` nodes of `dims`
+    /// dimensions.
+    fn frozen_shapes(dims: usize, nodes: usize) -> FrozenShapes;
+
+    /// Appends this node's shape to a frozen tree's SoA buffers.
+    ///
+    /// # Panics
+    /// Panics if `shapes` belongs to the other index family.
+    fn push_frozen(&self, shapes: &mut FrozenShapes);
 }
 
 impl NodeShape for Rect {
-    fn from_range(points: &PointSet, start: usize, end: usize) -> Self {
-        Rect::bounding_range(points, start, end)
+    fn from_range(points: &PointSet, start: usize, end: usize, scratch: &mut Vec<f64>) -> Self {
+        Rect::bounding_range_scratch(points, start, end, scratch)
+    }
+
+    fn frozen_shapes(dims: usize, nodes: usize) -> FrozenShapes {
+        FrozenShapes::Rect {
+            lo: Vec::with_capacity(nodes * dims),
+            hi: Vec::with_capacity(nodes * dims),
+        }
+    }
+
+    fn push_frozen(&self, shapes: &mut FrozenShapes) {
+        match shapes {
+            FrozenShapes::Rect { lo, hi } => {
+                lo.extend_from_slice(self.lo());
+                hi.extend_from_slice(self.hi());
+            }
+            FrozenShapes::Ball { .. } => panic!("Rect node pushed into Ball SoA buffers"),
+        }
     }
 }
 
 impl NodeShape for Ball {
-    fn from_range(points: &PointSet, start: usize, end: usize) -> Self {
-        Ball::bounding_range(points, start, end)
+    fn from_range(points: &PointSet, start: usize, end: usize, scratch: &mut Vec<f64>) -> Self {
+        Ball::bounding_range_scratch(points, start, end, scratch)
+    }
+
+    fn frozen_shapes(dims: usize, nodes: usize) -> FrozenShapes {
+        FrozenShapes::Ball {
+            center: Vec::with_capacity(nodes * dims),
+            radius: Vec::with_capacity(nodes),
+        }
+    }
+
+    fn push_frozen(&self, shapes: &mut FrozenShapes) {
+        match shapes {
+            FrozenShapes::Ball { center, radius } => {
+                center.extend_from_slice(self.center());
+                radius.push(self.radius());
+            }
+            FrozenShapes::Rect { .. } => panic!("Ball node pushed into Rect SoA buffers"),
+        }
     }
 }
 
@@ -100,15 +148,30 @@ impl<S: NodeShape> Tree<S> {
     /// `leaf_capacity == 0`.
     pub fn build(points: PointSet, weights: &[f64], leaf_capacity: usize) -> Self {
         assert!(!points.is_empty(), "cannot build a tree over an empty set");
-        assert_eq!(weights.len(), points.len(), "weights/points length mismatch");
+        assert_eq!(
+            weights.len(),
+            points.len(),
+            "weights/points length mismatch"
+        );
         assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
 
         let n = points.len();
         let mut idx: Vec<u32> = (0..n as u32).collect();
         // Phase 1: recursively split the index permutation, recording the
-        // (start, end, depth, children) skeleton.
+        // (start, end, depth, children) skeleton. One scratch buffer serves
+        // every split's widest-axis sweep.
         let mut skeleton: Vec<SkeletonNode> = Vec::new();
-        split_range(&points, &mut idx, 0, n, 0, leaf_capacity, &mut skeleton);
+        let mut scratch: Vec<f64> = Vec::new();
+        split_range(
+            &points,
+            &mut idx,
+            0,
+            n,
+            0,
+            leaf_capacity,
+            &mut skeleton,
+            &mut scratch,
+        );
 
         // Phase 2: materialize the reordered buffers and per-node payloads.
         let usize_idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
@@ -122,7 +185,7 @@ impl<S: NodeShape> Tree<S> {
             .map(|(start, end, depth, children)| {
                 max_depth = max_depth.max(depth);
                 Node {
-                    shape: S::from_range(&points, start, end),
+                    shape: S::from_range(&points, start, end, &mut scratch),
                     stats: NodeStats::from_range(&points, &weights, start, end),
                     start,
                     end,
@@ -247,6 +310,11 @@ impl<S: NodeShape> Tree<S> {
 
 /// Recursive phase-1 splitter: partitions `idx[start..end]` by the median of
 /// the widest dimension and records the node skeleton in pre-order.
+///
+/// `axis_scratch` is one shared buffer for the widest-axis sweep (`lo` in
+/// `[..d]`, `hi` in `[d..2d]`): the old per-split `Vec<usize>` + throwaway
+/// bounding rectangle made build time allocation-bound on deep trees.
+#[allow(clippy::too_many_arguments)] // internal recursion, not API
 fn split_range(
     points: &PointSet,
     idx: &mut [u32],
@@ -255,6 +323,7 @@ fn split_range(
     depth: u16,
     leaf_capacity: usize,
     skeleton: &mut Vec<SkeletonNode>,
+    axis_scratch: &mut Vec<f64>,
 ) -> NodeId {
     let my_id = skeleton.len() as NodeId;
     skeleton.push((start, end, depth, None));
@@ -262,11 +331,37 @@ fn split_range(
     if count <= leaf_capacity {
         return my_id;
     }
-    // Split axis: widest dimension of the bounding rectangle of the range.
-    let indices: Vec<usize> = idx[start..end].iter().map(|&i| i as usize).collect();
-    let rect = Rect::bounding(points, &indices);
-    let axis = rect.widest_dim();
-    if rect.extent(axis) == 0.0 {
+    // Split axis: widest dimension over the range (same choice the
+    // bounding rectangle's widest_dim would make — first axis wins ties).
+    let d = points.dims();
+    axis_scratch.clear();
+    let p0 = points.point(idx[start] as usize);
+    axis_scratch.extend_from_slice(p0);
+    axis_scratch.extend_from_slice(p0);
+    {
+        let (lo, hi) = axis_scratch.split_at_mut(d);
+        for &i in &idx[start + 1..end] {
+            let p = points.point(i as usize);
+            for j in 0..d {
+                if p[j] < lo[j] {
+                    lo[j] = p[j];
+                }
+                if p[j] > hi[j] {
+                    hi[j] = p[j];
+                }
+            }
+        }
+    }
+    let mut axis = 0;
+    let mut best = axis_scratch[d] - axis_scratch[0];
+    for j in 1..d {
+        let ext = axis_scratch[d + j] - axis_scratch[j];
+        if ext > best {
+            axis = j;
+            best = ext;
+        }
+    }
+    if best == 0.0 {
         // All points identical: splitting cannot make progress; keep a
         // (possibly oversized) leaf instead of recursing forever.
         return my_id;
@@ -277,8 +372,10 @@ fn split_range(
         let xb = points.point(b as usize)[axis];
         xa.partial_cmp(&xb).expect("non-finite coordinate")
     });
-    let left = split_range(points, idx, start, start + mid, depth + 1, leaf_capacity, skeleton);
-    let right = split_range(points, idx, start + mid, end, depth + 1, leaf_capacity, skeleton);
+    #[rustfmt::skip]
+    let left = split_range(points, idx, start, start + mid, depth + 1, leaf_capacity, skeleton, axis_scratch);
+    #[rustfmt::skip]
+    let right = split_range(points, idx, start + mid, end, depth + 1, leaf_capacity, skeleton, axis_scratch);
     skeleton[my_id as usize].3 = Some((left, right));
     my_id
 }
@@ -325,8 +422,7 @@ mod tests {
                 }
             }
             // Aggregates match a brute-force recomputation.
-            let expect =
-                NodeStats::from_range(tree.points(), tree.weights(), node.start, node.end);
+            let expect = NodeStats::from_range(tree.points(), tree.weights(), node.start, node.end);
             assert_eq!(node.stats.count, expect.count);
             assert!((node.stats.weight_sum - expect.weight_sum).abs() < 1e-9);
             assert!((node.stats.weighted_norm2 - expect.weighted_norm2).abs() < 1e-6);

@@ -1,26 +1,60 @@
 #!/usr/bin/env bash
-# Runs the batch-engine throughput bench and records the results as JSON.
+# Runs the PR-3 perf benches and records the merged results as JSON.
 #
-# Produces BENCH_PR2.json at the repo root: sequential vs QueryBatch
-# throughput at 1/2/4/8 worker threads over a synthetic 100 000-point
-# Type-I workload (eKAQ and TKAQ), plus the host's available_parallelism
-# so numbers from different machines are interpretable.
+# Produces BENCH_PR3.json at the repo root with two sections plus host
+# metadata (available_parallelism, uname), so numbers from different
+# machines are interpretable:
+#
+#   * throughput_batch — end-to-end queries/s: sequential pointer engine
+#     (baseline) vs the default frozen engine, scratch reuse, and
+#     QueryBatch at 1/2/4/8 worker threads (eKAQ and TKAQ workloads);
+#   * frozen_bounds — per-node bound-kernel throughput (bounds/s),
+#     pointer vs frozen, kd and ball families, SOTA and KARL methods.
 #
 # Usage: scripts/bench_json.sh [output.json]
-# Sizing overrides: KARL_BENCH_N (points), KARL_BENCH_QUERIES (queries).
+# Sizing overrides: KARL_BENCH_N (points), KARL_BENCH_QUERIES
+# (end-to-end queries), KARL_BENCH_BOUND_QUERIES (bound-kernel queries).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # cargo bench runs the bench binary from the package directory, so make
 # the output path absolute before handing it over.
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 case "$out" in
     /*) ;;
     *) out="$(pwd)/$out" ;;
 esac
 
-KARL_BENCH_JSON="$out" cargo bench -p karl-bench \
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+KARL_BENCH_JSON="$tmpdir/throughput_batch.json" cargo bench -p karl-bench \
     --features criterion-benches --bench throughput_batch --offline
+
+KARL_BENCH_JSON="$tmpdir/frozen_bounds.json" cargo bench -p karl-bench \
+    --features criterion-benches --bench frozen_bounds --offline
+
+python3 - "$tmpdir" "$out" <<'PY'
+import json, os, platform, sys
+tmpdir, out = sys.argv[1], sys.argv[2]
+with open(os.path.join(tmpdir, "throughput_batch.json")) as f:
+    throughput = json.load(f)
+with open(os.path.join(tmpdir, "frozen_bounds.json")) as f:
+    bounds = json.load(f)
+merged = {
+    "bench": "BENCH_PR3",
+    "host": {
+        # The Rust-side value is cgroup-aware; os.cpu_count() is not.
+        "available_parallelism": throughput.get("available_parallelism"),
+        "uname": " ".join(platform.uname()),
+    },
+    "throughput_batch": throughput,
+    "frozen_bounds": bounds,
+}
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+PY
 
 echo "==> wrote $out"

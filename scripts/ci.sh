@@ -24,6 +24,16 @@ cargo build --release -p karl-bench --benches --features criterion-benches --off
 echo "==> guard: batch engine bitwise-identical to sequential at KARL_THREADS=4"
 KARL_THREADS=4 cargo test -q --offline -p karl --test batch_equivalence
 
+echo "==> guard: frozen engine bitwise-identical to pointer at KARL_THREADS=4"
+KARL_THREADS=4 cargo test -q --offline -p karl --test frozen_equivalence
+
+echo "==> guard: release bench smoke (tiny workload, one pass)"
+# A minimal end-to-end run of both PR-3 bench binaries so a broken bench
+# can never merge green; sizes are tiny so this stays in CI budget.
+KARL_BENCH_N=2000 KARL_BENCH_QUERIES=64 KARL_BENCH_BOUND_QUERIES=4 \
+    cargo bench -p karl-bench --features criterion-benches \
+    --bench throughput_batch --bench frozen_bounds --offline >/dev/null
+
 echo "==> guard: no registry dependencies in the resolved graph"
 # cargo metadata reports "source": null for path dependencies and a
 # "registry+https://..." (or git+...) URL for anything external. The
