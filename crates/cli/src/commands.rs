@@ -157,7 +157,18 @@ pub fn kde(p: &Parsed) -> CmdResult {
 /// every thread count produce bitwise-identical answers.
 pub fn batch(p: &Parsed) -> CmdResult {
     p.expect_flags(&[
-        "data", "queries", "tau", "eps", "tol", "method", "leaf", "gamma", "threads", "engine",
+        "data",
+        "queries",
+        "tau",
+        "eps",
+        "tol",
+        "method",
+        "leaf",
+        "gamma",
+        "threads",
+        "engine",
+        "envelope-cache",
+        "stats",
     ])
     .map_err(|e| e.to_string())?;
     let data =
@@ -203,6 +214,16 @@ pub fn batch(p: &Parsed) -> CmdResult {
         Some("pointer") => Engine::Pointer,
         Some(other) => return Err(format!("unknown engine {other:?} (frozen|pointer)")),
     };
+    let env_cache = match p.get("envelope-cache") {
+        Some("on") => true,
+        None | Some("off") => false,
+        Some(other) => return Err(format!("unknown envelope-cache {other:?} (on|off)")),
+    };
+    let want_stats = p.has("stats");
+    #[cfg(not(feature = "stats"))]
+    if want_stats {
+        return Err("--stats requires building karl-cli with the `stats` feature".into());
+    }
 
     let n = data.len();
     let weights = vec![1.0 / n as f64; n];
@@ -214,7 +235,9 @@ pub fn batch(p: &Parsed) -> CmdResult {
         method,
         leaf,
     );
-    let mut spec = QueryBatch::new(&queries, query).engine(engine);
+    let mut spec = QueryBatch::new(&queries, query)
+        .engine(engine)
+        .envelope_cache(env_cache);
     if let Some(t) = threads {
         if t == 0 {
             return Err("--threads must be at least 1".into());
@@ -238,13 +261,23 @@ pub fn batch(p: &Parsed) -> CmdResult {
     }
     let _ = writeln!(
         out,
-        "# throughput {:.0} queries/s over {} points (gamma {:.4}, {:?}, leaf {leaf}, threads {}, engine {engine:?})",
+        "# throughput {:.0} queries/s over {} points (gamma {:.4}, {:?}, leaf {leaf}, threads {}, engine {engine:?}, envelope-cache {})",
         outcome.throughput(),
         n,
         gamma,
         method,
-        outcome.threads()
+        outcome.threads(),
+        if env_cache { "on" } else { "off" }
     );
+    #[cfg(feature = "stats")]
+    if want_stats {
+        let s = outcome.stats();
+        let _ = writeln!(
+            out,
+            "# stats nodes_refined {} envelopes_built {} cache_hits {} cache_misses {} curve_value_calls {}",
+            s.nodes_refined, s.envelopes_built, s.cache_hits, s.cache_misses, s.curve_value_calls
+        );
+    }
     Ok(out)
 }
 

@@ -30,9 +30,13 @@ commands:
             [--method karl|sota] [--leaf CAP] [--gamma G]
   batch     --data FILE --queries FILE (--tau T | --eps E | --tol W)
             [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
-            [--engine frozen|pointer]
+            [--engine frozen|pointer] [--envelope-cache on|off] [--stats]
             parallel batch engine; KARL_THREADS env sets the default N;
-            frozen (default) is the SoA index, bitwise equal to pointer
+            frozen (default) is the SoA index, bitwise equal to pointer;
+            envelope-cache (default off) memoizes exact KARL envelopes,
+            paying off when queries repeat — a pure perf switch, answers
+            are bitwise identical either way;
+            --stats prints run counters (needs the `stats` build feature)
   svm-train --data FILE --svm csvc|oneclass --out MODEL
             [--format csv-last|csv-first|libsvm] [--c C] [--nu NU]
             [--kernel rbf|poly|sigmoid|laplacian] [--gamma G]
@@ -260,6 +264,105 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("frozen|pointer"));
+    }
+
+    #[test]
+    fn batch_envelope_cache_flag_is_bitwise_neutral() {
+        let data = tmp("batch_envcache.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "400",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let run_cache = |setting: &str| {
+            run_vec(&[
+                "batch",
+                "--data",
+                data.to_str().unwrap(),
+                "--queries",
+                data.to_str().unwrap(),
+                "--eps",
+                "0.15",
+                "--threads",
+                "2",
+                "--envelope-cache",
+                setting,
+            ])
+            .unwrap()
+        };
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        let on = run_cache("on");
+        let off = run_cache("off");
+        assert_eq!(strip(&on), strip(&off));
+        assert!(on.contains("envelope-cache on"));
+        assert!(off.contains("envelope-cache off"));
+        let err = run_vec(&[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.15",
+            "--envelope-cache",
+            "maybe",
+        ])
+        .unwrap_err();
+        assert!(err.contains("on|off"));
+    }
+
+    #[test]
+    fn batch_stats_flag_depends_on_the_feature() {
+        let data = tmp("batch_stats.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "200",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let result = run_vec(&[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.2",
+            "--stats",
+        ]);
+        #[cfg(feature = "stats")]
+        {
+            let out = result.unwrap();
+            let stats_line = out
+                .lines()
+                .find(|l| l.starts_with("# stats"))
+                .expect("stats line");
+            for field in [
+                "nodes_refined",
+                "envelopes_built",
+                "cache_hits",
+                "cache_misses",
+                "curve_value_calls",
+            ] {
+                assert!(stats_line.contains(field), "missing {field}");
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        assert!(result.unwrap_err().contains("stats"));
     }
 
     #[test]

@@ -45,6 +45,8 @@ use std::time::{Duration, Instant};
 use karl_geom::PointSet;
 use karl_tree::NodeShape;
 
+#[cfg(feature = "stats")]
+use crate::eval::RunStats;
 use crate::eval::{decide_tkaq, estimate_ekaq, Engine, Evaluator, Query, RunOutcome, Scratch};
 use crate::tuning::AnyEvaluator;
 
@@ -53,6 +55,13 @@ use crate::tuning::AnyEvaluator;
 /// cheapest query, small enough that a straggler chunk cannot idle the
 /// other workers at the end of a batch.
 const CHUNK: usize = 16;
+
+/// Between chunks each worker shrinks any scratch buffer that grew past
+/// this many elements (and the envelope cache past this many slots), so a
+/// single adversarial query cannot ratchet a worker's memory for the rest
+/// of the batch. Generous enough that ordinary workloads never hit it —
+/// the envelope cache's own table tops out at the same size.
+const SCRATCH_CAP: usize = 1 << 15;
 
 /// Resolves the worker count for a batch: explicit request →
 /// `KARL_THREADS` → `available_parallelism` → 1. Zero and unparsable
@@ -82,6 +91,7 @@ pub struct QueryBatch<'a> {
     threads: Option<usize>,
     level_cap: Option<u16>,
     engine: Engine,
+    env_cache: bool,
 }
 
 impl<'a> QueryBatch<'a> {
@@ -102,6 +112,7 @@ impl<'a> QueryBatch<'a> {
             threads: None,
             level_cap: None,
             engine: Engine::default(),
+            env_cache: false,
         }
     }
 
@@ -131,6 +142,17 @@ impl<'a> QueryBatch<'a> {
         self
     }
 
+    /// Enables or disables the per-worker envelope memoization (default
+    /// off). Purely a performance switch — outcomes are bitwise identical
+    /// either way. Turn it on for duplicate-heavy query streams, where a
+    /// repeated `(curve, lo, hi, x̄)` key costs a hash probe instead of an
+    /// envelope build; on streams of distinct keys every probe misses and
+    /// the table is pure overhead, which is why it is opt-in.
+    pub fn envelope_cache(mut self, on: bool) -> Self {
+        self.env_cache = on;
+        self
+    }
+
     /// Evaluates the batch against `eval`.
     ///
     /// Dimensionality is validated **once here for the whole batch**; the
@@ -149,9 +171,10 @@ impl<'a> QueryBatch<'a> {
         let n = self.queries.len();
         let threads = resolve_threads(self.threads).min(n.max(1));
         let start = Instant::now();
-        let outcomes = if threads <= 1 {
+        let (outcomes, scratches) = if threads <= 1 {
             let mut scratch = Scratch::new();
-            (0..n)
+            scratch.set_envelope_cache(self.env_cache);
+            let out = (0..n)
                 .map(|i| {
                     eval.run_with_scratch_on(
                         self.engine,
@@ -161,15 +184,28 @@ impl<'a> QueryBatch<'a> {
                         &mut scratch,
                     )
                 })
-                .collect()
+                .collect();
+            (out, vec![scratch])
         } else {
             self.run_parallel(eval, n, threads)
         };
+        let elapsed = start.elapsed();
+        #[cfg(feature = "stats")]
+        let stats = {
+            let mut s = RunStats::default();
+            for sc in &scratches {
+                s.merge(&sc.stats());
+            }
+            s
+        };
+        let _ = scratches;
         BatchOutcome {
             query: self.query,
             threads,
-            elapsed: start.elapsed(),
+            elapsed,
             outcomes,
+            #[cfg(feature = "stats")]
+            stats,
         }
     }
 
@@ -186,15 +222,17 @@ impl<'a> QueryBatch<'a> {
         eval: &Evaluator<S>,
         n: usize,
         threads: usize,
-    ) -> Vec<RunOutcome> {
+    ) -> (Vec<RunOutcome>, Vec<Scratch>) {
         let cursor = AtomicUsize::new(0);
         let queries = self.queries;
         let (query, level_cap, engine) = (self.query, self.level_cap, self.engine);
+        let env_cache = self.env_cache;
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut scratch = Scratch::new();
+                        scratch.set_envelope_cache(env_cache);
                         let mut local: Vec<(usize, RunOutcome)> =
                             Vec::with_capacity(n / threads + CHUNK);
                         loop {
@@ -213,8 +251,14 @@ impl<'a> QueryBatch<'a> {
                                 );
                                 local.push((i, out));
                             }
+                            // Bound the worker's memory between chunks: one
+                            // adversarial query must not ratchet allocations
+                            // for the rest of the batch. A no-op while every
+                            // buffer stays under the cap, so warm envelope
+                            // cache entries survive ordinary workloads.
+                            scratch.reset_with_capacity_cap(SCRATCH_CAP);
                         }
-                        local
+                        (local, scratch)
                     })
                 })
                 .collect();
@@ -228,12 +272,15 @@ impl<'a> QueryBatch<'a> {
                 };
                 n
             ];
+            let mut scratches = Vec::with_capacity(threads);
             for w in workers {
-                for (i, r) in w.join().expect("batch worker panicked") {
+                let (local, scratch) = w.join().expect("batch worker panicked");
+                for (i, r) in local {
                     out[i] = r;
                 }
+                scratches.push(scratch);
             }
-            out
+            (out, scratches)
         })
     }
 }
@@ -245,12 +292,24 @@ pub struct BatchOutcome {
     threads: usize,
     elapsed: Duration,
     outcomes: Vec<RunOutcome>,
+    #[cfg(feature = "stats")]
+    stats: RunStats,
 }
 
 impl BatchOutcome {
     /// Raw bound outcomes, in query order.
     pub fn outcomes(&self) -> &[RunOutcome] {
         &self.outcomes
+    }
+
+    /// Run counters summed across all workers (behind the `stats`
+    /// feature). `nodes_refined` is deterministic at any thread count
+    /// (outcomes are bitwise identical); the envelope/cache counters are
+    /// not — each worker warms its own cache, so how queries were dealt
+    /// to workers changes what hits.
+    #[cfg(feature = "stats")]
+    pub fn stats(&self) -> RunStats {
+        self.stats
     }
 
     /// The query specification the batch answered.
@@ -384,6 +443,77 @@ mod tests {
                 assert!(batch.threads() <= threads);
             }
         }
+    }
+
+    #[test]
+    fn envelope_cache_toggle_is_bit_identical_at_any_thread_count() {
+        let ps = clustered_points(300, 3, 20);
+        let w = mixed_weights(300, 21);
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.6), BoundMethod::Karl, 8);
+        // Duplicate-heavy query stream: exercises actual cache hits, not
+        // just the insert path.
+        let base = clustered_points(12, 3, 22);
+        let queries = PointSet::new(
+            3,
+            (0..36).flat_map(|i| base.point(i % 12).to_vec()).collect(),
+        );
+        for query in [
+            Query::Tkaq { tau: 0.2 },
+            Query::Ekaq { eps: 0.1 },
+            Query::Within { tol: 0.05 },
+        ] {
+            let on = QueryBatch::new(&queries, query)
+                .threads(1)
+                .envelope_cache(true)
+                .run(&eval);
+            for threads in [1, 2, 4, 8] {
+                let off = QueryBatch::new(&queries, query).threads(threads).run(&eval);
+                let on_t = QueryBatch::new(&queries, query)
+                    .threads(threads)
+                    .envelope_cache(true)
+                    .run(&eval);
+                assert_eq!(on.outcomes(), off.outcomes(), "{query:?} x{threads}");
+                assert_eq!(on.outcomes(), on_t.outcomes(), "{query:?} x{threads}");
+            }
+        }
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn batch_stats_aggregate_across_workers() {
+        let ps = clustered_points(300, 3, 25);
+        let w = mixed_weights(300, 26);
+        let eval = Evaluator::<Rect>::build(&ps, &w, Kernel::gaussian(0.6), BoundMethod::Karl, 8);
+        let base = clustered_points(8, 3, 27);
+        let queries = PointSet::new(
+            3,
+            (0..32).flat_map(|i| base.point(i % 8).to_vec()).collect(),
+        );
+        let query = Query::Ekaq { eps: 0.1 };
+        let seq = QueryBatch::new(&queries, query)
+            .threads(1)
+            .envelope_cache(true)
+            .run(&eval);
+        let par = QueryBatch::new(&queries, query)
+            .threads(4)
+            .envelope_cache(true)
+            .run(&eval);
+        let off = QueryBatch::new(&queries, query).threads(1).run(&eval);
+        // Refinement work is a pure function of the queries.
+        assert_eq!(
+            seq.stats().nodes_refined,
+            seq.total_iterations() as u64,
+            "nodes_refined counts heap pops"
+        );
+        assert_eq!(seq.stats().nodes_refined, par.stats().nodes_refined);
+        assert_eq!(seq.stats().nodes_refined, off.stats().nodes_refined);
+        // The duplicate stream hits the cache sequentially; with the cache
+        // off every lookup vanishes and every envelope is rebuilt.
+        assert!(seq.stats().cache_hits > 0);
+        assert_eq!(off.stats().cache_hits, 0);
+        assert_eq!(off.stats().cache_misses, 0);
+        assert!(seq.stats().envelopes_built < off.stats().envelopes_built);
+        assert!(seq.stats().curve_value_calls < off.stats().curve_value_calls);
     }
 
     #[test]

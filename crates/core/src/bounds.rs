@@ -7,11 +7,14 @@
 //! (negative weights are handled a level up by the P⁺/P⁻ split of
 //! Section IV-A2).
 
-use karl_geom::{ball_dist, ball_ip, norm2, rect_dist, rect_ip, BoundingShape};
+use karl_geom::{
+    ball_dist, ball_dist_nodes, ball_ip, ball_ip_nodes, norm2, rect_dist, rect_dist_nodes,
+    rect_ip, rect_ip_nodes, BoundingShape,
+};
 use karl_tree::{FrozenShapes, FrozenTree, NodeId, NodeStats};
 
 use crate::curve::Curve;
-use crate::envelope::envelope;
+use crate::envelope::{envelope_parts, EnvelopeCache, EnvelopeParts};
 use crate::kernel::Kernel;
 
 /// Which per-node bound functions the evaluator uses.
@@ -68,32 +71,39 @@ pub fn node_bounds<S: BoundingShape>(
     assemble(method, kernel.curve(), w, lo, hi, x_agg)
 }
 
+/// Aggregates one node's envelope parts into the final KARL `[LB, UB]`
+/// pair: evaluate the linear bounds at the aggregate `(X, W)` and clamp
+/// with the constant bounds carried in the same parts.
+#[inline]
+fn finish_karl(parts: &EnvelopeParts, w: f64, x_agg: f64) -> BoundPair {
+    let (sota_lb, sota_ub) = (w * parts.fmin, w * parts.fmax);
+    let lb = parts.env.lower.m * x_agg + parts.env.lower.c * w;
+    let ub = parts.env.upper.m * x_agg + parts.env.upper.c * w;
+    // The linear bounds are provably tighter on convex intervals
+    // (Lemmas 3-4); on the mixed intervals of Section IV-B the
+    // endpoint-anchored lines can overshoot the constant bounds at
+    // the far endpoint, so take the tighter of the two for free.
+    BoundPair {
+        lb: lb.max(sota_lb),
+        ub: ub.min(sota_ub),
+    }
+}
+
 /// Turns the scalar interval `[lo, hi]`, the node weight `w` and (for
 /// KARL) the scalar aggregate `X` into the final `[LB, UB]` pair. Shared
 /// verbatim by the pointer and frozen evaluation paths so their bound
 /// assembly is bit-identical.
 #[inline]
 fn assemble(method: BoundMethod, curve: Curve, w: f64, lo: f64, hi: f64, x_agg: f64) -> BoundPair {
-    let (fmin, fmax) = curve.range(lo, hi);
-    let (sota_lb, sota_ub) = (w * fmin, w * fmax);
     match method {
-        BoundMethod::Sota => BoundPair {
-            lb: sota_lb,
-            ub: sota_ub,
-        },
-        BoundMethod::Karl => {
-            let env = envelope(curve, lo, hi, x_agg / w);
-            let lb = env.lower.m * x_agg + env.lower.c * w;
-            let ub = env.upper.m * x_agg + env.upper.c * w;
-            // The linear bounds are provably tighter on convex intervals
-            // (Lemmas 3-4); on the mixed intervals of Section IV-B the
-            // endpoint-anchored lines can overshoot the constant bounds at
-            // the far endpoint, so take the tighter of the two for free.
+        BoundMethod::Sota => {
+            let (fmin, fmax) = curve.range(lo, hi);
             BoundPair {
-                lb: lb.max(sota_lb),
-                ub: ub.min(sota_ub),
+                lb: w * fmin,
+                ub: w * fmax,
             }
         }
+        BoundMethod::Karl => finish_karl(&envelope_parts(curve, lo, hi, x_agg / w), w, x_agg),
     }
 }
 
@@ -169,18 +179,41 @@ impl<'q> QueryContext<'q> {
     }
 }
 
-/// Computes the `[LB, UB]` pair for one frozen-tree node — the fused
-/// counterpart of [`node_bounds`].
-///
-/// One pass over the node's `d` SoA coordinates yields the scalar interval
-/// and (for KARL) the `q·a_R` aggregate together; the per-lane summation
-/// order matches the separate pointer-path reductions, so the result is
-/// bit-identical to `node_bounds` on the originating tree node.
-pub fn node_bounds_frozen(ctx: &QueryContext<'_>, tree: &FrozenTree, id: NodeId) -> BoundPair {
+/// The geometry pass's per-node record: everything bound assembly needs,
+/// with the `d`-dimensional work already reduced to scalars. Pass 1 of the
+/// frontier kernel emits these; pass 2 turns them into [`BoundPair`]s via
+/// [`assemble_interval`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeInterval {
+    /// The frozen-tree node this record describes.
+    pub node: NodeId,
+    /// `W_R = Σ wᵢ` of the node.
+    pub w: f64,
+    /// Lower end of the node's scalar curve interval.
+    pub lo: f64,
+    /// Upper end of the node's scalar curve interval.
+    pub hi: f64,
+    /// The scalar aggregate `X_R` (0 under SOTA, which never reads it).
+    pub x_agg: f64,
+}
+
+/// Pass 1 for a single frozen-tree node: one fused pass over the node's
+/// `d` SoA coordinates yields the scalar interval and (for KARL) the
+/// `q·a_R` aggregate together. The per-lane summation order matches the
+/// separate pointer-path reductions, so the scalars are bit-identical to
+/// the ones the pointer path feeds `assemble`.
+pub fn node_interval_frozen(ctx: &QueryContext<'_>, tree: &FrozenTree, id: NodeId) -> NodeInterval {
     let w = tree.weight_sum(id);
     if w <= 0.0 {
-        // A node of all-zero weights contributes nothing either way.
-        return BoundPair { lb: 0.0, ub: 0.0 };
+        // A node of all-zero weights contributes nothing either way; skip
+        // the geometry entirely, as the pre-interval path always did.
+        return NodeInterval {
+            node: id,
+            w,
+            lo: 0.0,
+            hi: 0.0,
+            x_agg: 0.0,
+        };
     }
     let d = tree.dims();
     let s = id as usize * d;
@@ -249,7 +282,184 @@ pub fn node_bounds_frozen(ctx: &QueryContext<'_>, tree: &FrozenTree, id: NodeId)
             (gamma * (qc - rq) + coef0, gamma * (qc + rq) + coef0, x_agg)
         }
     };
-    assemble(ctx.method, ctx.curve, w, lo, hi, x_agg)
+    NodeInterval {
+        node: id,
+        w,
+        lo,
+        hi,
+        x_agg,
+    }
+}
+
+/// Pass 1 for a whole frontier: resolves the `(shapes, mode)` dispatch
+/// once, then streams the batched fused kernels over `ids`, appending one
+/// [`NodeInterval`] per id to `out` (cleared first) in frontier order.
+///
+/// Each per-node probe and scalar expression is the *same* code
+/// [`node_interval_frozen`] runs, so the records are bitwise identical to
+/// the one-at-a-time path — except that zero-weight nodes get their
+/// geometry computed rather than skipped, which [`assemble_interval`]
+/// renders irrelevant by zeroing their bounds either way.
+pub fn node_intervals_frozen(
+    ctx: &QueryContext<'_>,
+    tree: &FrozenTree,
+    ids: &[NodeId],
+    out: &mut Vec<NodeInterval>,
+) {
+    out.clear();
+    out.reserve(ids.len());
+    let q = ctx.q;
+    let a = tree.weighted_sums();
+    let karl = ctx.karl;
+    let q_norm2 = ctx.q_norm2;
+    let mut k = 0usize;
+    match (tree.shapes(), ctx.mode) {
+        (FrozenShapes::Rect { lo, hi }, XMode::Dist { scale }) => {
+            let mut emit = |mn: f64, mx: f64, qa: f64| {
+                let id = ids[k];
+                k += 1;
+                let w = tree.weight_sum(id);
+                let x_agg = if karl {
+                    scale * (w * q_norm2 - 2.0 * qa + tree.weighted_norm2(id))
+                } else {
+                    0.0
+                };
+                out.push(NodeInterval {
+                    node: id,
+                    w,
+                    lo: scale * mn,
+                    hi: scale * mx,
+                    x_agg,
+                });
+            };
+            if karl {
+                rect_dist_nodes::<true, _>(q, lo, hi, a, ids, &mut emit);
+            } else {
+                rect_dist_nodes::<false, _>(q, lo, hi, a, ids, &mut emit);
+            }
+        }
+        (FrozenShapes::Rect { lo, hi }, XMode::Ip { gamma, coef0 }) => {
+            let mut emit = |mn: f64, mx: f64, qa: f64| {
+                let id = ids[k];
+                k += 1;
+                let w = tree.weight_sum(id);
+                let x_agg = if karl { gamma * qa + coef0 * w } else { 0.0 };
+                out.push(NodeInterval {
+                    node: id,
+                    w,
+                    lo: gamma * mn + coef0,
+                    hi: gamma * mx + coef0,
+                    x_agg,
+                });
+            };
+            if karl {
+                rect_ip_nodes::<true, _>(q, lo, hi, a, ids, &mut emit);
+            } else {
+                rect_ip_nodes::<false, _>(q, lo, hi, a, ids, &mut emit);
+            }
+        }
+        (FrozenShapes::Ball { center, radius }, XMode::Dist { scale }) => {
+            let mut emit = |d2c: f64, qa: f64| {
+                let id = ids[k];
+                k += 1;
+                let w = tree.weight_sum(id);
+                let r = radius[id as usize];
+                let dc = d2c.sqrt();
+                let mn = (dc - r).max(0.0);
+                let mx = dc + r;
+                let x_agg = if karl {
+                    scale * (w * q_norm2 - 2.0 * qa + tree.weighted_norm2(id))
+                } else {
+                    0.0
+                };
+                out.push(NodeInterval {
+                    node: id,
+                    w,
+                    lo: scale * (mn * mn),
+                    hi: scale * (mx * mx),
+                    x_agg,
+                });
+            };
+            if karl {
+                ball_dist_nodes::<true, _>(q, center, a, ids, &mut emit);
+            } else {
+                ball_dist_nodes::<false, _>(q, center, a, ids, &mut emit);
+            }
+        }
+        (FrozenShapes::Ball { center, radius }, XMode::Ip { gamma, coef0 }) => {
+            let mut emit = |qc: f64, qa: f64| {
+                let id = ids[k];
+                k += 1;
+                let w = tree.weight_sum(id);
+                let rq = radius[id as usize] * ctx.q_norm;
+                let x_agg = if karl { gamma * qa + coef0 * w } else { 0.0 };
+                out.push(NodeInterval {
+                    node: id,
+                    w,
+                    lo: gamma * (qc - rq) + coef0,
+                    hi: gamma * (qc + rq) + coef0,
+                    x_agg,
+                });
+            };
+            if karl {
+                ball_ip_nodes::<true, _>(q, center, a, ids, &mut emit);
+            } else {
+                ball_ip_nodes::<false, _>(q, center, a, ids, &mut emit);
+            }
+        }
+    }
+}
+
+/// Pass 2: one [`NodeInterval`] into its `[LB, UB]` pair, optionally
+/// through the envelope memoization.
+///
+/// With `use_cache` the KARL envelope comes from
+/// [`EnvelopeCache::get_or_build`]; keys are exact bit patterns, so the
+/// result is bitwise identical to the direct construction regardless of
+/// hit or miss. SOTA never builds envelopes and ignores the cache.
+#[inline]
+pub fn assemble_interval(
+    method: BoundMethod,
+    curve: Curve,
+    iv: &NodeInterval,
+    cache: &mut EnvelopeCache,
+    use_cache: bool,
+) -> BoundPair {
+    let w = iv.w;
+    if w <= 0.0 {
+        // A node of all-zero weights contributes nothing either way.
+        return BoundPair { lb: 0.0, ub: 0.0 };
+    }
+    match method {
+        BoundMethod::Sota => {
+            let (fmin, fmax) = curve.range(iv.lo, iv.hi);
+            BoundPair {
+                lb: w * fmin,
+                ub: w * fmax,
+            }
+        }
+        BoundMethod::Karl => {
+            let xbar = iv.x_agg / w;
+            let parts = if use_cache {
+                cache.get_or_build(curve, iv.lo, iv.hi, xbar)
+            } else {
+                envelope_parts(curve, iv.lo, iv.hi, xbar)
+            };
+            finish_karl(&parts, w, iv.x_agg)
+        }
+    }
+}
+
+/// Computes the `[LB, UB]` pair for one frozen-tree node — the fused
+/// counterpart of [`node_bounds`], composed from the two frontier passes
+/// ([`node_interval_frozen`] then [`assemble_interval`] without a cache).
+pub fn node_bounds_frozen(ctx: &QueryContext<'_>, tree: &FrozenTree, id: NodeId) -> BoundPair {
+    let iv = node_interval_frozen(ctx, tree, id);
+    let w = iv.w;
+    if w <= 0.0 {
+        return BoundPair { lb: 0.0, ub: 0.0 };
+    }
+    assemble(ctx.method, ctx.curve, w, iv.lo, iv.hi, iv.x_agg)
 }
 
 #[cfg(test)]
@@ -347,6 +557,56 @@ mod tests {
             karl.lb + tol >= sota.lb && karl.ub <= sota.ub + tol,
             "KARL looser than SOTA for {kernel:?}"
         );
+    }
+
+    #[test]
+    fn frontier_passes_bitwise_match_single_node_path() {
+        // Over every node of both tree families and every kernel ×
+        // method: the batched pass-1 records and the pass-2 assembly
+        // (cache on and off) must reproduce `node_bounds_frozen` exactly.
+        let ps = random_points(150, 3, 77);
+        // Mixed-sign weights with a few zeros so the zero-weight arm is hit.
+        let w: Vec<f64> = (0..150)
+            .map(|i| match i % 5 {
+                0 => 0.0,
+                1 => -0.7,
+                _ => 0.3 + (i % 3) as f64 * 0.4,
+            })
+            .map(f64::abs) // node weights are non-negative post P⁺/P⁻ split
+            .collect();
+        let kd = KdTree::build(ps.clone(), &w, 6).freeze();
+        let ball = BallTree::build(ps, &w, 6).freeze();
+        let q = [0.4, -1.1, 0.9];
+
+        for kernel in kernels() {
+            for method in [BoundMethod::Sota, BoundMethod::Karl] {
+                for tree in [&kd, &ball] {
+                    let ctx = QueryContext::new(&kernel, method, &q);
+                    let ids: Vec<NodeId> = (0..tree.num_nodes() as NodeId).collect();
+                    let mut records = Vec::new();
+                    node_intervals_frozen(&ctx, tree, &ids, &mut records);
+                    assert_eq!(records.len(), ids.len());
+                    let mut cache = EnvelopeCache::new();
+                    for (iv, &id) in records.iter().zip(&ids) {
+                        assert_eq!(iv.node, id);
+                        let single = node_interval_frozen(&ctx, tree, id);
+                        if single.w > 0.0 {
+                            assert_eq!(*iv, single, "{kernel:?}/{method:?} node {id}");
+                        }
+                        let want = node_bounds_frozen(&ctx, tree, id);
+                        let direct =
+                            assemble_interval(method, ctx.curve, iv, &mut cache, false);
+                        let cached =
+                            assemble_interval(method, ctx.curve, iv, &mut cache, true);
+                        let recached =
+                            assemble_interval(method, ctx.curve, iv, &mut cache, true);
+                        assert_eq!(direct, want, "{kernel:?}/{method:?} node {id}");
+                        assert_eq!(cached, want, "{kernel:?}/{method:?} node {id} (miss)");
+                        assert_eq!(recached, want, "{kernel:?}/{method:?} node {id} (hit)");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

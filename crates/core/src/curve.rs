@@ -53,15 +53,74 @@ pub enum Curve {
     NegExpSqrt,
 }
 
+#[cfg(feature = "stats")]
+pub mod stats {
+    //! Thread-local instrumentation of curve evaluations (behind the
+    //! `stats` feature). [`Curve::value`](super::Curve::value) is the
+    //! transcendental workhorse of envelope construction, so its call
+    //! count is the direct measure of what the envelope memoization and
+    //! the shared-endpoint refactor save.
+
+    use std::cell::Cell;
+
+    thread_local! {
+        static VALUE_CALLS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    #[inline]
+    pub(crate) fn bump_value() {
+        VALUE_CALLS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Total `Curve::value` evaluations on this thread since it started.
+    /// Callers measure deltas; the counter is never reset.
+    pub fn value_calls() -> u64 {
+        VALUE_CALLS.with(Cell::get)
+    }
+}
+
 impl Curve {
     /// Evaluates `f(x)`.
     #[inline]
     pub fn value(self, x: f64) -> f64 {
+        #[cfg(feature = "stats")]
+        stats::bump_value();
         match self {
             Curve::NegExp => (-x).exp(),
             Curve::PowInt { degree } => x.powi(degree as i32),
             Curve::Tanh => x.tanh(),
             Curve::NegExpSqrt => (-x.max(0.0).sqrt()).exp(),
+        }
+    }
+
+    /// Evaluates `(f(x), f'(x))` with one transcendental where the algebra
+    /// allows it, instead of the two that separate [`Curve::value`] /
+    /// [`Curve::deriv`] calls cost.
+    ///
+    /// Bitwise identical to the separate calls by construction:
+    ///
+    /// * `NegExp` — `f' = −f` and IEEE-754 negation is exact;
+    /// * `Tanh` — `f' = 1 − t²` with `t = tanh(x)`, the same expression
+    ///   `deriv` computes from its own `tanh` call;
+    /// * `NegExpSqrt` (for `x ≥ 1e-300`, i.e. away from `deriv`'s clamp) —
+    ///   `f' = −f / (2√x)`, the same expression with the same `√x` bits;
+    /// * `PowInt` — no transcendental to share; falls through to the pair.
+    #[inline]
+    pub fn value_deriv(self, x: f64) -> (f64, f64) {
+        match self {
+            Curve::NegExp => {
+                let v = self.value(x);
+                (v, -v)
+            }
+            Curve::Tanh => {
+                let t = self.value(x);
+                (t, 1.0 - t * t)
+            }
+            Curve::NegExpSqrt if x >= 1e-300 => {
+                let v = self.value(x);
+                (v, -v / (2.0 * x.sqrt()))
+            }
+            _ => (self.value(x), self.deriv(x)),
         }
     }
 
@@ -237,6 +296,38 @@ mod tests {
     }
 
     karl_testkit::props! {
+        /// `value_deriv` must be bitwise identical to separate
+        /// `value`/`deriv` calls — the contract the fused envelope path
+        /// relies on for trace-level equivalence.
+        #[test]
+        fn prop_value_deriv_bitwise_matches_separate_calls(
+            curve_id in 0usize..7,
+            x in -6.0f64..6.0,
+        ) {
+            let curve = [
+                Curve::NegExp,
+                Curve::PowInt { degree: 0 },
+                Curve::PowInt { degree: 2 },
+                Curve::PowInt { degree: 3 },
+                Curve::PowInt { degree: 5 },
+                Curve::Tanh,
+                Curve::NegExpSqrt,
+            ][curve_id];
+            let xs = if matches!(curve, Curve::NegExpSqrt) {
+                // Exercise the clamped-derivative branch near 0 too.
+                vec![x.abs(), 0.0, 1e-301, 1e-300, 1e-12]
+            } else {
+                vec![x]
+            };
+            for x in xs {
+                let (v, d) = curve.value_deriv(x);
+                prop_assert!(v.to_bits() == curve.value(x).to_bits(),
+                    "{curve:?} value at {x}");
+                prop_assert!(d.to_bits() == curve.deriv(x).to_bits(),
+                    "{curve:?} deriv at {x}");
+            }
+        }
+
         /// `range` must bracket pointwise values on a dense grid.
         #[test]
         fn prop_range_brackets_values(

@@ -50,21 +50,85 @@ pub struct Envelope {
     pub upper: Line,
 }
 
-/// Chord of `f` through `(lo, f(lo))` and `(hi, f(hi))`.
-fn chord(curve: Curve, lo: f64, hi: f64) -> Line {
+/// An [`Envelope`] together with the exact curve range on the same
+/// interval — everything per-node bound assembly needs, so one envelope
+/// construction (or one cache hit) serves both the linear bounds and the
+/// SOTA clamp without re-evaluating the curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeParts {
+    /// The bounding lines.
+    pub env: Envelope,
+    /// `min f` over the interval (the SOTA constant lower bound's factor).
+    pub fmin: f64,
+    /// `max f` over the interval (the SOTA constant upper bound's factor).
+    pub fmax: f64,
+}
+
+#[cfg(feature = "stats")]
+pub mod stats {
+    //! Thread-local count of envelope constructions (behind the `stats`
+    //! feature). A cache hit skips [`envelope_parts`](super::envelope_parts)
+    //! entirely, so `envelopes_built` vs cache hits/misses quantifies the
+    //! memoization directly.
+
+    use std::cell::Cell;
+
+    thread_local! {
+        static ENVELOPES_BUILT: Cell<u64> = const { Cell::new(0) };
+    }
+
+    #[inline]
+    pub(crate) fn bump_built() {
+        ENVELOPES_BUILT.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Total envelope constructions on this thread since it started.
+    /// Callers measure deltas; the counter is never reset.
+    pub fn envelopes_built() -> u64 {
+        ENVELOPES_BUILT.with(Cell::get)
+    }
+}
+
+/// Chord of `f` through `(lo, f(lo))` and `(hi, f(hi))`, with the endpoint
+/// values threaded in by the caller (computed exactly once per envelope).
+#[inline]
+fn chord(lo: f64, hi: f64, flo: f64, fhi: f64) -> Line {
     debug_assert!(hi > lo);
-    let flo = curve.value(lo);
-    let fhi = curve.value(hi);
     let m = (fhi - flo) / (hi - lo);
     Line { m, c: flo - m * lo }
 }
 
-/// Tangent of `f` at `t`.
+/// Tangent of `f` at `t` — one fused `value_deriv` evaluation.
+#[inline]
 fn tangent(curve: Curve, t: f64) -> Line {
-    let m = curve.deriv(t);
-    Line {
-        m,
-        c: curve.value(t) - m * t,
+    let (v, m) = curve.value_deriv(t);
+    Line { m, c: v - m * t }
+}
+
+/// The exact range `(min f, max f)` over `[lo, hi]`, recomputed from the
+/// already-evaluated endpoint values. Bitwise identical to
+/// [`Curve::range`]: every `range` arm reduces to `value(lo)`/`value(hi)`
+/// (or the literal constants), so substituting the threaded `flo`/`fhi`
+/// reproduces the same bits without re-evaluating the curve.
+#[inline]
+fn range_from_values(curve: Curve, lo: f64, hi: f64, flo: f64, fhi: f64) -> (f64, f64) {
+    match curve {
+        // Decreasing curves: range is (f(hi), f(lo)); `Curve::range`'s
+        // NegExp arm computes `(-hi).exp()` inline, the same expression
+        // `value(hi)` evaluates.
+        Curve::NegExp | Curve::NegExpSqrt => (fhi, flo),
+        Curve::PowInt { degree: 0 } => (1.0, 1.0),
+        Curve::PowInt { degree } if degree % 2 == 0 => {
+            let max = flo.max(fhi);
+            let min = if lo <= 0.0 && 0.0 <= hi {
+                0.0
+            } else {
+                flo.min(fhi)
+            };
+            (min, max)
+        }
+        // Odd powers and tanh are increasing.
+        _ => (flo, fhi),
     }
 }
 
@@ -85,14 +149,16 @@ fn tangent(curve: Curve, t: f64) -> Line {
 /// tangency point is always `s* = c_deg · a` where `c_deg < 0` depends only
 /// on the degree (e.g. `−1/2` for the cubic) — so the hot polynomial path
 /// costs O(1) instead of a root-finding loop.
-fn solve_tangency(curve: Curve, anchor: f64, blo: f64, bhi: f64) -> Option<f64> {
+fn solve_tangency(curve: Curve, anchor: f64, fa: f64, blo: f64, bhi: f64) -> Option<f64> {
     if let Curve::PowInt { degree } = curve {
         let s = tangency_ratio(degree) * anchor;
         let (lo, hi) = (blo.min(bhi), blo.max(bhi));
         return if s >= lo && s <= hi { Some(s) } else { None };
     }
-    let fa = curve.value(anchor);
-    let phi = |s: f64| curve.value(s) + curve.deriv(s) * (anchor - s) - fa;
+    let phi = |s: f64| {
+        let (v, d) = curve.value_deriv(s);
+        v + d * (anchor - s) - fa
+    };
     let (mut lo, mut hi) = (blo, bhi);
     let (plo, phi_hi) = (phi(lo), phi(hi));
     if plo == 0.0 {
@@ -160,46 +226,79 @@ fn tangency_ratio(degree: u32) -> f64 {
 /// Line through `(anchor, f(anchor))` tangent to `f` on the branch
 /// `[blo, bhi]`, or the chord over `[lo, hi]` when the rotation limit is the
 /// far endpoint.
-fn anchored_or_chord(curve: Curve, anchor: f64, blo: f64, bhi: f64, lo: f64, hi: f64) -> Line {
-    match solve_tangency(curve, anchor, blo, bhi) {
+///
+/// `fa` is `f(anchor)` and `flo`/`fhi` are the endpoint values — all
+/// computed once by [`envelope_parts`] and threaded through, so the chord
+/// fallback no longer re-evaluates the curve at either endpoint.
+#[allow(clippy::too_many_arguments)]
+fn anchored_or_chord(
+    curve: Curve,
+    anchor: f64,
+    fa: f64,
+    blo: f64,
+    bhi: f64,
+    lo: f64,
+    hi: f64,
+    flo: f64,
+    fhi: f64,
+) -> Line {
+    match solve_tangency(curve, anchor, fa, blo, bhi) {
         Some(s) => {
             let m = curve.deriv(s);
             Line {
                 m,
-                c: curve.value(anchor) - m * anchor,
+                c: fa - m * anchor,
             }
         }
-        None => chord(curve, lo, hi),
+        None => chord(lo, hi, flo, fhi),
     }
 }
 
-/// Builds the bounding envelope of `curve` on `[lo, hi]`.
+/// Builds the bounding envelope of `curve` on `[lo, hi]` together with the
+/// exact curve range — the full per-node bound ingredients.
 ///
 /// `xbar` is the weighted mean `Σ wᵢxᵢ / Σ wᵢ` of the node being bounded —
 /// the optimal tangent location of Theorems 1–2. It is clamped into
 /// `[lo, hi]` defensively.
 ///
+/// The endpoint values `f(lo)`, `f(hi)` are evaluated exactly once and
+/// shared between the range, the chord and the rotation-limit anchors;
+/// tangents go through the fused [`Curve::value_deriv`]. Every shared
+/// value is bitwise identical to the separate evaluations it replaces, so
+/// the envelope bits are unchanged from the pre-sharing construction. A
+/// Gaussian convex interval now costs 3 `exp` evaluations (endpoints +
+/// fused tangent) instead of the former 6.
+///
 /// # Panics
 /// Panics if `lo > hi` or any of the inputs is NaN.
-pub fn envelope(curve: Curve, lo: f64, hi: f64, xbar: f64) -> Envelope {
+#[inline]
+pub fn envelope_parts(curve: Curve, lo: f64, hi: f64, xbar: f64) -> EnvelopeParts {
     assert!(lo <= hi, "envelope interval inverted: [{lo}, {hi}]");
     assert!(
         lo.is_finite() && hi.is_finite() && !xbar.is_nan(),
         "non-finite envelope inputs"
     );
+    #[cfg(feature = "stats")]
+    stats::bump_built();
+    let flo = curve.value(lo);
+    let fhi = curve.value(hi);
+    let (fmin, fmax) = range_from_values(curve, lo, hi, flo, fhi);
     // Degenerate interval: the node's points all map to (almost) one scalar;
     // the constant range bounds are exact and always valid.
     if hi - lo <= 1e-13 * (1.0 + lo.abs().max(hi.abs())) {
-        let (fmin, fmax) = curve.range(lo, hi);
-        return Envelope {
-            lower: Line { m: 0.0, c: fmin },
-            upper: Line { m: 0.0, c: fmax },
+        return EnvelopeParts {
+            env: Envelope {
+                lower: Line { m: 0.0, c: fmin },
+                upper: Line { m: 0.0, c: fmax },
+            },
+            fmin,
+            fmax,
         };
     }
     let xbar = xbar.clamp(lo, hi);
-    match curve.curvature_on(lo, hi) {
+    let env = match curve.curvature_on(lo, hi) {
         Curvature::Linear => {
-            let line = chord(curve, lo, hi);
+            let line = chord(lo, hi, flo, fhi);
             Envelope {
                 lower: line,
                 upper: line,
@@ -215,28 +314,290 @@ pub fn envelope(curve: Curve, lo: f64, hi: f64, xbar: f64) -> Envelope {
             };
             Envelope {
                 lower: tangent(curve, t),
-                upper: chord(curve, lo, hi),
+                upper: chord(lo, hi, flo, fhi),
             }
         }
         Curvature::Concave => Envelope {
-            lower: chord(curve, lo, hi),
+            lower: chord(lo, hi, flo, fhi),
             upper: tangent(curve, xbar),
         },
         // Odd-degree polynomial on an interval straddling 0: concave branch
         // is [lo, 0], convex branch is [0, hi] (Figure 8).
         Curvature::ConcaveThenConvex => Envelope {
             // rotate-up around the left endpoint, tangent to the convex branch
-            lower: anchored_or_chord(curve, lo, 0.0, hi, lo, hi),
+            lower: anchored_or_chord(curve, lo, flo, 0.0, hi, lo, hi, flo, fhi),
             // rotate-down around the right endpoint, tangent to the concave branch
-            upper: anchored_or_chord(curve, hi, lo, 0.0, lo, hi),
+            upper: anchored_or_chord(curve, hi, fhi, lo, 0.0, lo, hi, flo, fhi),
         },
         // tanh: convex branch [lo, 0], concave branch [0, hi].
         Curvature::ConvexThenConcave => Envelope {
             // anchored at the right endpoint, tangent to the convex branch
-            lower: anchored_or_chord(curve, hi, lo, 0.0, lo, hi),
+            lower: anchored_or_chord(curve, hi, fhi, lo, 0.0, lo, hi, flo, fhi),
             // anchored at the left endpoint, tangent to the concave branch
-            upper: anchored_or_chord(curve, lo, 0.0, hi, lo, hi),
+            upper: anchored_or_chord(curve, lo, flo, 0.0, hi, lo, hi, flo, fhi),
         },
+    };
+    EnvelopeParts { env, fmin, fmax }
+}
+
+/// Builds the bounding envelope of `curve` on `[lo, hi]`; see
+/// [`envelope_parts`] for the construction and its invariants.
+///
+/// # Panics
+/// Panics if `lo > hi` or any of the inputs is NaN.
+#[inline]
+pub fn envelope(curve: Curve, lo: f64, hi: f64, xbar: f64) -> Envelope {
+    envelope_parts(curve, lo, hi, xbar).env
+}
+
+/// Initial slot count of an [`EnvelopeCache`] table (power of two).
+const CACHE_INITIAL_SLOTS: usize = 256;
+
+/// Hard slot-count ceiling (power of two): 32768 slots ≈ 2.6 MiB per
+/// worker at full load. When a table at this size fills past its load
+/// limit it is cleared in place (the entries are pure-function results, so
+/// dropping them is only a perf event), which bounds both memory and probe
+/// lengths on unbounded query streams.
+const CACHE_MAX_SLOTS: usize = 1 << 15;
+
+/// Occupied-slot marker: curve tags are always non-zero.
+const EMPTY_TAG: u64 = 0;
+
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    tag: u64,
+    lo: u64,
+    hi: u64,
+    xbar: u64,
+    lower: Line,
+    upper: Line,
+    fmin: f64,
+    fmax: f64,
+}
+
+const EMPTY_SLOT: CacheSlot = CacheSlot {
+    tag: EMPTY_TAG,
+    lo: 0,
+    hi: 0,
+    xbar: 0,
+    lower: Line { m: 0.0, c: 0.0 },
+    upper: Line { m: 0.0, c: 0.0 },
+    fmin: 0.0,
+    fmax: 0.0,
+};
+
+/// Non-zero discriminant of a curve for cache keys. `PowInt` folds the
+/// degree in, so distinct degrees never collide.
+#[inline]
+fn curve_tag(curve: Curve) -> u64 {
+    match curve {
+        Curve::NegExp => 1,
+        Curve::Tanh => 2,
+        Curve::NegExpSqrt => 3,
+        Curve::PowInt { degree } => 4 + degree as u64,
+    }
+}
+
+/// SplitMix64 finalizer — the standard 64-bit avalanche mixer.
+#[inline]
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[inline]
+fn hash_key(tag: u64, lo: u64, hi: u64, xbar: u64) -> u64 {
+    mix64(tag ^ mix64(lo ^ mix64(hi ^ mix64(xbar))))
+}
+
+/// Exact memoization of envelope construction, keyed on the **bit
+/// patterns** of `(curve, lo, hi, x̄)`.
+///
+/// [`envelope_parts`] is a pure function of exactly those four inputs, so
+/// an entry built for one query is bit-for-bit correct for any later
+/// lookup of the same key — across queries, evaluators and bound methods.
+/// The table therefore never needs invalidation: keeping it warm across a
+/// whole batch is what converts repeated intervals (duplicate queries,
+/// clustered query streams) from `exp`/bisection into a hash probe.
+/// Because keys are exact bit patterns, a hit returns the *same bits* the
+/// builder would produce, which is why cache-on and cache-off runs are
+/// bitwise identical (enforced by `tests/envelope_cache_equivalence.rs`).
+///
+/// Open addressing with linear probing over power-of-two tables; grows at
+/// 3/4 load up to [`CACHE_MAX_SLOTS`], then clears in place instead of
+/// growing (see the constant's note). Not thread-safe by design — one
+/// cache per [`Scratch`](crate::eval::Scratch), one scratch per worker.
+#[derive(Debug, Clone, Default)]
+pub struct EnvelopeCache {
+    slots: Vec<CacheSlot>,
+    len: usize,
+    #[cfg(feature = "stats")]
+    hits: u64,
+    #[cfg(feature = "stats")]
+    misses: u64,
+}
+
+impl EnvelopeCache {
+    /// Creates an empty cache; the table is allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot-table size (0 until first use; power of two after).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lookups answered from the table (behind the `stats` feature).
+    #[cfg(feature = "stats")]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to build the envelope (behind the `stats` feature).
+    #[cfg(feature = "stats")]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the memoized envelope parts for `(curve, lo, hi, xbar)`,
+    /// building and inserting them on a miss. Identical bits to calling
+    /// [`envelope_parts`] directly, hit or miss.
+    ///
+    /// # Panics
+    /// Propagates [`envelope_parts`]' panics on invalid inputs (which can
+    /// never have been inserted, so the lookup misses first).
+    pub fn get_or_build(&mut self, curve: Curve, lo: f64, hi: f64, xbar: f64) -> EnvelopeParts {
+        if self.slots.is_empty() {
+            self.slots = vec![EMPTY_SLOT; CACHE_INITIAL_SLOTS];
+        }
+        let tag = curve_tag(curve);
+        let (lb, hb, xb) = (lo.to_bits(), hi.to_bits(), xbar.to_bits());
+        match self.find(tag, lb, hb, xb) {
+            Ok(i) => {
+                #[cfg(feature = "stats")]
+                {
+                    self.hits += 1;
+                }
+                let s = &self.slots[i];
+                EnvelopeParts {
+                    env: Envelope {
+                        lower: s.lower,
+                        upper: s.upper,
+                    },
+                    fmin: s.fmin,
+                    fmax: s.fmax,
+                }
+            }
+            Err(mut i) => {
+                #[cfg(feature = "stats")]
+                {
+                    self.misses += 1;
+                }
+                let parts = envelope_parts(curve, lo, hi, xbar);
+                if (self.len + 1) * 4 > self.slots.len() * 3 {
+                    if self.slots.len() < CACHE_MAX_SLOTS {
+                        self.grow();
+                    } else {
+                        self.clear();
+                    }
+                    i = self
+                        .find(tag, lb, hb, xb)
+                        .expect_err("key cannot exist after rehash/clear");
+                }
+                self.slots[i] = CacheSlot {
+                    tag,
+                    lo: lb,
+                    hi: hb,
+                    xbar: xb,
+                    lower: parts.env.lower,
+                    upper: parts.env.upper,
+                    fmin: parts.fmin,
+                    fmax: parts.fmax,
+                };
+                self.len += 1;
+                parts
+            }
+        }
+    }
+
+    /// Linear probe: `Ok(slot)` on a key match, `Err(slot)` with the first
+    /// empty slot on the probe path otherwise. The table is never full
+    /// (grow/clear keeps load ≤ 3/4), so the probe always terminates.
+    #[inline]
+    fn find(&self, tag: u64, lo: u64, hi: u64, xbar: u64) -> Result<usize, usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = hash_key(tag, lo, hi, xbar) as usize & mask;
+        loop {
+            let s = &self.slots[i];
+            if s.tag == EMPTY_TAG {
+                return Err(i);
+            }
+            if s.tag == tag && s.lo == lo && s.hi == hi && s.xbar == xbar {
+                return Ok(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = vec![EMPTY_SLOT; self.slots.len() * 2];
+        let old = std::mem::replace(&mut self.slots, doubled);
+        for s in old {
+            if s.tag != EMPTY_TAG {
+                let i = self
+                    .find(s.tag, s.lo, s.hi, s.xbar)
+                    .expect_err("rehash of distinct keys cannot collide");
+                self.slots[i] = s;
+            }
+        }
+    }
+
+    /// Drops every entry, keeping the allocated table. Never required for
+    /// correctness (entries are exact); used to bound probe lengths once
+    /// the table hits [`CACHE_MAX_SLOTS`].
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        self.len = 0;
+    }
+
+    /// Shrink policy for [`Scratch::reset_with_capacity_cap`]
+    /// (crate::eval::Scratch): if the table has grown beyond `cap` slots,
+    /// reallocate it at the largest power of two ≤ `cap` (dropping the
+    /// entries — a perf event only, never a correctness one); tables
+    /// within the cap are left untouched, entries and all, so cross-query
+    /// reuse survives the reset.
+    pub fn shrink_to_cap(&mut self, cap: usize) {
+        if self.slots.len() <= cap {
+            return;
+        }
+        if cap == 0 {
+            self.slots = Vec::new();
+        } else {
+            let target = if cap.is_power_of_two() {
+                cap
+            } else {
+                cap.next_power_of_two() / 2
+            };
+            self.slots = vec![EMPTY_SLOT; target];
+        }
+        self.len = 0;
     }
 }
 
@@ -411,7 +772,161 @@ mod tests {
         );
     }
 
+    /// Field-by-field bit equality of two [`EnvelopeParts`] — stricter
+    /// than `==` (distinguishes `-0.0` from `0.0`).
+    fn parts_bits(p: &EnvelopeParts) -> [u64; 6] {
+        [
+            p.env.lower.m.to_bits(),
+            p.env.lower.c.to_bits(),
+            p.env.upper.m.to_bits(),
+            p.env.upper.c.to_bits(),
+            p.fmin.to_bits(),
+            p.fmax.to_bits(),
+        ]
+    }
+
+    #[test]
+    fn cache_hit_and_miss_are_bitwise_identical_to_builder() {
+        let mut cache = EnvelopeCache::new();
+        let keys: Vec<(Curve, f64, f64, f64)> = (0..300)
+            .map(|i| {
+                let curve = CURVES[i % CURVES.len()];
+                let t = i as f64 * 0.137;
+                let (mut lo, mut hi) = (t.sin() * 4.0, t.cos() * 4.0 + 1.0);
+                if matches!(curve, Curve::NegExp | Curve::NegExpSqrt) {
+                    lo = lo.abs();
+                    hi = hi.abs();
+                }
+                if lo > hi {
+                    std::mem::swap(&mut lo, &mut hi);
+                }
+                let xbar = lo + (hi - lo) * (0.5 + 0.5 * (t * 3.0).sin());
+                (curve, lo, hi, xbar)
+            })
+            .collect();
+        // First pass: all misses. Second pass: all hits. Both must return
+        // the builder's exact bits.
+        for pass in 0..2 {
+            for &(curve, lo, hi, xbar) in &keys {
+                let direct = envelope_parts(curve, lo, hi, xbar);
+                let cached = cache.get_or_build(curve, lo, hi, xbar);
+                assert_eq!(
+                    parts_bits(&cached),
+                    parts_bits(&direct),
+                    "pass {pass}: {curve:?} on [{lo}, {hi}], xbar {xbar}"
+                );
+            }
+        }
+        // Distinct (curve, lo, hi) tuples may repeat across i % 7 cycles,
+        // but every key must be present exactly once.
+        let distinct: std::collections::HashSet<_> = keys
+            .iter()
+            .map(|&(c, lo, hi, x)| (curve_tag(c), lo.to_bits(), hi.to_bits(), x.to_bits()))
+            .collect();
+        assert_eq!(cache.len(), distinct.len());
+    }
+
+    #[test]
+    fn cache_grows_past_initial_table_and_keeps_entries() {
+        let mut cache = EnvelopeCache::new();
+        // More distinct keys than CACHE_INITIAL_SLOTS * 3/4 forces at least
+        // one grow + rehash.
+        let n = 2 * CACHE_INITIAL_SLOTS;
+        for i in 0..n {
+            let lo = i as f64 * 1e-3;
+            cache.get_or_build(Curve::NegExp, lo, lo + 1.0, lo + 0.5);
+        }
+        assert!(cache.capacity() > CACHE_INITIAL_SLOTS);
+        assert_eq!(cache.len(), n);
+        // Every entry survived the rehash with identical bits.
+        for i in 0..n {
+            let lo = i as f64 * 1e-3;
+            let direct = envelope_parts(Curve::NegExp, lo, lo + 1.0, lo + 0.5);
+            let cached = cache.get_or_build(Curve::NegExp, lo, lo + 1.0, lo + 0.5);
+            assert_eq!(parts_bits(&cached), parts_bits(&direct));
+        }
+        assert_eq!(cache.len(), n, "re-lookups must not insert");
+    }
+
+    #[test]
+    fn cache_clears_in_place_at_max_slots() {
+        let mut cache = EnvelopeCache::new();
+        // Fill past the ceiling's load limit; the table must stop growing at
+        // CACHE_MAX_SLOTS and recycle in place rather than expand.
+        let n = CACHE_MAX_SLOTS;
+        for i in 0..n {
+            let lo = i as f64 * 1e-4;
+            cache.get_or_build(Curve::NegExp, lo, lo + 1.0, lo + 0.5);
+        }
+        assert_eq!(cache.capacity(), CACHE_MAX_SLOTS);
+        assert!(cache.len() <= CACHE_MAX_SLOTS * 3 / 4);
+        // Still answers correctly after the in-place clear.
+        let direct = envelope_parts(Curve::NegExp, 0.25, 1.25, 0.75);
+        let cached = cache.get_or_build(Curve::NegExp, 0.25, 1.25, 0.75);
+        assert_eq!(parts_bits(&cached), parts_bits(&direct));
+    }
+
+    #[test]
+    fn cache_shrink_to_cap_policy() {
+        let mut cache = EnvelopeCache::new();
+        for i in 0..CACHE_INITIAL_SLOTS {
+            let lo = i as f64 * 1e-2;
+            cache.get_or_build(Curve::NegExp, lo, lo + 1.0, lo + 0.5);
+        }
+        let grown = cache.capacity();
+        assert!(grown > CACHE_INITIAL_SLOTS);
+
+        // Within the cap: untouched, entries preserved.
+        let len_before = cache.len();
+        cache.shrink_to_cap(grown);
+        assert_eq!(cache.capacity(), grown);
+        assert_eq!(cache.len(), len_before);
+
+        // Beyond the cap: reallocated to the largest power of two ≤ cap,
+        // entries dropped (a perf event only — keys fully determine values).
+        cache.shrink_to_cap(grown / 2 + 3);
+        assert_eq!(cache.capacity(), grown / 2);
+        assert!(cache.is_empty());
+
+        // Still correct afterwards.
+        let direct = envelope_parts(Curve::Tanh, -1.0, 2.0, 0.5);
+        let cached = cache.get_or_build(Curve::Tanh, -1.0, 2.0, 0.5);
+        assert_eq!(parts_bits(&cached), parts_bits(&direct));
+
+        // cap = 0 drops the table entirely; the next use re-allocates.
+        cache.shrink_to_cap(0);
+        assert_eq!(cache.capacity(), 0);
+        let cached = cache.get_or_build(Curve::Tanh, -1.0, 2.0, 0.5);
+        assert_eq!(parts_bits(&cached), parts_bits(&direct));
+        assert_eq!(cache.capacity(), CACHE_INITIAL_SLOTS);
+    }
+
     karl_testkit::props! {
+        /// `range_from_values` fed the endpoint values must be bitwise
+        /// identical to `Curve::range` — the substitution the shared-endpoint
+        /// refactor relies on for trace-level equivalence.
+        #[test]
+        fn prop_range_from_values_bitwise_matches_range(
+            curve_id in 0usize..CURVES.len(),
+            a in -5.0f64..5.0,
+            b in -5.0f64..5.0,
+        ) {
+            let curve = CURVES[curve_id];
+            let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+            if matches!(curve, Curve::NegExp | Curve::NegExpSqrt) {
+                lo = lo.abs();
+                hi = hi.abs();
+                if lo > hi { std::mem::swap(&mut lo, &mut hi); }
+            }
+            let (rmin, rmax) = curve.range(lo, hi);
+            let (vmin, vmax) =
+                range_from_values(curve, lo, hi, curve.value(lo), curve.value(hi));
+            prop_assert!(vmin.to_bits() == rmin.to_bits(),
+                "{curve:?} min on [{lo},{hi}]");
+            prop_assert!(vmax.to_bits() == rmax.to_bits(),
+                "{curve:?} max on [{lo},{hi}]");
+        }
+
         /// Envelope validity on random intervals for every curve.
         #[test]
         fn prop_envelope_bounds_curve(

@@ -22,7 +22,11 @@ use std::collections::BinaryHeap;
 use karl_geom::{norm2, PointSet};
 use karl_tree::{FrozenTree, NodeId, NodeShape, Tree};
 
-use crate::bounds::{node_bounds, node_bounds_frozen, BoundMethod, BoundPair, QueryContext};
+use crate::bounds::{
+    assemble_interval, node_bounds, node_intervals_frozen, BoundMethod, BoundPair, NodeInterval,
+    QueryContext,
+};
+use crate::envelope::EnvelopeCache;
 use crate::kernel::Kernel;
 
 /// Which evaluation index [`Evaluator`] routes a query through.
@@ -120,22 +124,87 @@ impl Ord for Entry {
     }
 }
 
+/// Run counters accumulated per [`Scratch`] (behind the `stats` feature):
+/// how much refinement and envelope work the queries routed through that
+/// scratch performed, and how much of it the envelope cache absorbed.
+#[cfg(feature = "stats")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Heap pops (refinement iterations) across all runs.
+    pub nodes_refined: u64,
+    /// Envelopes actually constructed (cache hits skip construction).
+    pub envelopes_built: u64,
+    /// Envelope-cache lookups answered from the table.
+    pub cache_hits: u64,
+    /// Envelope-cache lookups that fell through to construction.
+    pub cache_misses: u64,
+    /// `Curve::value` evaluations — the transcendental workhorse count.
+    pub curve_value_calls: u64,
+}
+
+#[cfg(feature = "stats")]
+impl RunStats {
+    /// Field-wise accumulation (used to sum per-worker stats in batch mode).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.nodes_refined += other.nodes_refined;
+        self.envelopes_built += other.envelopes_built;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.curve_value_calls += other.curve_value_calls;
+    }
+}
+
 /// Reusable per-query workspace for [`Evaluator::run_with_scratch`]: the
 /// priority-queue storage (which doubles as the entry pool — `BinaryHeap`
-/// keeps its backing buffer across [`clear`](BinaryHeap::clear)) and the
-/// trace buffer. After the first few queries have grown the buffers to the
-/// workload's high-water mark, evaluation performs no heap allocation.
+/// keeps its backing buffer across [`clear`](BinaryHeap::clear)), the
+/// trace buffer, the frontier/interval buffers of the two-pass bound
+/// kernel, and the envelope memoization table. After the first few queries
+/// have grown the buffers to the workload's high-water mark, evaluation
+/// performs no heap allocation.
 ///
 /// One `Scratch` per worker thread is the intended usage; see
 /// [`crate::batch`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Scratch {
     heap: BinaryHeap<Entry>,
     trace: Vec<TraceStep>,
+    /// Node ids gathered by pass 1 of the frontier bound kernel.
+    frontier: Vec<NodeId>,
+    /// Interval records pass 1 emits and pass 2 consumes.
+    intervals: Vec<NodeInterval>,
+    /// Exact envelope memoization, warm across every query routed through
+    /// this scratch (entries are pure functions of their keys, so
+    /// cross-query reuse is always bitwise-safe).
+    env_cache: EnvelopeCache,
+    env_cache_enabled: bool,
+    #[cfg(feature = "stats")]
+    stats: RunStats,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            trace: Vec::new(),
+            frontier: Vec::new(),
+            intervals: Vec::new(),
+            env_cache: EnvelopeCache::new(),
+            // The cache changes no bits, only cost — but on streams of
+            // distinct queries every probe misses and the tax exceeds a
+            // shared-endpoint Gaussian build, so it is opt-in (it pays on
+            // duplicate-heavy query streams; see DESIGN.md §10).
+            env_cache_enabled: false,
+            #[cfg(feature = "stats")]
+            stats: RunStats::default(),
+        }
+    }
 }
 
 impl Scratch {
-    /// Creates an empty workspace (buffers grow on first use).
+    /// Creates an empty workspace (buffers grow on first use) with the
+    /// envelope cache disabled (enable it with
+    /// [`set_envelope_cache`](Self::set_envelope_cache) for duplicate-heavy
+    /// query streams).
     pub fn new() -> Self {
         Self::default()
     }
@@ -144,6 +213,46 @@ impl Scratch {
     /// untraced runs).
     pub fn trace(&self) -> &[TraceStep] {
         &self.trace
+    }
+
+    /// Enables or disables the envelope memoization for subsequent runs.
+    /// Purely a performance switch: outcomes and traces are bitwise
+    /// identical either way (`tests/envelope_cache_equivalence.rs`).
+    pub fn set_envelope_cache(&mut self, enabled: bool) {
+        self.env_cache_enabled = enabled;
+    }
+
+    /// Whether the envelope memoization is enabled.
+    pub fn envelope_cache_enabled(&self) -> bool {
+        self.env_cache_enabled
+    }
+
+    /// Clears every buffer and shrinks any that grew beyond `cap` elements
+    /// (`cap` slots for the envelope cache) back down to it. Long batch
+    /// runs call this between chunks so one adversarial query cannot
+    /// ratchet a worker's memory for the rest of the batch; buffers at or
+    /// under the cap keep their allocations (and the envelope cache keeps
+    /// its entries — dropping them is never needed for correctness).
+    pub fn reset_with_capacity_cap(&mut self, cap: usize) {
+        self.heap.clear();
+        self.heap.shrink_to(cap);
+        self.trace.clear();
+        self.trace.shrink_to(cap);
+        self.frontier.clear();
+        self.frontier.shrink_to(cap);
+        self.intervals.clear();
+        self.intervals.shrink_to(cap);
+        self.env_cache.shrink_to_cap(cap);
+    }
+
+    /// The accumulated run counters, with the envelope cache's live
+    /// hit/miss totals folded in (behind the `stats` feature).
+    #[cfg(feature = "stats")]
+    pub fn stats(&self) -> RunStats {
+        let mut s = self.stats;
+        s.cache_hits = self.env_cache.hits();
+        s.cache_misses = self.env_cache.misses();
+        s
     }
 }
 
@@ -486,6 +595,20 @@ impl<S: NodeShape> Evaluator<S> {
         )
     }
 
+    /// [`trace_run_on`](Self::trace_run_on) with caller-owned scratch: the
+    /// trajectory lands in [`Scratch::trace`], so a warm scratch (and its
+    /// envelope cache) can be threaded through a sequence of traced runs.
+    pub fn trace_run_with_scratch_on(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+        scratch: &mut Scratch,
+    ) -> RunOutcome {
+        self.check_query(q);
+        self.run_core_on(engine, q, query, None, scratch, true)
+    }
+
     #[inline]
     fn run_core_on(
         &self,
@@ -496,16 +619,38 @@ impl<S: NodeShape> Evaluator<S> {
         scratch: &mut Scratch,
         record_trace: bool,
     ) -> RunOutcome {
-        match engine {
+        #[cfg(feature = "stats")]
+        let (value_calls0, built0) = (
+            crate::curve::stats::value_calls(),
+            crate::envelope::stats::envelopes_built(),
+        );
+        let out = match engine {
             Engine::Frozen => self.run_core_frozen(q, query, level_cap, scratch, record_trace),
             Engine::Pointer => self.run_core_pointer(q, query, level_cap, scratch, record_trace),
+        };
+        #[cfg(feature = "stats")]
+        {
+            scratch.stats.nodes_refined += out.iterations as u64;
+            scratch.stats.envelopes_built +=
+                crate::envelope::stats::envelopes_built() - built0;
+            scratch.stats.curve_value_calls += crate::curve::stats::value_calls() - value_calls0;
         }
+        out
     }
 
     /// The frozen-path refinement loop: identical control flow to
     /// [`run_core_pointer`](Self::run_core_pointer), but per-node bounds
-    /// come from the SoA index through the fused kernels, with the
-    /// per-query invariants hoisted into one [`QueryContext`].
+    /// come from the SoA index through the **two-pass frontier kernel**.
+    /// Each heap pop gathers its children into the frontier buffer, pass 1
+    /// streams the batched fused geometry kernels over them emitting
+    /// [`NodeInterval`] records, and pass 2 sweeps those records building
+    /// envelopes through the scratch's memoization table.
+    ///
+    /// Frontier order is left child then right child — exactly the push
+    /// order of the old one-node-at-a-time loop — and pass 2 accumulates
+    /// `lb`/`ub` in that same order with the same per-node arithmetic, so
+    /// outcomes and traces are bitwise identical to the pre-frontier engine
+    /// (and to the pointer oracle).
     fn run_core_frozen(
         &self,
         q: &[f64],
@@ -516,39 +661,55 @@ impl<S: NodeShape> Evaluator<S> {
     ) -> RunOutcome {
         debug_assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
         let ctx = QueryContext::new(&self.kernel, self.method, q);
-        scratch.heap.clear();
-        scratch.trace.clear();
-        let heap = &mut scratch.heap;
-        let trace = &mut scratch.trace;
+        let method = self.method;
+        let curve = self.kernel.curve();
+        let use_cache = scratch.env_cache_enabled;
+        let Scratch {
+            heap,
+            trace,
+            frontier,
+            intervals,
+            env_cache,
+            ..
+        } = scratch;
+        heap.clear();
+        trace.clear();
         let mut lb = 0.0f64;
         let mut ub = 0.0f64;
         let pos = self.pos.as_ref().zip(self.pos_frozen.as_ref());
         let neg = self.neg.as_ref().zip(self.neg_frozen.as_ref());
 
-        let push = |heap: &mut BinaryHeap<Entry>,
-                    lb: &mut f64,
-                    ub: &mut f64,
-                    frozen: &FrozenTree,
-                    node: NodeId,
-                    negated: bool| {
-            let b = node_bounds_frozen(&ctx, frozen, node);
-            let (elb, eub) = contribution(&b, negated);
-            *lb += elb;
-            *ub += eub;
-            heap.push(Entry {
-                gap: eub - elb,
-                node,
-                negated,
-                lb: elb,
-                ub: eub,
-            });
+        let mut bound_frontier = |heap: &mut BinaryHeap<Entry>,
+                                  lb: &mut f64,
+                                  ub: &mut f64,
+                                  frozen: &FrozenTree,
+                                  ids: &[NodeId],
+                                  negated: bool| {
+            node_intervals_frozen(&ctx, frozen, ids, intervals);
+            for iv in intervals.iter() {
+                let b = assemble_interval(method, curve, iv, env_cache, use_cache);
+                let (elb, eub) = contribution(&b, negated);
+                *lb += elb;
+                *ub += eub;
+                heap.push(Entry {
+                    gap: eub - elb,
+                    node: iv.node,
+                    negated,
+                    lb: elb,
+                    ub: eub,
+                });
+            }
         };
 
         if let Some((_, frozen)) = pos {
-            push(heap, &mut lb, &mut ub, frozen, frozen.root(), false);
+            frontier.clear();
+            frontier.push(frozen.root());
+            bound_frontier(heap, &mut lb, &mut ub, frozen, frontier, false);
         }
         if let Some((_, frozen)) = neg {
-            push(heap, &mut lb, &mut ub, frozen, frozen.root(), true);
+            frontier.clear();
+            frontier.push(frozen.root());
+            bound_frontier(heap, &mut lb, &mut ub, frozen, frontier, true);
         }
 
         let mut iterations = 0usize;
@@ -589,11 +750,10 @@ impl<S: NodeShape> Evaluator<S> {
                 lb += signed;
                 ub += signed;
             } else {
-                let (a, b) = frozen
-                    .children(entry.node)
-                    .expect("non-leaf node has children");
-                push(heap, &mut lb, &mut ub, frozen, a, entry.negated);
-                push(heap, &mut lb, &mut ub, frozen, b, entry.negated);
+                frontier.clear();
+                let gathered = frozen.gather_children(entry.node, frontier);
+                debug_assert!(gathered, "non-leaf node has children");
+                bound_frontier(heap, &mut lb, &mut ub, frozen, frontier, entry.negated);
             }
             if record_trace {
                 trace.push(TraceStep {
@@ -1003,6 +1163,123 @@ mod tests {
             }
         }
         assert!(scratch.trace().is_empty(), "untraced runs record no trace");
+    }
+
+    #[test]
+    fn scratch_cache_toggle_is_bit_identical() {
+        // Cache-on and cache-off scratches must produce identical outcomes
+        // and identical traces on the same query stream (with duplicates,
+        // so the cache actually gets hits).
+        let ps = clustered_points(300, 3, 45);
+        let w = mixed_weights(300, 46);
+        let kernel = Kernel::gaussian(0.6);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        let mut on = Scratch::new();
+        let mut off = Scratch::new();
+        on.set_envelope_cache(true);
+        assert!(on.envelope_cache_enabled());
+        assert!(!off.envelope_cache_enabled(), "cache is opt-in");
+        let queries = clustered_points(10, 3, 47);
+        for pass in 0..2 {
+            for q in queries.iter() {
+                for query in [
+                    Query::Tkaq { tau: 0.2 },
+                    Query::Ekaq { eps: 0.1 },
+                    Query::Within { tol: 0.05 },
+                ] {
+                    let a = eval.run_with_scratch(q, query, None, &mut on);
+                    let b = eval.run_with_scratch(q, query, None, &mut off);
+                    assert_eq!(a, b, "pass {pass} {query:?}");
+                    let ta = eval.trace_run_with_scratch_on(Engine::Frozen, q, query, &mut on);
+                    let trace_a: Vec<TraceStep> = on.trace().to_vec();
+                    let tb = eval.trace_run_with_scratch_on(Engine::Frozen, q, query, &mut off);
+                    assert_eq!(ta, tb, "pass {pass} {query:?} traced");
+                    assert_eq!(trace_a.as_slice(), off.trace(), "pass {pass} {query:?} trace");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_with_capacity_cap_shrinks_oversized_buffers() {
+        // Grow a scratch well past a small cap on a real workload, then
+        // check the shrink policy: every buffer lands at or below the cap,
+        // and subsequent runs still produce identical results.
+        let ps = clustered_points(2000, 3, 48);
+        let w = vec![1.0 / 2000.0; 2000];
+        let kernel = Kernel::gaussian(0.2);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 2);
+        let mut scratch = Scratch::new();
+        let q = ps.point(0).to_vec();
+        // A tight Within query forces deep refinement → large buffers.
+        let want = eval.run_with_scratch(&q, Query::Within { tol: 1e-9 }, None, &mut scratch);
+        let grown = scratch.heap.capacity();
+        assert!(grown > 8, "workload too small to grow the heap ({grown})");
+
+        let cap = 8usize;
+        scratch.reset_with_capacity_cap(cap);
+        assert!(scratch.heap.capacity() <= cap);
+        assert!(scratch.trace.capacity() <= cap);
+        assert!(scratch.frontier.capacity() <= cap);
+        assert!(scratch.intervals.capacity() <= cap);
+        assert!(scratch.env_cache.capacity() <= cap);
+        assert!(scratch.heap.is_empty() && scratch.trace.is_empty());
+
+        // Within-cap buffers are left alone by a larger cap.
+        let big = 1 << 20;
+        scratch.reset_with_capacity_cap(big);
+        assert!(scratch.heap.capacity() <= cap.max(8));
+
+        // And the scratch still evaluates identically after shrinking.
+        let again = eval.run_with_scratch(&q, Query::Within { tol: 1e-9 }, None, &mut scratch);
+        assert_eq!(want, again);
+    }
+
+    /// The `stats`-gated proof that the envelope cache actually removes
+    /// transcendental work: a canned clustered workload with repeated
+    /// queries must cost strictly fewer `Curve::value` calls with the
+    /// cache on than off, with the difference visible as cache hits.
+    #[cfg(feature = "stats")]
+    #[test]
+    fn stats_cache_reduces_curve_value_calls_on_clustered_workload() {
+        let ps = clustered_points(400, 3, 49);
+        let w = vec![1.0 / 400.0; 400];
+        let kernel = Kernel::gaussian(0.5);
+        let eval = Evaluator::<Rect>::build(&ps, &w, kernel, BoundMethod::Karl, 8);
+        // 6 distinct clustered queries, each issued 4 times — the canned
+        // duplicate-heavy stream the memoization targets.
+        let base = clustered_points(6, 3, 50);
+        let queries: Vec<Vec<f64>> = (0..24).map(|i| base.point(i % 6).to_vec()).collect();
+
+        let mut on = Scratch::new();
+        let mut off = Scratch::new();
+        on.set_envelope_cache(true);
+        for q in &queries {
+            eval.run_with_scratch(q, Query::Ekaq { eps: 0.1 }, None, &mut on);
+            eval.run_with_scratch(q, Query::Ekaq { eps: 0.1 }, None, &mut off);
+        }
+        let stats_on = on.stats();
+        let stats_off = off.stats();
+
+        assert_eq!(stats_on.nodes_refined, stats_off.nodes_refined);
+        assert!(stats_on.cache_hits > 0, "duplicate queries must hit");
+        assert_eq!(stats_off.cache_hits, 0);
+        assert_eq!(stats_off.cache_misses, 0);
+        assert!(
+            stats_on.curve_value_calls < stats_off.curve_value_calls,
+            "cache on: {} value calls, off: {}",
+            stats_on.curve_value_calls,
+            stats_off.curve_value_calls
+        );
+        assert!(
+            stats_on.envelopes_built < stats_off.envelopes_built,
+            "hits must skip envelope construction"
+        );
+        assert_eq!(
+            stats_on.envelopes_built,
+            stats_on.cache_misses,
+            "with the cache on, every construction is a miss"
+        );
     }
 
     #[test]

@@ -58,9 +58,14 @@ pub mod stream;
 pub mod tuning;
 
 pub use batch::{resolve_threads, BatchOutcome, QueryBatch};
-pub use bounds::{node_bounds, node_bounds_frozen, BoundMethod, BoundPair, QueryContext};
+pub use bounds::{
+    assemble_interval, node_bounds, node_bounds_frozen, node_interval_frozen,
+    node_intervals_frozen, BoundMethod, BoundPair, NodeInterval, QueryContext,
+};
 pub use curve::{Curvature, Curve};
-pub use envelope::{envelope, Envelope, Line};
+pub use envelope::{envelope, envelope_parts, Envelope, EnvelopeCache, EnvelopeParts, Line};
+#[cfg(feature = "stats")]
+pub use eval::RunStats;
 pub use eval::{
     BallEvaluator, Engine, Evaluator, KdEvaluator, Query, RunOutcome, Scratch, TraceStep,
 };

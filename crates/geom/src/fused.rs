@@ -264,6 +264,89 @@ pub fn ball_ip<const AGG: bool>(q: &[f64], center: &[f64], a: &[f64]) -> (f64, f
     )
 }
 
+/// Batched [`rect_dist`] over a gathered frontier of node ids: for each
+/// `id` the node's `d`-dim slices are taken at offset `id * d` in the SoA
+/// buffers and the fused probe's `(mindist², maxdist², q·a)` triple is
+/// handed to `emit` in order. One call per frontier keeps the bound loop's
+/// geometry in a single tight pass; each per-node probe is the *same*
+/// scalar kernel, so the outputs are bitwise identical to calling
+/// [`rect_dist`] node by node.
+#[inline]
+pub fn rect_dist_nodes<const AGG: bool, F: FnMut(f64, f64, f64)>(
+    q: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    a: &[f64],
+    ids: &[u32],
+    mut emit: F,
+) {
+    let d = q.len();
+    for &id in ids {
+        let s = id as usize * d;
+        let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
+        let (mn, mx, qa) = rect_dist::<AGG>(q, &lo[s..s + d], &hi[s..s + d], an);
+        emit(mn, mx, qa);
+    }
+}
+
+/// Batched [`rect_ip`] over a gathered frontier; see [`rect_dist_nodes`].
+#[inline]
+pub fn rect_ip_nodes<const AGG: bool, F: FnMut(f64, f64, f64)>(
+    q: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    a: &[f64],
+    ids: &[u32],
+    mut emit: F,
+) {
+    let d = q.len();
+    for &id in ids {
+        let s = id as usize * d;
+        let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
+        let (mn, mx, qa) = rect_ip::<AGG>(q, &lo[s..s + d], &hi[s..s + d], an);
+        emit(mn, mx, qa);
+    }
+}
+
+/// Batched [`ball_dist`] over a gathered frontier: emits
+/// `(dist²(q, center), q·a)` per node id, bitwise identical to the
+/// per-node calls.
+#[inline]
+pub fn ball_dist_nodes<const AGG: bool, F: FnMut(f64, f64)>(
+    q: &[f64],
+    centers: &[f64],
+    a: &[f64],
+    ids: &[u32],
+    mut emit: F,
+) {
+    let d = q.len();
+    for &id in ids {
+        let s = id as usize * d;
+        let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
+        let (d2, qa) = ball_dist::<AGG>(q, &centers[s..s + d], an);
+        emit(d2, qa);
+    }
+}
+
+/// Batched [`ball_ip`] over a gathered frontier: emits `(q·center, q·a)`
+/// per node id, bitwise identical to the per-node calls.
+#[inline]
+pub fn ball_ip_nodes<const AGG: bool, F: FnMut(f64, f64)>(
+    q: &[f64],
+    centers: &[f64],
+    a: &[f64],
+    ids: &[u32],
+    mut emit: F,
+) {
+    let d = q.len();
+    for &id in ids {
+        let s = id as usize * d;
+        let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
+        let (qc, qa) = ball_ip::<AGG>(q, &centers[s..s + d], an);
+        emit(qc, qa);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +406,63 @@ mod tests {
             assert_eq!(qa2, qa);
             assert_eq!(ball_ip::<false>(&q, &c, &[]), (qc, 0.0));
         }
+    }
+
+    #[test]
+    fn batched_node_kernels_bitwise_match_per_node_calls() {
+        // Node-major SoA buffers for 5 fake nodes of dimension d, probed in
+        // a shuffled id order with repeats (a frontier may revisit bits of
+        // the array in any order).
+        let d = 7usize;
+        let nodes = 5usize;
+        let (q, _, _, _) = vectors(d);
+        let mut lo = Vec::with_capacity(nodes * d);
+        let mut hi = Vec::with_capacity(nodes * d);
+        let mut a = Vec::with_capacity(nodes * d);
+        for i in 0..nodes * d {
+            let t = i as f64 * 0.41;
+            lo.push(t.sin() * 2.0 - 1.0);
+            hi.push(t.sin() * 2.0 - 1.0 + (t.cos().abs() + 0.1));
+            a.push((t * 1.7).cos() * 3.0);
+        }
+        let ids: [u32; 7] = [3, 0, 4, 1, 1, 2, 0];
+
+        let mut got = Vec::new();
+        rect_dist_nodes::<true, _>(&q, &lo, &hi, &a, &ids, |mn, mx, qa| got.push((mn, mx, qa)));
+        for (k, &id) in ids.iter().enumerate() {
+            let s = id as usize * d;
+            let want = rect_dist::<true>(&q, &lo[s..s + d], &hi[s..s + d], &a[s..s + d]);
+            assert_eq!(got[k], want, "rect_dist_nodes id {id}");
+        }
+
+        let mut got = Vec::new();
+        rect_ip_nodes::<false, _>(&q, &lo, &hi, &[], &ids, |mn, mx, qa| got.push((mn, mx, qa)));
+        for (k, &id) in ids.iter().enumerate() {
+            let s = id as usize * d;
+            let want = rect_ip::<false>(&q, &lo[s..s + d], &hi[s..s + d], &[]);
+            assert_eq!(got[k], want, "rect_ip_nodes id {id}");
+        }
+
+        let mut got = Vec::new();
+        ball_dist_nodes::<true, _>(&q, &lo, &a, &ids, |d2, qa| got.push((d2, qa)));
+        for (k, &id) in ids.iter().enumerate() {
+            let s = id as usize * d;
+            let want = ball_dist::<true>(&q, &lo[s..s + d], &a[s..s + d]);
+            assert_eq!(got[k], want, "ball_dist_nodes id {id}");
+        }
+
+        let mut got = Vec::new();
+        ball_ip_nodes::<false, _>(&q, &lo, &[], &ids, |qc, qa| got.push((qc, qa)));
+        for (k, &id) in ids.iter().enumerate() {
+            let s = id as usize * d;
+            let want = ball_ip::<false>(&q, &lo[s..s + d], &[]);
+            assert_eq!(got[k], want, "ball_ip_nodes id {id}");
+        }
+
+        // Empty frontier: no emissions.
+        rect_dist_nodes::<true, _>(&q, &lo, &hi, &a, &[], |_, _, _| {
+            panic!("emit on empty frontier")
+        });
     }
 
     #[test]

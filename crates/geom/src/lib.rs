@@ -22,7 +22,10 @@ pub mod rect;
 
 pub use ball::Ball;
 pub use dist::{dist2, dot, norm2};
-pub use fused::{ball_dist, ball_ip, rect_dist, rect_ip};
+pub use fused::{
+    ball_dist, ball_dist_nodes, ball_ip, ball_ip_nodes, rect_dist, rect_dist_nodes, rect_ip,
+    rect_ip_nodes,
+};
 pub use points::PointSet;
 pub use rect::Rect;
 

@@ -189,6 +189,30 @@ impl FrozenTree {
         &self.weighted_sum[s..s + self.dims]
     }
 
+    /// Appends `id`'s children to `out` (left then right — the canonical
+    /// refinement order) and reports whether any were appended. The
+    /// branch-and-bound frontier pass gathers children through this helper
+    /// so the subsequent batched geometry kernels see one contiguous id
+    /// list per pop.
+    #[inline]
+    pub fn gather_children(&self, id: NodeId, out: &mut Vec<NodeId>) -> bool {
+        let l = self.left[id as usize];
+        if l == NO_CHILD {
+            false
+        } else {
+            out.push(l);
+            out.push(self.right[id as usize]);
+            true
+        }
+    }
+
+    /// The full node-major `a_R` aggregate buffer (`num_nodes × dims`),
+    /// for batched kernels that index it by node id themselves.
+    #[inline]
+    pub fn weighted_sums(&self) -> &[f64] {
+        &self.weighted_sum
+    }
+
     /// The packed shape buffers.
     #[inline]
     pub fn shapes(&self) -> &FrozenShapes {
@@ -279,6 +303,37 @@ mod tests {
             let s = id as usize * tree.dims();
             assert_eq!(&center[s..s + tree.dims()], node.shape.center());
             assert_eq!(radius[id as usize], node.shape.radius());
+        }
+    }
+
+    #[test]
+    fn gather_children_appends_left_then_right() {
+        let ps = random_points(200, 3, 14);
+        let tree = KdTree::build(ps, &vec![1.0; 200], 8);
+        let frozen = tree.freeze();
+        let mut out = Vec::new();
+        for (id, node) in tree.iter_nodes() {
+            out.clear();
+            out.push(999); // pre-existing content must be preserved
+            let gathered = frozen.gather_children(id, &mut out);
+            match node.children {
+                Some((l, r)) => {
+                    assert!(gathered);
+                    assert_eq!(out, vec![999, l, r]);
+                }
+                None => {
+                    assert!(!gathered);
+                    assert_eq!(out, vec![999]);
+                }
+            }
+        }
+        // The flat aggregate buffer matches the per-node slices.
+        for (id, _) in tree.iter_nodes() {
+            let s = id as usize * frozen.dims();
+            assert_eq!(
+                &frozen.weighted_sums()[s..s + frozen.dims()],
+                frozen.weighted_sum(id)
+            );
         }
     }
 

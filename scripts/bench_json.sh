@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Runs the PR-3 perf benches and records the merged results as JSON.
+# Runs the perf benches and records the merged results as JSON.
 #
-# Produces BENCH_PR3.json at the repo root with two sections plus host
+# Produces BENCH_PR4.json at the repo root with two sections plus host
 # metadata (available_parallelism, uname), so numbers from different
 # machines are interpretable:
 #
@@ -9,7 +9,9 @@
 #     (baseline) vs the default frozen engine, scratch reuse, and
 #     QueryBatch at 1/2/4/8 worker threads (eKAQ and TKAQ workloads);
 #   * frozen_bounds — per-node bound-kernel throughput (bounds/s),
-#     pointer vs frozen, kd and ball families, SOTA and KARL methods.
+#     pointer vs frozen, kd and ball families, SOTA and KARL methods,
+#     plus the envelope_micro section: envelopes/s for the direct
+#     builder vs a cold (all-miss) and a warm (all-hit) envelope cache.
 #
 # Usage: scripts/bench_json.sh [output.json]
 # Sizing overrides: KARL_BENCH_N (points), KARL_BENCH_QUERIES
@@ -20,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 # cargo bench runs the bench binary from the package directory, so make
 # the output path absolute before handing it over.
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 case "$out" in
     /*) ;;
     *) out="$(pwd)/$out" ;;
@@ -43,7 +45,7 @@ with open(os.path.join(tmpdir, "throughput_batch.json")) as f:
 with open(os.path.join(tmpdir, "frozen_bounds.json")) as f:
     bounds = json.load(f)
 merged = {
-    "bench": "BENCH_PR3",
+    "bench": "BENCH_PR4",
     "host": {
         # The Rust-side value is cgroup-aware; os.cpu_count() is not.
         "available_parallelism": throughput.get("available_parallelism"),

@@ -27,8 +27,15 @@ KARL_THREADS=4 cargo test -q --offline -p karl --test batch_equivalence
 echo "==> guard: frozen engine bitwise-identical to pointer at KARL_THREADS=4"
 KARL_THREADS=4 cargo test -q --offline -p karl --test frozen_equivalence
 
+echo "==> guard: envelope cache bitwise-neutral at KARL_THREADS=4"
+KARL_THREADS=4 cargo test -q --offline -p karl --test envelope_cache_equivalence
+
+echo "==> guard: run counters build and pass under --features stats"
+cargo test -q --offline -p karl-core --features stats
+cargo test -q --offline -p karl-cli --features stats
+
 echo "==> guard: release bench smoke (tiny workload, one pass)"
-# A minimal end-to-end run of both PR-3 bench binaries so a broken bench
+# A minimal end-to-end run of both bench binaries so a broken bench
 # can never merge green; sizes are tiny so this stays in CI budget.
 KARL_BENCH_N=2000 KARL_BENCH_QUERIES=64 KARL_BENCH_BOUND_QUERIES=4 \
     cargo bench -p karl-bench --features criterion-benches \

@@ -1,0 +1,149 @@
+//! The tentpole contract of the envelope memoization as a property: the
+//! cache is keyed on the exact bit patterns of `(curve, lo, hi, x̄)` and
+//! stores the exact bits the builder produced, so enabling it may not
+//! change a single output bit — not in the outcomes, not in the
+//! iteration counts, not in any refinement trace step.
+//!
+//! For random datasets, mixed-sign weights, both index families, every
+//! kernel and every query variant, this test runs a **duplicate-heavy**
+//! query stream (each query appears twice, so the cache actually hits)
+//! through three paths and demands bitwise identity:
+//!
+//! * the pointer engine (the differential-testing oracle, no cache),
+//! * a shared cache-**on** scratch (warm across the whole stream), and
+//! * a shared cache-**off** scratch,
+//!
+//! then replays the stream through [`QueryBatch`] at 1/2/4/8 threads with
+//! the cache toggled both ways.
+
+use karl::core::{BoundMethod, Engine, Evaluator, Kernel, Query, QueryBatch, RunOutcome, Scratch};
+use karl::geom::{Ball, PointSet, Rect};
+use karl::tree::NodeShape;
+use karl_testkit::rng::{Rng, SeedableRng, StdRng};
+use karl_testkit::{prop_assert, prop_assert_eq, props};
+
+/// Two Gaussian blobs plus a uniform background so refinement actually
+/// walks the tree (same shape as `frozen_equivalence.rs`).
+fn clustered(n: usize, d: usize, rng: &mut StdRng) -> PointSet {
+    let mut data = Vec::with_capacity(n * d);
+    for i in 0..n {
+        match i % 3 {
+            0 => data.extend((0..d).map(|_| -1.5 + rng.random_range(-0.4..0.4))),
+            1 => data.extend((0..d).map(|_| 1.5 + rng.random_range(-0.4..0.4))),
+            _ => data.extend((0..d).map(|_| rng.random_range(-3.0..3.0))),
+        }
+    }
+    PointSet::new(d, data)
+}
+
+fn mixed_weights(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let w: f64 = rng.random_range(0.1..1.5);
+            if rng.random_bool(0.35) {
+                -w
+            } else {
+                w
+            }
+        })
+        .collect()
+}
+
+/// Each of 8 distinct query points repeated twice, back to back — the
+/// repeat guarantees exact key collisions, which is what exercises the
+/// cache's hit path rather than just its insert path.
+fn duplicated_queries(d: usize, rng: &mut StdRng) -> PointSet {
+    let base = clustered(8, d, rng);
+    let mut data = Vec::with_capacity(16 * d);
+    for i in 0..16 {
+        data.extend_from_slice(base.point(i % 8));
+    }
+    PointSet::new(d, data)
+}
+
+/// Asserts cache-on / cache-off / pointer-oracle bitwise identity for one
+/// evaluator over a duplicate-heavy query stream: outcomes, traces, and
+/// batch execution at several thread counts under both cache settings.
+fn assert_cache_is_bitwise_neutral<S: NodeShape + Sync>(
+    eval: &Evaluator<S>,
+    queries: &PointSet,
+    query: Query,
+) {
+    let pointer: Vec<RunOutcome> = queries
+        .iter()
+        .map(|q| eval.run_query_on(Engine::Pointer, q, query, None))
+        .collect();
+
+    // Shared scratches: the cache-on one stays warm across the whole
+    // stream, so the second copy of every query hits entries the first
+    // copy inserted.
+    let mut on = Scratch::new();
+    on.set_envelope_cache(true);
+    let mut off = Scratch::new();
+    for (i, q) in queries.iter().enumerate() {
+        let with_cache = eval.run_with_scratch_on(Engine::Frozen, q, query, None, &mut on);
+        let without = eval.run_with_scratch_on(Engine::Frozen, q, query, None, &mut off);
+        prop_assert_eq!(with_cache, pointer[i]);
+        prop_assert_eq!(without, pointer[i]);
+    }
+
+    // Refinement traces, step by step, through the same warm scratches.
+    for q in queries.iter() {
+        let out_on = eval.trace_run_with_scratch_on(Engine::Frozen, q, query, &mut on);
+        let trace_on = on.trace().to_vec();
+        let out_off = eval.trace_run_with_scratch_on(Engine::Frozen, q, query, &mut off);
+        prop_assert_eq!(out_on, out_off);
+        prop_assert_eq!(&trace_on[..], off.trace());
+        prop_assert!(!trace_on.is_empty());
+    }
+
+    // Batch execution: both cache settings, several thread counts, all
+    // bitwise equal to the sequential pointer oracle.
+    for threads in [1usize, 2, 4, 8] {
+        for cache in [true, false] {
+            let batch = QueryBatch::new(queries, query)
+                .threads(threads)
+                .envelope_cache(cache)
+                .run(eval);
+            prop_assert_eq!(batch.outcomes(), &pointer[..]);
+        }
+    }
+}
+
+props! {
+    #[test]
+    fn envelope_cache_changes_no_bits(
+        seed in 0u64..1_000_000,
+        n in 30usize..170,
+        d in 1usize..9,
+        leaf in 1usize..24,
+        kernel_id in 0usize..4,
+        variant in 0usize..3
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sota = rng.random_bool(0.25);
+        let points = clustered(n, d, &mut rng);
+        let weights = mixed_weights(n, &mut rng);
+        let kernel = match kernel_id {
+            0 => Kernel::gaussian(rng.random_range(0.3..1.5)),
+            1 => Kernel::laplacian(rng.random_range(0.3..1.2)),
+            2 => Kernel::polynomial(rng.random_range(0.1..0.5), 0.2, 2),
+            _ => Kernel::sigmoid(rng.random_range(0.1..0.6), 0.1),
+        };
+        let query = match variant {
+            0 => Query::Tkaq { tau: rng.random_range(-0.5..0.5) },
+            1 => Query::Ekaq { eps: rng.random_range(0.01..0.4) },
+            _ => Query::Within { tol: rng.random_range(0.001..0.1) },
+        };
+        // The cache only matters for KARL bounds, but SOTA runs ride along
+        // to prove the toggle is inert there too.
+        let method = if sota { BoundMethod::Sota } else { BoundMethod::Karl };
+        let queries = duplicated_queries(d, &mut rng);
+
+        let kd = Evaluator::<Rect>::build(&points, &weights, kernel, method, leaf);
+        assert_cache_is_bitwise_neutral(&kd, &queries, query);
+
+        let ball = Evaluator::<Ball>::build(&points, &weights, kernel, method, leaf);
+        assert_cache_is_bitwise_neutral(&ball, &queries, query);
+    }
+}
