@@ -1,10 +1,11 @@
 //! Subcommand implementations.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use karl_core::{
-    AnyEvaluator, BoundMethod, Engine, IndexKind, Kernel, OfflineTuner, Query, QueryBatch, Scan,
+    AnyEvaluator, BoundMethod, Budget, Engine, IndexKind, Kernel, OfflineTuner, Query, QueryBatch,
+    Scan,
 };
 use karl_data::{
     by_name, load_csv, load_labeled_csv, load_libsvm, registry, save_csv, LabelColumn,
@@ -14,6 +15,7 @@ use karl_kde::scotts_gamma;
 use karl_svm::{load_model, save_model, CSvc, OneClassSvm, SvmType};
 
 use crate::args::Parsed;
+use crate::CmdOutput;
 
 type CmdResult = Result<String, String>;
 
@@ -155,7 +157,14 @@ pub fn kde(p: &Parsed) -> CmdResult {
 /// `--engine frozen|pointer` selects the evaluation index (default
 /// `frozen` — the SoA index with fused bound kernels); both engines and
 /// every thread count produce bitwise-identical answers.
-pub fn batch(p: &Parsed) -> CmdResult {
+///
+/// `--budget-nodes` / `--budget-leaf` / `--deadline-ms` bound each
+/// query's refinement; a query that trips a budget answers from the
+/// certified interval it reached (TKAQ prints `?` when the interval
+/// still straddles τ). Faults in individual queries are contained: the
+/// poisoned query gets an `# error` line, every other query keeps its
+/// exact bits, and [`CmdOutput::failed_queries`] counts the casualties.
+pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
     p.expect_flags(&[
         "data",
         "queries",
@@ -169,6 +178,9 @@ pub fn batch(p: &Parsed) -> CmdResult {
         "engine",
         "envelope-cache",
         "stats",
+        "budget-nodes",
+        "budget-leaf",
+        "deadline-ms",
     ])
     .map_err(|e| e.to_string())?;
     let data =
@@ -224,6 +236,31 @@ pub fn batch(p: &Parsed) -> CmdResult {
     if want_stats {
         return Err("--stats requires building karl-cli with the `stats` feature".into());
     }
+    let budget_nodes: Option<u64> = p
+        .get_parsed("budget-nodes", "a node count")
+        .map_err(|e| e.to_string())?;
+    let budget_leaf: Option<u64> = p
+        .get_parsed("budget-leaf", "a leaf-point count")
+        .map_err(|e| e.to_string())?;
+    let deadline_ms: Option<u64> = p
+        .get_parsed("deadline-ms", "milliseconds")
+        .map_err(|e| e.to_string())?;
+    let mut budget = Budget::unlimited();
+    if let Some(nodes) = budget_nodes {
+        if nodes == 0 {
+            return Err("--budget-nodes must be at least 1".into());
+        }
+        budget = budget.max_nodes(nodes);
+    }
+    if let Some(points) = budget_leaf {
+        if points == 0 {
+            return Err("--budget-leaf must be at least 1".into());
+        }
+        budget = budget.max_leaf_points(points);
+    }
+    if let Some(ms) = deadline_ms {
+        budget = budget.deadline(Duration::from_millis(ms));
+    }
 
     let n = data.len();
     let weights = vec![1.0 / n as f64; n];
@@ -237,48 +274,69 @@ pub fn batch(p: &Parsed) -> CmdResult {
     );
     let mut spec = QueryBatch::new(&queries, query)
         .engine(engine)
-        .envelope_cache(env_cache);
+        .envelope_cache(env_cache)
+        .budget(budget);
     if let Some(t) = threads {
         if t == 0 {
             return Err("--threads must be at least 1".into());
         }
         spec = spec.threads(t);
     }
-    let outcome = spec.run_any(&eval);
+    let report = spec.try_run_any(&eval).map_err(|e| e.to_string())?;
 
     let mut out = String::with_capacity(queries.len() * 8);
-    match query {
-        Query::Tkaq { .. } => {
-            for d in outcome.decisions() {
-                out.push_str(if d { "1\n" } else { "0\n" });
-            }
-        }
-        Query::Ekaq { .. } | Query::Within { .. } => {
-            for v in outcome.estimates() {
-                let _ = writeln!(out, "{v}");
+    let mut failed = 0usize;
+    for (i, result) in report.results().iter().enumerate() {
+        match result {
+            Ok(o) => match query {
+                Query::Tkaq { .. } if o.is_truncated() => out.push_str("?\n"),
+                Query::Tkaq { .. } => {
+                    out.push_str(if report.answer(o) == 1.0 { "1\n" } else { "0\n" });
+                }
+                Query::Ekaq { .. } | Query::Within { .. } => {
+                    let _ = writeln!(out, "{}", report.answer(o));
+                }
+            },
+            Err(e) => {
+                failed += 1;
+                let _ = writeln!(out, "# error query {i}: {e}");
             }
         }
     }
     let _ = writeln!(
         out,
         "# throughput {:.0} queries/s over {} points (gamma {:.4}, {:?}, leaf {leaf}, threads {}, engine {engine:?}, envelope-cache {})",
-        outcome.throughput(),
+        report.throughput(),
         n,
         gamma,
         method,
-        outcome.threads(),
+        report.threads(),
         if env_cache { "on" } else { "off" }
     );
+    let truncated = report.truncated_count();
+    if truncated > 0 {
+        let _ = writeln!(
+            out,
+            "# truncated {truncated} of {} queries answered from their certified interval at budget exhaustion",
+            report.len()
+        );
+    }
+    if failed > 0 {
+        let _ = writeln!(out, "# failed {failed} of {} queries", report.len());
+    }
     #[cfg(feature = "stats")]
     if want_stats {
-        let s = outcome.stats();
+        let s = report.stats();
         let _ = writeln!(
             out,
             "# stats nodes_refined {} envelopes_built {} cache_hits {} cache_misses {} curve_value_calls {}",
             s.nodes_refined, s.envelopes_built, s.cache_hits, s.cache_misses, s.curve_value_calls
         );
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        failed_queries: failed,
+    })
 }
 
 fn load_training(p: &Parsed) -> Result<(PointSet, Option<Vec<f64>>), String> {

@@ -31,12 +31,19 @@ commands:
   batch     --data FILE --queries FILE (--tau T | --eps E | --tol W)
             [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
             [--engine frozen|pointer] [--envelope-cache on|off] [--stats]
+            [--budget-nodes N] [--budget-leaf P] [--deadline-ms MS]
             parallel batch engine; KARL_THREADS env sets the default N;
             frozen (default) is the SoA index, bitwise equal to pointer;
             envelope-cache (default off) memoizes exact KARL envelopes,
             paying off when queries repeat — a pure perf switch, answers
             are bitwise identical either way;
-            --stats prints run counters (needs the `stats` build feature)
+            --stats prints run counters (needs the `stats` build feature);
+            budget flags bound each query's refinement (nodes refined,
+            leaf points scanned, wall-clock deadline) — queries that hit
+            a budget stop early and answer from the certified interval
+            they reached (TKAQ prints '?' when still undecided); a
+            contained per-query failure prints an '# error' line and the
+            process exits 2 (0 = clean, 1 = command error)
   svm-train --data FILE --svm csvc|oneclass --out MODEL
             [--format csv-last|csv-first|libsvm] [--c C] [--nu NU]
             [--kernel rbf|poly|sigmoid|laplacian] [--gamma G]
@@ -47,21 +54,50 @@ commands:
             [--method karl|sota]
 ";
 
-/// Entry point: parses `args`, dispatches, and returns the stdout payload.
-pub fn run(args: &[String]) -> Result<String, String> {
+/// Output of one CLI invocation: the stdout payload plus how many
+/// individual queries failed inside an otherwise-successful `batch`
+/// command (always `0` for the other commands). The binary maps a
+/// nonzero `failed_queries` to exit code 2 so scripts can tell a
+/// partially-poisoned batch from a clean run without parsing stdout.
+#[derive(Debug, Clone)]
+pub struct CmdOutput {
+    /// What to print on stdout.
+    pub text: String,
+    /// Per-query failures contained by the batch engine.
+    pub failed_queries: usize,
+}
+
+impl CmdOutput {
+    fn clean(text: String) -> Self {
+        CmdOutput {
+            text,
+            failed_queries: 0,
+        }
+    }
+}
+
+/// Entry point: parses `args`, dispatches, and returns the stdout payload
+/// plus the count of contained per-query failures.
+pub fn run_report(args: &[String]) -> Result<CmdOutput, String> {
     let parsed = Parsed::parse(args).map_err(|e| e.to_string())?;
     match parsed.command.as_deref() {
+        Some("batch") => return commands::batch(&parsed),
         Some("datasets") => commands::datasets(&parsed),
         Some("generate") => commands::generate(&parsed),
         Some("kde") => commands::kde(&parsed),
-        Some("batch") => commands::batch(&parsed),
         Some("svm-train") => commands::svm_train(&parsed),
         Some("svm-predict") => commands::svm_predict(&parsed),
         Some("tune") => commands::tune(&parsed),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
-    .map_err(|e| e.to_string())
+    .map(CmdOutput::clean)
+}
+
+/// Entry point returning only the stdout payload — what the test suite
+/// and embedding callers use when they do not care about exit codes.
+pub fn run(args: &[String]) -> Result<String, String> {
+    run_report(args).map(|o| o.text)
 }
 
 #[cfg(test)]
@@ -393,6 +429,123 @@ mod tests {
         let values: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(values.len(), 300);
         assert!(values.iter().all(|v| v.parse::<f64>().unwrap().is_finite()));
+    }
+
+    #[test]
+    fn batch_budget_flags_truncate_and_stay_finite() {
+        let data = tmp("batch_budget.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "500",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let base = &[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--tol",
+            "0.0001",
+            "--threads",
+            "2",
+        ];
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        // A 1-node budget truncates: answers are still printed (the
+        // certified-interval midpoints), all finite, plus a summary line.
+        let mut tight = base.to_vec();
+        tight.extend_from_slice(&["--budget-nodes", "1"]);
+        let truncated = run_vec(&tight).unwrap();
+        assert!(truncated.lines().any(|l| l.starts_with("# truncated")));
+        let values = strip(&truncated);
+        assert_eq!(values.len(), 500);
+        assert!(values.iter().all(|v| v.parse::<f64>().unwrap().is_finite()));
+        // A generous budget never trips: byte-identical answers to the
+        // unbudgeted run and no truncation summary.
+        let mut roomy = base.to_vec();
+        roomy.extend_from_slice(&["--budget-nodes", "100000000"]);
+        let unbudgeted = run_vec(base).unwrap();
+        let budgeted = run_vec(&roomy).unwrap();
+        assert_eq!(strip(&unbudgeted), strip(&budgeted));
+        assert!(!budgeted.lines().any(|l| l.starts_with("# truncated")));
+        // Zero budgets are rejected up front.
+        let mut zero = base.to_vec();
+        zero.extend_from_slice(&["--budget-nodes", "0"]);
+        assert!(run_vec(&zero).unwrap_err().contains("--budget-nodes"));
+    }
+
+    #[test]
+    fn batch_zero_deadline_prints_undecided_tkaq() {
+        let data = tmp("batch_deadline.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "300",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_vec(&[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--tau",
+            "0.05",
+            "--deadline-ms",
+            "0",
+        ])
+        .unwrap();
+        // Every query stops at the root interval; a decision may still
+        // fall out when the root bound already clears τ, but each line is
+        // one of the three legal answers and the run reports truncation.
+        let answers: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(answers.len(), 300);
+        assert!(answers.iter().all(|&a| a == "1" || a == "0" || a == "?"));
+        assert!(out.lines().any(|l| l.starts_with("# truncated")));
+    }
+
+    #[test]
+    fn batch_reports_zero_failed_queries_on_healthy_runs() {
+        let data = tmp("batch_report.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "200",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let args: Vec<String> = [
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let report = run_report(&args).unwrap();
+        assert_eq!(report.failed_queries, 0);
+        assert!(!report.text.contains("# error"));
     }
 
     #[test]

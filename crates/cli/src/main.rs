@@ -1,13 +1,26 @@
 //! `karl` — the command-line face of the library.
+//!
+//! Exit codes: `0` on a clean run, `1` on a command error (bad flags,
+//! unreadable files, invalid parameters), `2` when the batch engine
+//! contained per-query failures — the healthy answers are still printed,
+//! poisoned queries get `# error` lines.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match karl_cli::run(&args) {
-        Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+    match karl_cli::run_report(&args) {
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.failed_queries > 0 {
+                eprintln!(
+                    "warning: {} queries failed (see '# error' lines above)",
+                    out.failed_queries
+                );
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -45,9 +45,12 @@ use std::time::{Duration, Instant};
 use karl_geom::PointSet;
 use karl_tree::NodeShape;
 
+use crate::error::{self, KarlError};
 #[cfg(feature = "stats")]
 use crate::eval::RunStats;
-use crate::eval::{decide_tkaq, estimate_ekaq, Engine, Evaluator, Query, RunOutcome, Scratch};
+use crate::eval::{
+    decide_tkaq, estimate_ekaq, Budget, Engine, Evaluator, Outcome, Query, RunOutcome, Scratch,
+};
 use crate::tuning::AnyEvaluator;
 
 /// Queries are handed to workers in index chunks of this size: large enough
@@ -92,28 +95,34 @@ pub struct QueryBatch<'a> {
     level_cap: Option<u16>,
     engine: Engine,
     env_cache: bool,
+    budget: Budget,
 }
 
 impl<'a> QueryBatch<'a> {
     /// Creates a batch of `queries` all answering `query`.
     ///
     /// # Panics
-    /// Panics if the query's budget parameter is invalid (`eps <= 0` or
-    /// `tol <= 0`) — validated here once instead of per query.
+    /// Panics if the query's parameter is invalid (non-finite `τ`,
+    /// `eps <= 0` or `tol <= 0`) — validated here once instead of per
+    /// query. Use [`try_new`](Self::try_new) for a typed rejection.
     pub fn new(queries: &'a PointSet, query: Query) -> Self {
-        match query {
-            Query::Ekaq { eps } => assert!(eps > 0.0, "eps must be positive"),
-            Query::Within { tol } => assert!(tol > 0.0, "tol must be positive"),
-            Query::Tkaq { .. } => {}
-        }
-        Self {
+        Self::try_new(queries, query).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: rejects invalid query parameters with a
+    /// typed [`KarlError`] (`InvalidTau` / `InvalidEps` / `InvalidTol`)
+    /// instead of panicking.
+    pub fn try_new(queries: &'a PointSet, query: Query) -> Result<Self, KarlError> {
+        error::validate_spec(query)?;
+        Ok(Self {
             queries,
             query,
             threads: None,
             level_cap: None,
             engine: Engine::default(),
             env_cache: false,
-        }
+            budget: Budget::UNLIMITED,
+        })
     }
 
     /// Overrides the worker count (otherwise `KARL_THREADS` /
@@ -153,6 +162,16 @@ impl<'a> QueryBatch<'a> {
         self
     }
 
+    /// Applies a per-query refinement [`Budget`] (default unlimited).
+    /// Budgets are honored by [`try_run`](Self::try_run); queries that
+    /// exhaust theirs report `Outcome::Truncated` with the certified
+    /// interval at stop time. The legacy [`run`](Self::run) predates
+    /// budgets and panics if one is set.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Evaluates the batch against `eval`.
     ///
     /// Dimensionality is validated **once here for the whole batch**; the
@@ -167,6 +186,10 @@ impl<'a> QueryBatch<'a> {
             self.queries.dims(),
             eval.dims(),
             "query dimensionality mismatch"
+        );
+        assert!(
+            self.budget.is_unlimited(),
+            "budgeted batches must use try_run (run cannot represent truncated outcomes)"
         );
         let n = self.queries.len();
         let threads = resolve_threads(self.threads).min(n.max(1));
@@ -215,6 +238,185 @@ impl<'a> QueryBatch<'a> {
             AnyEvaluator::Kd(e) => self.run(e),
             AnyEvaluator::Ball(e) => self.run(e),
         }
+    }
+
+    /// Fault-contained batch evaluation: every query runs through the
+    /// validated, budget-aware entry point inside `catch_unwind`, so one
+    /// poisoned query (non-finite point, or a panic in the refinement
+    /// loop) yields an `Err` in **its own result slot** while every other
+    /// query completes normally — with outcomes bitwise identical to an
+    /// all-healthy run.
+    ///
+    /// A worker whose query panicked discards its [`Scratch`] (the
+    /// buffers may hold partially-updated state) and continues the batch
+    /// with a fresh one; [`BatchReport::quarantined`] counts how often
+    /// that happened. Batch-level defects — mismatched dimensionality,
+    /// an invalid query spec — fail the whole call instead.
+    pub fn try_run<S: NodeShape + Sync>(
+        &self,
+        eval: &Evaluator<S>,
+    ) -> Result<BatchReport, KarlError> {
+        if self.queries.dims() != eval.dims() {
+            return Err(KarlError::DimMismatch {
+                expected: eval.dims(),
+                got: self.queries.dims(),
+            });
+        }
+        error::validate_spec(self.query)?;
+        let n = self.queries.len();
+        let threads = resolve_threads(self.threads).min(n.max(1));
+        let start = Instant::now();
+        let (results, scratches, quarantined) = if threads <= 1 {
+            let mut scratch = Scratch::new();
+            scratch.set_envelope_cache(self.env_cache);
+            let mut quarantined = 0usize;
+            let out = (0..n)
+                .map(|i| self.run_one_contained(eval, i, &mut scratch, &mut quarantined))
+                .collect();
+            (out, vec![scratch], quarantined)
+        } else {
+            self.try_run_parallel(eval, n, threads)
+        };
+        let elapsed = start.elapsed();
+        #[cfg(feature = "stats")]
+        let stats = {
+            let mut s = RunStats::default();
+            for sc in &scratches {
+                s.merge(&sc.stats());
+            }
+            s
+        };
+        let _ = scratches;
+        Ok(BatchReport {
+            query: self.query,
+            threads,
+            elapsed,
+            results,
+            quarantined,
+            #[cfg(feature = "stats")]
+            stats,
+        })
+    }
+
+    /// [`try_run`](Self::try_run) over a runtime-dispatched evaluator.
+    pub fn try_run_any(&self, eval: &AnyEvaluator) -> Result<BatchReport, KarlError> {
+        match eval {
+            AnyEvaluator::Kd(e) => self.try_run(e),
+            AnyEvaluator::Ball(e) => self.try_run(e),
+        }
+    }
+
+    /// Evaluates query `i` with panic containment. On a panic the scratch
+    /// is quarantined — replaced wholesale rather than reused — because an
+    /// unwind can leave its buffers in a partially-updated state.
+    fn run_one_contained<S: NodeShape + Sync>(
+        &self,
+        eval: &Evaluator<S>,
+        i: usize,
+        scratch: &mut Scratch,
+        quarantined: &mut usize,
+    ) -> Result<Outcome, KarlError> {
+        // AssertUnwindSafe audit: the closure mutates only `scratch`, and
+        // the catch arm below discards that scratch instead of reusing it,
+        // so no broken invariant can escape the unwind.
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-inject")]
+            match crate::fault::planned(i) {
+                Some(crate::fault::Fault::Panic) => panic!("injected fault at query {i}"),
+                Some(crate::fault::Fault::Nan) => {
+                    let nan_q = vec![f64::NAN; self.queries.dims()];
+                    return eval.run_budgeted_with_scratch_on(
+                        self.engine,
+                        &nan_q,
+                        self.query,
+                        self.level_cap,
+                        &self.budget,
+                        scratch,
+                    );
+                }
+                None => {}
+            }
+            eval.run_budgeted_with_scratch_on(
+                self.engine,
+                self.queries.point(i),
+                self.query,
+                self.level_cap,
+                &self.budget,
+                scratch,
+            )
+        }));
+        match attempt {
+            Ok(result) => result,
+            Err(payload) => {
+                *scratch = Scratch::new();
+                scratch.set_envelope_cache(self.env_cache);
+                *quarantined += 1;
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(KarlError::QueryPanicked { index: i, message })
+            }
+        }
+    }
+
+    fn try_run_parallel<S: NodeShape + Sync>(
+        &self,
+        eval: &Evaluator<S>,
+        n: usize,
+        threads: usize,
+    ) -> (Vec<Result<Outcome, KarlError>>, Vec<Scratch>, usize) {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = Scratch::new();
+                        scratch.set_envelope_cache(self.env_cache);
+                        let mut quarantined = 0usize;
+                        let mut local: Vec<(usize, Result<Outcome, KarlError>)> =
+                            Vec::with_capacity(n / threads + CHUNK);
+                        loop {
+                            let lo = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                            if lo >= n {
+                                break;
+                            }
+                            let hi = (lo + CHUNK).min(n);
+                            for i in lo..hi {
+                                let r = self.run_one_contained(
+                                    eval,
+                                    i,
+                                    &mut scratch,
+                                    &mut quarantined,
+                                );
+                                local.push((i, r));
+                            }
+                            scratch.reset_with_capacity_cap(SCRATCH_CAP);
+                        }
+                        (local, scratch, quarantined)
+                    })
+                })
+                .collect();
+            let mut out: Vec<Result<Outcome, KarlError>> = Vec::with_capacity(n);
+            out.resize_with(n, || Err(KarlError::EmptyPoints));
+            let mut scratches = Vec::with_capacity(threads);
+            let mut quarantined = 0usize;
+            for w in workers {
+                // Worker threads never panic for query-level faults —
+                // those are contained per slot — so this join only fails
+                // on harness-level bugs.
+                let (local, scratch, q) = w.join().expect("batch worker panicked");
+                for (i, r) in local {
+                    out[i] = r;
+                }
+                scratches.push(scratch);
+                quarantined += q;
+            }
+            (out, scratches, quarantined)
+        })
     }
 
     fn run_parallel<S: NodeShape + Sync>(
@@ -385,6 +587,127 @@ impl BatchOutcome {
             .iter()
             .map(|o| (0.5 * (o.lb + o.ub), 0.5 * (o.ub - o.lb).max(0.0)))
             .collect()
+    }
+}
+
+/// Result of a fault-contained [`QueryBatch::try_run`]: one
+/// `Result<Outcome, KarlError>` per query, in query order. Healthy
+/// queries carry the same bits they would in an all-healthy run; poisoned
+/// queries carry the error that took them down.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    query: Query,
+    threads: usize,
+    elapsed: Duration,
+    results: Vec<Result<Outcome, KarlError>>,
+    quarantined: usize,
+    #[cfg(feature = "stats")]
+    stats: RunStats,
+}
+
+impl BatchReport {
+    /// Per-query results, in query order.
+    pub fn results(&self) -> &[Result<Outcome, KarlError>] {
+        &self.results
+    }
+
+    /// The query specification the batch answered.
+    pub fn query(&self) -> Query {
+        self.query
+    }
+
+    /// Worker threads the run actually used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Wall-clock time of the run.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// How many times a worker discarded its scratch after containing a
+    /// panic (at most once per failed query).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the batch held no queries.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Indices of the queries that failed, in query order.
+    pub fn failed_indices(&self) -> Vec<usize> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_err().then_some(i))
+            .collect()
+    }
+
+    /// Number of queries that completed (possibly truncated) successfully.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Whether any query failed.
+    pub fn has_failures(&self) -> bool {
+        self.results.iter().any(|r| r.is_err())
+    }
+
+    /// Number of queries whose budget tripped before termination.
+    pub fn truncated_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r, Ok(o) if o.is_truncated()))
+            .count()
+    }
+
+    /// Queries answered per second.
+    pub fn throughput(&self) -> f64 {
+        self.results.len() as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Scalar answer for one successful outcome under this batch's query
+    /// spec, bit-for-bit equal to [`BatchOutcome::estimates`] on complete
+    /// outcomes. Truncated outcomes degrade to the certified-interval
+    /// midpoint (eKAQ / Within) or to the midpoint decision (TKAQ — use
+    /// [`Outcome::is_truncated`] to tell an honest decision apart).
+    pub fn answer(&self, out: &Outcome) -> f64 {
+        match (*out, self.query) {
+            (Outcome::Complete(run), Query::Tkaq { tau }) => {
+                if decide_tkaq(&run, tau) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (Outcome::Truncated { lb, ub, .. }, Query::Tkaq { tau }) => {
+                if 0.5 * (lb + ub) >= tau {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (Outcome::Complete(run), Query::Ekaq { .. }) => estimate_ekaq(&run),
+            (Outcome::Complete(run), Query::Within { .. }) => 0.5 * (run.lb + run.ub),
+            (Outcome::Truncated { lb, ub, .. }, Query::Ekaq { .. } | Query::Within { .. }) => {
+                0.5 * (lb + ub)
+            }
+        }
+    }
+
+    /// Run counters summed across all workers (behind the `stats`
+    /// feature).
+    #[cfg(feature = "stats")]
+    pub fn stats(&self) -> RunStats {
+        self.stats
     }
 }
 

@@ -71,21 +71,55 @@ pub fn node_bounds<S: BoundingShape>(
     assemble(method, kernel.curve(), w, lo, hi, x_agg)
 }
 
+/// Constant (SOTA) bound pair `w · [fmin, fmax]`, saturating an overflow
+/// to the finite range only when one actually happens — same rationale
+/// as `finish_karl`'s overflow path, same bits on finite products.
+#[inline]
+fn sota_pair(w: f64, (fmin, fmax): (f64, f64)) -> BoundPair {
+    let lb = w * fmin;
+    let ub = w * fmax;
+    if lb.is_finite() && ub.is_finite() {
+        return BoundPair { lb, ub };
+    }
+    BoundPair {
+        lb: lb.clamp(-f64::MAX, f64::MAX),
+        ub: ub.clamp(-f64::MAX, f64::MAX),
+    }
+}
+
 /// Aggregates one node's envelope parts into the final KARL `[LB, UB]`
 /// pair: evaluate the linear bounds at the aggregate `(X, W)` and clamp
 /// with the constant bounds carried in the same parts.
 #[inline]
 fn finish_karl(parts: &EnvelopeParts, w: f64, x_agg: f64) -> BoundPair {
-    let (sota_lb, sota_ub) = (w * parts.fmin, w * parts.fmax);
+    let sota_lb = w * parts.fmin;
+    let sota_ub = w * parts.fmax;
     let lb = parts.env.lower.m * x_agg + parts.env.lower.c * w;
     let ub = parts.env.upper.m * x_agg + parts.env.upper.c * w;
     // The linear bounds are provably tighter on convex intervals
     // (Lemmas 3-4); on the mixed intervals of Section IV-B the
     // endpoint-anchored lines can overshoot the constant bounds at
     // the far endpoint, so take the tighter of the two for free.
-    BoundPair {
+    let out = BoundPair {
         lb: lb.max(sota_lb),
         ub: ub.min(sota_ub),
+    };
+    if out.lb.is_finite() && out.ub.is_finite() {
+        // Fast path: exactly the pre-saturation arithmetic, bit for bit.
+        // IEEE max/min prefer the non-NaN operand, so a NaN linear bound
+        // (from `0 · ±inf`) already fell back to the constant bound here.
+        return out;
+    }
+    // Overflow path. ±inf per-node bounds would poison the evaluator's
+    // subtract-re-add accounting with `inf − inf = NaN`, so saturate the
+    // constant bounds to the finite range; a non-finite linear bound
+    // (±inf from an overflowed aggregate `X`) says nothing — fall back
+    // to the constant bound alone.
+    let sota_lb = sota_lb.clamp(-f64::MAX, f64::MAX);
+    let sota_ub = sota_ub.clamp(-f64::MAX, f64::MAX);
+    BoundPair {
+        lb: if lb.is_finite() { lb.max(sota_lb) } else { sota_lb },
+        ub: if ub.is_finite() { ub.min(sota_ub) } else { sota_ub },
     }
 }
 
@@ -96,13 +130,7 @@ fn finish_karl(parts: &EnvelopeParts, w: f64, x_agg: f64) -> BoundPair {
 #[inline]
 fn assemble(method: BoundMethod, curve: Curve, w: f64, lo: f64, hi: f64, x_agg: f64) -> BoundPair {
     match method {
-        BoundMethod::Sota => {
-            let (fmin, fmax) = curve.range(lo, hi);
-            BoundPair {
-                lb: w * fmin,
-                ub: w * fmax,
-            }
-        }
+        BoundMethod::Sota => sota_pair(w, curve.range(lo, hi)),
         BoundMethod::Karl => finish_karl(&envelope_parts(curve, lo, hi, x_agg / w), w, x_agg),
     }
 }
@@ -431,13 +459,7 @@ pub fn assemble_interval(
         return BoundPair { lb: 0.0, ub: 0.0 };
     }
     match method {
-        BoundMethod::Sota => {
-            let (fmin, fmax) = curve.range(iv.lo, iv.hi);
-            BoundPair {
-                lb: w * fmin,
-                ub: w * fmax,
-            }
-        }
+        BoundMethod::Sota => sota_pair(w, curve.range(iv.lo, iv.hi)),
         BoundMethod::Karl => {
             let xbar = iv.x_agg / w;
             let parts = if use_cache {

@@ -275,14 +275,56 @@ fn anchored_or_chord(
 pub fn envelope_parts(curve: Curve, lo: f64, hi: f64, xbar: f64) -> EnvelopeParts {
     assert!(lo <= hi, "envelope interval inverted: [{lo}, {hi}]");
     assert!(
-        lo.is_finite() && hi.is_finite() && !xbar.is_nan(),
-        "non-finite envelope inputs"
+        !lo.is_nan() && !hi.is_nan() && !xbar.is_nan(),
+        "NaN envelope inputs"
     );
+    // An extreme γ (or a far-away node) can overflow the scalar interval
+    // itself: `γ·dist²`/`γ·⟨q,p⟩+β` → ±inf. Saturate to the representable
+    // range — every curve here is monotone toward its limits on the
+    // clamped stretch, so the values at ±f64::MAX enclose the values at
+    // ±inf within f64 arithmetic (and endpoint-value overflow is handled
+    // by the constant-envelope branch below). Bitwise no-op on the finite
+    // intervals of ordinary workloads.
+    let (lo, hi) = if -f64::MAX <= lo && hi <= f64::MAX {
+        (lo, hi) // finite interval: the common case, untouched
+    } else {
+        (lo.clamp(-f64::MAX, f64::MAX), hi.clamp(-f64::MAX, f64::MAX))
+    };
     #[cfg(feature = "stats")]
     stats::bump_built();
     let flo = curve.value(lo);
     let fhi = curve.value(hi);
     let (fmin, fmax) = range_from_values(curve, lo, hi, flo, fhi);
+    // Overflow saturation: a huge `|γ·x + β|` pushes the endpoint values
+    // of a polynomial/sigmoid curve past f64 range. A chord or tangent
+    // through an infinite endpoint is useless — its line evaluates to
+    // NaN/±inf, and ±inf per-node bounds poison the evaluator's
+    // subtract-re-add accounting (`inf − inf = NaN`). A *constant*
+    // envelope at the curve's (saturated) range is still a valid
+    // enclosure of every finitely-representable curve value on the
+    // interval, so truncate the infinities to ±f64::MAX and fall back to
+    // range bounds. NaN range endpoints (from inf-valued arithmetic in
+    // the range reduction) widen to the full representable range.
+    if !(flo.is_finite() && fhi.is_finite()) {
+        let lo_c = if fmin.is_nan() {
+            -f64::MAX
+        } else {
+            fmin.clamp(-f64::MAX, f64::MAX)
+        };
+        let hi_c = if fmax.is_nan() {
+            f64::MAX
+        } else {
+            fmax.clamp(-f64::MAX, f64::MAX)
+        };
+        return EnvelopeParts {
+            env: Envelope {
+                lower: Line { m: 0.0, c: lo_c },
+                upper: Line { m: 0.0, c: hi_c },
+            },
+            fmin: lo_c,
+            fmax: hi_c,
+        };
+    }
     // Degenerate interval: the node's points all map to (almost) one scalar;
     // the constant range bounds are exact and always valid.
     if hi - lo <= 1e-13 * (1.0 + lo.abs().max(hi.abs())) {
@@ -899,6 +941,27 @@ mod tests {
         let cached = cache.get_or_build(Curve::Tanh, -1.0, 2.0, 0.5);
         assert_eq!(parts_bits(&cached), parts_bits(&direct));
         assert_eq!(cache.capacity(), CACHE_INITIAL_SLOTS);
+    }
+
+    #[test]
+    fn overflow_saturates_to_finite_constant_envelope() {
+        // x³ at x = 6e102 overflows f64: the old chord/tangent through the
+        // infinite endpoint produced ±inf/NaN lines that poisoned every
+        // downstream interval. The saturated branch must emit a *finite*
+        // constant envelope that still encloses every representable curve
+        // value on the interval.
+        let curve = Curve::PowInt { degree: 3 };
+        let parts = envelope_parts(curve, 0.0, 6e102, 3e102);
+        assert!(parts.fmin.is_finite() && parts.fmax.is_finite());
+        assert_eq!(parts.env.lower.m, 0.0);
+        assert_eq!(parts.env.upper.m, 0.0);
+        // Pointwise validity at interior points whose value is finite.
+        for x in [0.0, 1.0, 3e102] {
+            let v = curve.value(x);
+            assert!(v.is_finite(), "probe value overflowed at {x}");
+            assert!(parts.env.lower.m * x + parts.env.lower.c <= v);
+            assert!(parts.env.upper.m * x + parts.env.upper.c >= v);
+        }
     }
 
     karl_testkit::props! {

@@ -18,6 +18,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
 
 use karl_geom::{norm2, PointSet};
 use karl_tree::{FrozenTree, NodeId, NodeShape, Tree};
@@ -27,6 +28,7 @@ use crate::bounds::{
     QueryContext,
 };
 use crate::envelope::EnvelopeCache;
+use crate::error::{self, KarlError};
 use crate::kernel::Kernel;
 
 /// Which evaluation index [`Evaluator`] routes a query through.
@@ -89,6 +91,226 @@ pub struct RunOutcome {
     pub ub: f64,
     /// Number of refinement iterations executed.
     pub iterations: usize,
+}
+
+/// How often the amortized wall-clock deadline is consulted: every this
+/// many refinement iterations. `Instant::now()` is a vDSO call, but even
+/// so one syscall-ish probe per node refinement would dominate cheap
+/// queries; one probe per 64 refinements bounds overshoot to a few
+/// microseconds of refinement work while keeping the deadline honest.
+const DEADLINE_STRIDE: usize = 64;
+
+/// A work/time budget for the refinement loop.
+///
+/// The branch-and-bound loop maintains a certified `[lb, ub]` at every
+/// iteration, so it can stop *anywhere* and still return a sound interval.
+/// A `Budget` caps the loop by refined-node count, by leaf points scanned,
+/// and/or by an amortized wall-clock deadline (checked every
+/// [`DEADLINE_STRIDE`] refinements; `Instant::now` is only ever called
+/// when a deadline is set). Exhaustion yields
+/// [`Outcome::Truncated`] carrying the interval at stop time; whenever the
+/// budget is *not* hit, results are bitwise identical to the unbudgeted
+/// entry points.
+///
+/// Truncation granularity: the budget is consulted at the top of the loop,
+/// so the final refinement before the stop completes in full (one node, or
+/// one leaf scan) — a run may slightly overshoot `max_leaf_points` by up
+/// to one leaf.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    max_nodes: Option<u64>,
+    max_leaf_points: Option<u64>,
+    deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// The no-op budget: never truncates.
+    pub const UNLIMITED: Budget = Budget {
+        max_nodes: None,
+        max_leaf_points: None,
+        deadline: None,
+    };
+
+    /// A budget with no caps (same as [`Budget::UNLIMITED`]).
+    pub fn unlimited() -> Self {
+        Self::UNLIMITED
+    }
+
+    /// Caps the number of refined nodes (heap pops).
+    pub fn max_nodes(mut self, n: u64) -> Self {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    /// Caps the number of leaf points scanned exactly.
+    pub fn max_leaf_points(mut self, n: u64) -> Self {
+        self.max_leaf_points = Some(n);
+        self
+    }
+
+    /// Sets an amortized wall-clock deadline for the refinement loop.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Whether no cap is set (the hot loop skips all checks).
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_nodes.is_none() && self.max_leaf_points.is_none() && self.deadline.is_none()
+    }
+
+    /// Consults the caps; called at the top of the refinement loop, after
+    /// the termination test and before the next heap pop.
+    #[inline]
+    fn check(
+        &self,
+        iterations: usize,
+        leaf_points: u64,
+        deadline_start: &mut Option<Instant>,
+    ) -> Option<TruncateReason> {
+        if let Some(max) = self.max_nodes {
+            if iterations as u64 >= max {
+                return Some(TruncateReason::NodeBudget);
+            }
+        }
+        if let Some(max) = self.max_leaf_points {
+            if leaf_points >= max {
+                return Some(TruncateReason::LeafBudget);
+            }
+        }
+        if let Some(limit) = self.deadline {
+            if iterations.is_multiple_of(DEADLINE_STRIDE) {
+                let start = *deadline_start.get_or_insert_with(Instant::now);
+                if start.elapsed() >= limit {
+                    return Some(TruncateReason::Deadline);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Which budget cap stopped a truncated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncateReason {
+    /// `max_nodes` refined nodes were spent.
+    NodeBudget,
+    /// `max_leaf_points` leaf points were scanned.
+    LeafBudget,
+    /// The wall-clock deadline elapsed.
+    Deadline,
+}
+
+impl std::fmt::Display for TruncateReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TruncateReason::NodeBudget => write!(f, "node budget exhausted"),
+            TruncateReason::LeafBudget => write!(f, "leaf-point budget exhausted"),
+            TruncateReason::Deadline => write!(f, "deadline elapsed"),
+        }
+    }
+}
+
+/// Result of a budgeted run: either the query ran to its normal
+/// termination, or the budget stopped it with a still-certified interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// The query terminated normally; bitwise identical to the unbudgeted
+    /// [`RunOutcome`].
+    Complete(RunOutcome),
+    /// The budget ran out first. `[lb, ub]` is the certified interval at
+    /// stop time — it encloses the exact aggregate, it is just wider than
+    /// the query asked for.
+    Truncated {
+        /// Certified global lower bound at stop time.
+        lb: f64,
+        /// Certified global upper bound at stop time.
+        ub: f64,
+        /// Which cap fired.
+        reason: TruncateReason,
+    },
+}
+
+impl Outcome {
+    /// Certified lower bound (either variant).
+    pub fn lb(&self) -> f64 {
+        match *self {
+            Outcome::Complete(out) => out.lb,
+            Outcome::Truncated { lb, .. } => lb,
+        }
+    }
+
+    /// Certified upper bound (either variant).
+    pub fn ub(&self) -> f64 {
+        match *self {
+            Outcome::Complete(out) => out.ub,
+            Outcome::Truncated { ub, .. } => ub,
+        }
+    }
+
+    /// Whether the budget stopped the run.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, Outcome::Truncated { .. })
+    }
+
+    /// The truncation reason, if any.
+    pub fn reason(&self) -> Option<TruncateReason> {
+        match *self {
+            Outcome::Complete(_) => None,
+            Outcome::Truncated { reason, .. } => Some(reason),
+        }
+    }
+}
+
+/// Answer of a budgeted threshold query: decided, or the certified
+/// interval straddling `τ` when the budget ran out first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TkaqDecision {
+    /// The bounds decided the threshold before the budget ran out.
+    Decided(bool),
+    /// Budget exhausted with `lb < τ ≤ ub`: honest "don't know yet",
+    /// carrying the certified interval so the caller can resume or decide
+    /// by policy.
+    Undecided {
+        /// Certified lower bound at stop time.
+        lb: f64,
+        /// Certified upper bound at stop time.
+        ub: f64,
+    },
+}
+
+/// Answer of a budgeted approximate query: the estimate plus the relative
+/// error it actually *achieved* (not the one requested).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The estimate: the converged eKAQ answer when complete, the interval
+    /// midpoint when truncated.
+    pub value: f64,
+    /// Certified lower bound backing the estimate.
+    pub lb: f64,
+    /// Certified upper bound backing the estimate.
+    pub ub: f64,
+    /// Tight worst-case relative error of `value` over the certified
+    /// interval (`max(|value−F|/F)` for `F ∈ [lb, ub]`); infinite when
+    /// `lb ≤ 0`, where relative-error guarantees are meaningless — use
+    /// `(ub − lb) / 2` as the absolute half-width instead.
+    pub achieved_eps: f64,
+    /// `Some(reason)` when the budget stopped refinement early.
+    pub truncated: Option<TruncateReason>,
+}
+
+/// Worst-case relative error of `value` over `F ∈ [lb, ub]`: `|value−F|/F`
+/// is monotone on either side of `value`, so the maximum sits at an
+/// endpoint.
+fn achieved_rel_err(value: f64, lb: f64, ub: f64) -> f64 {
+    if lb > 0.0 {
+        let at_lb = (value - lb).abs() / lb;
+        let at_ub = (value - ub).abs() / ub;
+        at_lb.max(at_ub)
+    } else {
+        f64::INFINITY
+    }
 }
 
 #[derive(Debug)]
@@ -290,7 +512,8 @@ impl<S: NodeShape> Evaluator<S> {
     ///
     /// # Panics
     /// Panics if `points` is empty, lengths mismatch, every weight is zero,
-    /// or any weight is non-finite.
+    /// or any coordinate/weight is non-finite (see
+    /// [`try_build`](Self::try_build) for the typed variant).
     pub fn build(
         points: &PointSet,
         weights: &[f64],
@@ -298,19 +521,25 @@ impl<S: NodeShape> Evaluator<S> {
         method: BoundMethod,
         leaf_capacity: usize,
     ) -> Self {
-        assert_eq!(
-            weights.len(),
-            points.len(),
-            "weights/points length mismatch"
-        );
-        assert!(
-            !points.is_empty(),
-            "cannot build an evaluator over no points"
-        );
-        assert!(
-            weights.iter().all(|w| w.is_finite()),
-            "weights must be finite"
-        );
+        Self::try_build(points, weights, kernel, method, leaf_capacity)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating variant of [`build`](Self::build): rejects empty data,
+    /// length mismatches, non-finite coordinates/weights (with the
+    /// offending index), all-zero weights, and a zero leaf capacity with a
+    /// typed [`KarlError`] instead of panicking.
+    pub fn try_build(
+        points: &PointSet,
+        weights: &[f64],
+        kernel: Kernel,
+        method: BoundMethod,
+        leaf_capacity: usize,
+    ) -> Result<Self, KarlError> {
+        if leaf_capacity == 0 {
+            return Err(KarlError::InvalidLeafCapacity);
+        }
+        error::validate_data(points, weights)?;
         let mut pos_idx = Vec::new();
         let mut neg_idx = Vec::new();
         for (i, &w) in weights.iter().enumerate() {
@@ -320,24 +549,20 @@ impl<S: NodeShape> Evaluator<S> {
                 neg_idx.push(i);
             }
         }
-        assert!(
-            !pos_idx.is_empty() || !neg_idx.is_empty(),
-            "all weights are zero"
-        );
-        let build_side = |idx: &[usize], flip: bool| -> Option<Tree<S>> {
+        let build_side = |idx: &[usize], flip: bool| -> Result<Option<Tree<S>>, KarlError> {
             if idx.is_empty() {
-                return None;
+                return Ok(None);
             }
             let pts = points.select(idx);
             let ws: Vec<f64> = idx
                 .iter()
                 .map(|&i| if flip { -weights[i] } else { weights[i] })
                 .collect();
-            Some(Tree::build(pts, &ws, leaf_capacity))
+            Ok(Some(Tree::try_build(pts, &ws, leaf_capacity)?))
         };
-        let pos = build_side(&pos_idx, false);
-        let neg = build_side(&neg_idx, true);
-        Self {
+        let pos = build_side(&pos_idx, false)?;
+        let neg = build_side(&neg_idx, true)?;
+        Ok(Self {
             pos_frozen: pos.as_ref().map(Tree::freeze),
             neg_frozen: neg.as_ref().map(Tree::freeze),
             pos,
@@ -345,7 +570,7 @@ impl<S: NodeShape> Evaluator<S> {
             kernel,
             method,
             dims: points.dims(),
-        }
+        })
     }
 
     /// Wraps pre-built trees (advanced; both trees must hold non-negative
@@ -359,16 +584,33 @@ impl<S: NodeShape> Evaluator<S> {
         kernel: Kernel,
         method: BoundMethod,
     ) -> Self {
+        Self::try_from_trees(pos, neg, kernel, method).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating variant of [`from_trees`](Self::from_trees): typed
+    /// [`KarlError::NoTree`] / [`KarlError::DimMismatch`] instead of
+    /// panicking.
+    pub fn try_from_trees(
+        pos: Option<Tree<S>>,
+        neg: Option<Tree<S>>,
+        kernel: Kernel,
+        method: BoundMethod,
+    ) -> Result<Self, KarlError> {
         let dims = match (&pos, &neg) {
             (Some(p), Some(n)) => {
-                assert_eq!(p.dims(), n.dims(), "tree dimensionality mismatch");
+                if p.dims() != n.dims() {
+                    return Err(KarlError::DimMismatch {
+                        expected: p.dims(),
+                        got: n.dims(),
+                    });
+                }
                 p.dims()
             }
             (Some(p), None) => p.dims(),
             (None, Some(n)) => n.dims(),
-            (None, None) => panic!("at least one tree is required"),
+            (None, None) => return Err(KarlError::NoTree),
         };
-        Self {
+        Ok(Self {
             pos_frozen: pos.as_ref().map(Tree::freeze),
             neg_frozen: neg.as_ref().map(Tree::freeze),
             pos,
@@ -376,7 +618,7 @@ impl<S: NodeShape> Evaluator<S> {
             kernel,
             method,
             dims,
-        }
+        })
     }
 
     /// The kernel this evaluator aggregates with.
@@ -526,7 +768,8 @@ impl<S: NodeShape> Evaluator<S> {
     ) -> (RunOutcome, Vec<TraceStep>) {
         self.check_query(q);
         let mut scratch = Scratch::new();
-        let out = self.run_core_on(engine, q, query, None, &mut scratch, true);
+        let (out, _) =
+            self.run_core_on(engine, q, query, None, &mut scratch, true, &Budget::UNLIMITED);
         (out, std::mem::take(&mut scratch.trace))
     }
 
@@ -534,6 +777,128 @@ impl<S: NodeShape> Evaluator<S> {
     /// and the tuners; `level_cap` simulates the top-`level` tree).
     pub fn run_query(&self, q: &[f64], query: Query, level_cap: Option<u16>) -> RunOutcome {
         self.run(q, query, level_cap)
+    }
+
+    /// Validating variant of [`run_query`](Self::run_query): rejects a
+    /// wrong-dimensional or non-finite query point and invalid query
+    /// parameters with a typed [`KarlError`] instead of panicking.
+    pub fn try_run_query(
+        &self,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+    ) -> Result<RunOutcome, KarlError> {
+        error::validate_query(q, self.dims)?;
+        error::validate_spec(query)?;
+        let (out, _) = self.run_core_on(
+            Engine::default(),
+            q,
+            query,
+            level_cap,
+            &mut Scratch::new(),
+            false,
+            &Budget::UNLIMITED,
+        );
+        Ok(out)
+    }
+
+    /// Runs a query under a [`Budget`]. Whenever the budget is not hit the
+    /// result is `Outcome::Complete` and bitwise identical to
+    /// [`run_query`](Self::run_query); otherwise the loop stops at the cap
+    /// and returns the certified interval it had at that moment.
+    pub fn run_budgeted(
+        &self,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        budget: &Budget,
+    ) -> Result<Outcome, KarlError> {
+        self.run_budgeted_with_scratch_on(
+            Engine::default(),
+            q,
+            query,
+            level_cap,
+            budget,
+            &mut Scratch::new(),
+        )
+    }
+
+    /// [`run_budgeted`](Self::run_budgeted) on a chosen engine with
+    /// caller-owned scratch — the validated, budget-aware hot entry point
+    /// of the fault-contained batch engine.
+    pub fn run_budgeted_with_scratch_on(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        budget: &Budget,
+        scratch: &mut Scratch,
+    ) -> Result<Outcome, KarlError> {
+        error::validate_query(q, self.dims)?;
+        error::validate_spec(query)?;
+        let (out, truncated) =
+            self.run_core_on(engine, q, query, level_cap, scratch, false, budget);
+        Ok(match truncated {
+            None => Outcome::Complete(out),
+            Some(reason) => Outcome::Truncated {
+                lb: out.lb,
+                ub: out.ub,
+                reason,
+            },
+        })
+    }
+
+    /// Budgeted threshold query: [`TkaqDecision::Decided`] when the bounds
+    /// settle `F_P(q) ≥ τ` within budget, otherwise
+    /// [`TkaqDecision::Undecided`] with the certified interval straddling
+    /// `τ`.
+    pub fn tkaq_budgeted(
+        &self,
+        q: &[f64],
+        tau: f64,
+        budget: &Budget,
+    ) -> Result<TkaqDecision, KarlError> {
+        match self.run_budgeted(q, Query::Tkaq { tau }, None, budget)? {
+            Outcome::Complete(out) => Ok(TkaqDecision::Decided(decide_tkaq(&out, tau))),
+            // The budget check runs only while the bounds are still
+            // straddling τ (the termination test fires first), so a
+            // truncated threshold query is always undecided.
+            Outcome::Truncated { lb, ub, .. } => Ok(TkaqDecision::Undecided { lb, ub }),
+        }
+    }
+
+    /// Budgeted approximate query: the converged eKAQ answer when complete,
+    /// otherwise the interval midpoint — either way [`Estimate`] reports
+    /// the relative error actually *achieved*, not the one requested.
+    pub fn ekaq_budgeted(
+        &self,
+        q: &[f64],
+        eps: f64,
+        budget: &Budget,
+    ) -> Result<Estimate, KarlError> {
+        match self.run_budgeted(q, Query::Ekaq { eps }, None, budget)? {
+            Outcome::Complete(out) => {
+                let value = estimate_ekaq(&out);
+                Ok(Estimate {
+                    value,
+                    lb: out.lb,
+                    ub: out.ub,
+                    achieved_eps: achieved_rel_err(value, out.lb, out.ub),
+                    truncated: None,
+                })
+            }
+            Outcome::Truncated { lb, ub, reason } => {
+                let value = 0.5 * (lb + ub);
+                Ok(Estimate {
+                    value,
+                    lb,
+                    ub,
+                    achieved_eps: achieved_rel_err(value, lb, ub),
+                    truncated: Some(reason),
+                })
+            }
+        }
     }
 
     /// [`run_query`](Self::run_query) on a chosen engine.
@@ -545,7 +910,16 @@ impl<S: NodeShape> Evaluator<S> {
         level_cap: Option<u16>,
     ) -> RunOutcome {
         self.check_query(q);
-        self.run_core_on(engine, q, query, level_cap, &mut Scratch::new(), false)
+        self.run_core_on(
+            engine,
+            q,
+            query,
+            level_cap,
+            &mut Scratch::new(),
+            false,
+            &Budget::UNLIMITED,
+        )
+        .0
     }
 
     /// [`run_query`](Self::run_query) with caller-owned scratch buffers:
@@ -564,7 +938,16 @@ impl<S: NodeShape> Evaluator<S> {
         level_cap: Option<u16>,
         scratch: &mut Scratch,
     ) -> RunOutcome {
-        self.run_core_on(Engine::default(), q, query, level_cap, scratch, false)
+        self.run_core_on(
+            Engine::default(),
+            q,
+            query,
+            level_cap,
+            scratch,
+            false,
+            &Budget::UNLIMITED,
+        )
+        .0
     }
 
     /// [`run_with_scratch`](Self::run_with_scratch) on a chosen engine.
@@ -576,7 +959,8 @@ impl<S: NodeShape> Evaluator<S> {
         level_cap: Option<u16>,
         scratch: &mut Scratch,
     ) -> RunOutcome {
-        self.run_core_on(engine, q, query, level_cap, scratch, false)
+        self.run_core_on(engine, q, query, level_cap, scratch, false, &Budget::UNLIMITED)
+            .0
     }
 
     fn check_query(&self, q: &[f64]) {
@@ -592,7 +976,9 @@ impl<S: NodeShape> Evaluator<S> {
             level_cap,
             &mut Scratch::new(),
             false,
+            &Budget::UNLIMITED,
         )
+        .0
     }
 
     /// [`trace_run_on`](Self::trace_run_on) with caller-owned scratch: the
@@ -606,10 +992,12 @@ impl<S: NodeShape> Evaluator<S> {
         scratch: &mut Scratch,
     ) -> RunOutcome {
         self.check_query(q);
-        self.run_core_on(engine, q, query, None, scratch, true)
+        self.run_core_on(engine, q, query, None, scratch, true, &Budget::UNLIMITED)
+            .0
     }
 
     #[inline]
+    #[allow(clippy::too_many_arguments)] // internal plumbing shared by every public entry
     fn run_core_on(
         &self,
         engine: Engine,
@@ -618,19 +1006,24 @@ impl<S: NodeShape> Evaluator<S> {
         level_cap: Option<u16>,
         scratch: &mut Scratch,
         record_trace: bool,
-    ) -> RunOutcome {
+        budget: &Budget,
+    ) -> (RunOutcome, Option<TruncateReason>) {
         #[cfg(feature = "stats")]
         let (value_calls0, built0) = (
             crate::curve::stats::value_calls(),
             crate::envelope::stats::envelopes_built(),
         );
         let out = match engine {
-            Engine::Frozen => self.run_core_frozen(q, query, level_cap, scratch, record_trace),
-            Engine::Pointer => self.run_core_pointer(q, query, level_cap, scratch, record_trace),
+            Engine::Frozen => {
+                self.run_core_frozen(q, query, level_cap, scratch, record_trace, budget)
+            }
+            Engine::Pointer => {
+                self.run_core_pointer(q, query, level_cap, scratch, record_trace, budget)
+            }
         };
         #[cfg(feature = "stats")]
         {
-            scratch.stats.nodes_refined += out.iterations as u64;
+            scratch.stats.nodes_refined += out.0.iterations as u64;
             scratch.stats.envelopes_built +=
                 crate::envelope::stats::envelopes_built() - built0;
             scratch.stats.curve_value_calls += crate::curve::stats::value_calls() - value_calls0;
@@ -658,7 +1051,8 @@ impl<S: NodeShape> Evaluator<S> {
         level_cap: Option<u16>,
         scratch: &mut Scratch,
         record_trace: bool,
-    ) -> RunOutcome {
+        budget: &Budget,
+    ) -> (RunOutcome, Option<TruncateReason>) {
         debug_assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
         let ctx = QueryContext::new(&self.kernel, self.method, q);
         let method = self.method;
@@ -713,6 +1107,11 @@ impl<S: NodeShape> Evaluator<S> {
         }
 
         let mut iterations = 0usize;
+        let mut leaf_points = 0u64;
+        let mut truncated = None;
+        let mut deadline_start = None;
+        // Hoisted so unbudgeted runs pay one bool test per iteration.
+        let budgeted = !budget.is_unlimited();
         if record_trace {
             trace.push(TraceStep {
                 iteration: 0,
@@ -723,6 +1122,15 @@ impl<S: NodeShape> Evaluator<S> {
         loop {
             if terminated(query, lb, ub) {
                 break;
+            }
+            // Checked after the termination test so a completed run can
+            // never be reported as truncated, and before the pop so the
+            // certified interval at stop time is left intact.
+            if budgeted {
+                if let Some(reason) = budget.check(iterations, leaf_points, &mut deadline_start) {
+                    truncated = Some(reason);
+                    break;
+                }
             }
             let Some(entry) = heap.pop() else { break };
             iterations += 1;
@@ -737,6 +1145,7 @@ impl<S: NodeShape> Evaluator<S> {
                 || level_cap.is_some_and(|cap| frozen.depth(entry.node) >= cap);
             if refine_exactly {
                 let (start, end) = frozen.range(entry.node);
+                leaf_points += (end - start) as u64;
                 let exact = self.kernel.eval_range(
                     tree.points(),
                     tree.weights(),
@@ -763,7 +1172,7 @@ impl<S: NodeShape> Evaluator<S> {
                 });
             }
         }
-        RunOutcome { lb, ub, iterations }
+        (RunOutcome { lb, ub, iterations }, truncated)
     }
 
     fn run_core_pointer(
@@ -773,7 +1182,8 @@ impl<S: NodeShape> Evaluator<S> {
         level_cap: Option<u16>,
         scratch: &mut Scratch,
         record_trace: bool,
-    ) -> RunOutcome {
+        budget: &Budget,
+    ) -> (RunOutcome, Option<TruncateReason>) {
         debug_assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
         let qn = norm2(q);
         scratch.heap.clear();
@@ -811,6 +1221,10 @@ impl<S: NodeShape> Evaluator<S> {
         }
 
         let mut iterations = 0usize;
+        let mut leaf_points = 0u64;
+        let mut truncated = None;
+        let mut deadline_start = None;
+        let budgeted = !budget.is_unlimited();
         if record_trace {
             trace.push(TraceStep {
                 iteration: 0,
@@ -821,6 +1235,12 @@ impl<S: NodeShape> Evaluator<S> {
         loop {
             if terminated(query, lb, ub) {
                 break;
+            }
+            if budgeted {
+                if let Some(reason) = budget.check(iterations, leaf_points, &mut deadline_start) {
+                    truncated = Some(reason);
+                    break;
+                }
             }
             let Some(entry) = heap.pop() else { break };
             iterations += 1;
@@ -834,6 +1254,7 @@ impl<S: NodeShape> Evaluator<S> {
             let node = tree.node(entry.node);
             let refine_exactly = node.is_leaf() || level_cap.is_some_and(|cap| node.depth >= cap);
             if refine_exactly {
+                leaf_points += (node.end - node.start) as u64;
                 let exact = self.kernel.eval_range(
                     tree.points(),
                     tree.weights(),
@@ -859,7 +1280,7 @@ impl<S: NodeShape> Evaluator<S> {
                 });
             }
         }
-        RunOutcome { lb, ub, iterations }
+        (RunOutcome { lb, ub, iterations }, truncated)
     }
 }
 
@@ -1331,6 +1752,32 @@ mod tests {
             let truth = aggregate_exact(&kernel, &ps, &w, &q);
             assert!(!(eval.tkaq(&q, truth * 1.02)));
             assert!(eval.tkaq(&q, truth * 0.98));
+        }
+    }
+
+    #[test]
+    fn polynomial_overflow_keeps_intervals_finite_and_correct() {
+        // Coordinates of 3e102 keep every *per-point* kernel value finite
+        // (⟨q,p⟩³ = 2.7e307), but the root rect corner (3e102, 3e102) maps
+        // to ⟨q,corner⟩³ = inf. Without envelope saturation that ±inf node
+        // bound turns the global interval into NaN via `inf − inf`; with
+        // it every certified interval stays finite and encloses the exact
+        // aggregate.
+        let ps = PointSet::new(2, vec![3e102, 0.0, 0.0, 3e102]);
+        let w = vec![1.0, 1.0];
+        let kernel = Kernel::polynomial(1.0, 0.0, 3);
+        let exact = aggregate_exact(&kernel, &ps, &w, &[1.0, 1.0]);
+        assert!(exact.is_finite());
+        for method in [BoundMethod::Karl, BoundMethod::Sota] {
+            let eval = Evaluator::<Rect>::build(&ps, &w, kernel, method, 1);
+            let out = eval.run_query(&[1.0, 1.0], Query::Within { tol: 1.0 }, None);
+            assert!(
+                out.lb.is_finite() && out.ub.is_finite(),
+                "{method:?} interval poisoned: [{}, {}]",
+                out.lb,
+                out.ub
+            );
+            assert!(out.lb <= exact && exact <= out.ub, "{method:?}");
         }
     }
 

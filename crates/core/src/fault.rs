@@ -1,0 +1,67 @@
+//! Test-only fault injection for the batch engine (feature `fault-inject`).
+//!
+//! The containment tests need a way to make a *specific query index* fail —
+//! by panicking inside the refinement loop or by corrupting the query point
+//! to NaN — while every other query in the batch stays healthy. This module
+//! keeps a process-global plan of `(query index, fault)` pairs that
+//! [`crate::batch::QueryBatch::try_run`] consults right before evaluating
+//! each query.
+//!
+//! The plan is guarded by an [`InjectionGuard`] holding a global lock, so
+//! concurrently running `#[test]`s cannot interleave their plans; dropping
+//! the guard clears the plan even when the test itself panics.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// What to do to a planned query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the per-query evaluation closure.
+    Panic,
+    /// Replace the query point with an all-NaN vector so the validated
+    /// entry path rejects it with `KarlError::NonFiniteQuery`.
+    Nan,
+}
+
+static PLAN: Mutex<Vec<(usize, Fault)>> = Mutex::new(Vec::new());
+static GATE: Mutex<()> = Mutex::new(());
+
+fn plan() -> MutexGuard<'static, Vec<(usize, Fault)>> {
+    // Injected panics unwind through the batch worker while it may hold
+    // this lock-free path; the plan lock itself is only poisoned if a test
+    // dies between install and clear — recover the data either way.
+    PLAN.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Serializes fault-injection tests and clears the plan on drop.
+pub struct InjectionGuard {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Drop for InjectionGuard {
+    fn drop(&mut self) {
+        plan().clear();
+    }
+}
+
+/// Installs a fault plan, returning a guard that holds the global
+/// injection lock until dropped. Tests must keep the guard alive for the
+/// duration of the batch run they want sabotaged.
+pub fn inject(faults: &[(usize, Fault)]) -> InjectionGuard {
+    let gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut p = plan();
+    p.clear();
+    p.extend_from_slice(faults);
+    InjectionGuard { _gate: gate }
+}
+
+/// Removes every planned fault (also done automatically on guard drop).
+pub fn clear_plan() {
+    plan().clear();
+}
+
+/// The fault planned for `index`, if any. Consulted by the batch engine
+/// once per query.
+pub(crate) fn planned(index: usize) -> Option<Fault> {
+    plan().iter().find(|(i, _)| *i == index).map(|(_, f)| *f)
+}

@@ -14,6 +14,25 @@ use karl_geom::{dist2, dot, norm2, BoundingShape};
 use karl_tree::NodeStats;
 
 use crate::curve::Curve;
+use crate::error::KarlError;
+
+#[inline]
+fn check_gamma(gamma: f64) -> Result<(), KarlError> {
+    if gamma.is_finite() && gamma > 0.0 {
+        Ok(())
+    } else {
+        Err(KarlError::InvalidGamma { value: gamma })
+    }
+}
+
+#[inline]
+fn check_coef0(coef0: f64) -> Result<(), KarlError> {
+    if coef0.is_finite() {
+        Ok(())
+    } else {
+        Err(KarlError::InvalidCoef0 { value: coef0 })
+    }
+}
 
 /// A kernel function `K(q, p)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,8 +74,13 @@ impl Kernel {
     /// # Panics
     /// Panics unless `gamma` is finite and positive.
     pub fn gaussian(gamma: f64) -> Self {
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
-        Kernel::Gaussian { gamma }
+        Self::try_gaussian(gamma).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating variant of [`gaussian`](Self::gaussian).
+    pub fn try_gaussian(gamma: f64) -> Result<Self, KarlError> {
+        check_gamma(gamma)?;
+        Ok(Kernel::Gaussian { gamma })
     }
 
     /// A polynomial kernel `(γ·q·p + β)^deg`.
@@ -64,13 +88,18 @@ impl Kernel {
     /// # Panics
     /// Panics unless `gamma` is finite and positive and `coef0` is finite.
     pub fn polynomial(gamma: f64, coef0: f64, degree: u32) -> Self {
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
-        assert!(coef0.is_finite(), "coef0 must be finite");
-        Kernel::Polynomial {
+        Self::try_polynomial(gamma, coef0, degree).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating variant of [`polynomial`](Self::polynomial).
+    pub fn try_polynomial(gamma: f64, coef0: f64, degree: u32) -> Result<Self, KarlError> {
+        check_gamma(gamma)?;
+        check_coef0(coef0)?;
+        Ok(Kernel::Polynomial {
             gamma,
             coef0,
             degree,
-        }
+        })
     }
 
     /// A sigmoid kernel `tanh(γ·q·p + β)`.
@@ -78,9 +107,14 @@ impl Kernel {
     /// # Panics
     /// Panics unless `gamma` is finite and positive and `coef0` is finite.
     pub fn sigmoid(gamma: f64, coef0: f64) -> Self {
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
-        assert!(coef0.is_finite(), "coef0 must be finite");
-        Kernel::Sigmoid { gamma, coef0 }
+        Self::try_sigmoid(gamma, coef0).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating variant of [`sigmoid`](Self::sigmoid).
+    pub fn try_sigmoid(gamma: f64, coef0: f64) -> Result<Self, KarlError> {
+        check_gamma(gamma)?;
+        check_coef0(coef0)?;
+        Ok(Kernel::Sigmoid { gamma, coef0 })
     }
 
     /// A Laplacian kernel `exp(−γ·dist(q,p))`.
@@ -88,8 +122,13 @@ impl Kernel {
     /// # Panics
     /// Panics unless `gamma` is finite and positive.
     pub fn laplacian(gamma: f64) -> Self {
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
-        Kernel::Laplacian { gamma }
+        Self::try_laplacian(gamma).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating variant of [`laplacian`](Self::laplacian).
+    pub fn try_laplacian(gamma: f64) -> Result<Self, KarlError> {
+        check_gamma(gamma)?;
+        Ok(Kernel::Laplacian { gamma })
     }
 
     /// The scalar curve `f` with `K(q,p) = f(x(q,p))`.

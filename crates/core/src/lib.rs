@@ -51,13 +51,17 @@ pub mod batch;
 pub mod bounds;
 pub mod curve;
 pub mod envelope;
+pub mod error;
 pub mod eval;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod kernel;
 pub mod scan;
 pub mod stream;
 pub mod tuning;
 
-pub use batch::{resolve_threads, BatchOutcome, QueryBatch};
+pub use batch::{resolve_threads, BatchOutcome, BatchReport, QueryBatch};
+pub use error::KarlError;
 pub use bounds::{
     assemble_interval, node_bounds, node_bounds_frozen, node_interval_frozen,
     node_intervals_frozen, BoundMethod, BoundPair, NodeInterval, QueryContext,
@@ -67,8 +71,11 @@ pub use envelope::{envelope, envelope_parts, Envelope, EnvelopeCache, EnvelopePa
 #[cfg(feature = "stats")]
 pub use eval::RunStats;
 pub use eval::{
-    BallEvaluator, Engine, Evaluator, KdEvaluator, Query, RunOutcome, Scratch, TraceStep,
+    BallEvaluator, Budget, Engine, Estimate, Evaluator, KdEvaluator, Outcome, Query, RunOutcome,
+    Scratch, TkaqDecision, TraceStep, TruncateReason,
 };
+#[cfg(feature = "fault-inject")]
+pub use fault::{clear_plan, inject, Fault, InjectionGuard};
 pub use kernel::{aggregate_exact, Kernel};
 pub use scan::{LibSvmScan, Scan};
 pub use stream::StreamingEvaluator;

@@ -59,8 +59,8 @@ impl Scan {
             acc[3] += w[i + 3] * self.kernel.eval(q, self.points.point(i + 3));
         }
         let mut tail = 0.0;
-        for i in blocks..n {
-            tail += w[i] * self.kernel.eval(q, self.points.point(i));
+        for (i, &wi) in w.iter().enumerate().skip(blocks) {
+            tail += wi * self.kernel.eval(q, self.points.point(i));
         }
         (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
     }

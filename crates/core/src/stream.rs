@@ -13,6 +13,7 @@ use karl_geom::PointSet;
 use karl_tree::NodeShape;
 
 use crate::bounds::BoundMethod;
+use crate::error::KarlError;
 use crate::eval::{Evaluator, Query};
 use crate::kernel::Kernel;
 use crate::scan::Scan;
@@ -39,9 +40,24 @@ impl<S: NodeShape> StreamingEvaluator<S> {
     /// # Panics
     /// Panics if `dims == 0` or `leaf_capacity == 0`.
     pub fn new(dims: usize, kernel: Kernel, method: BoundMethod, leaf_capacity: usize) -> Self {
-        assert!(dims > 0, "dims must be positive");
-        assert!(leaf_capacity > 0, "leaf capacity must be positive");
-        Self {
+        Self::try_new(dims, kernel, method, leaf_capacity).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: rejects `dims == 0` (`EmptyPoints`) and
+    /// `leaf_capacity == 0` (`InvalidLeafCapacity`) with a typed error.
+    pub fn try_new(
+        dims: usize,
+        kernel: Kernel,
+        method: BoundMethod,
+        leaf_capacity: usize,
+    ) -> Result<Self, KarlError> {
+        if dims == 0 {
+            return Err(KarlError::EmptyPoints);
+        }
+        if leaf_capacity == 0 {
+            return Err(KarlError::InvalidLeafCapacity);
+        }
+        Ok(Self {
             points: PointSet::empty(dims),
             weights: Vec::new(),
             indexed: 0,
@@ -51,7 +67,7 @@ impl<S: NodeShape> StreamingEvaluator<S> {
             leaf_capacity,
             rebuild_fraction: 0.25,
             rebuild_min: 256,
-        }
+        })
     }
 
     /// Total number of (weighted) points, indexed plus overlay.
@@ -75,7 +91,26 @@ impl<S: NodeShape> StreamingEvaluator<S> {
     /// # Panics
     /// Panics on dimensionality mismatch or non-finite weight.
     pub fn insert(&mut self, p: &[f64], w: f64) {
-        assert!(w.is_finite(), "weight must be finite");
+        self.try_insert(p, w).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Validating insert: rejects dimension mismatches, non-finite
+    /// coordinates and non-finite weights with a typed error; the
+    /// evaluator state is untouched on rejection.
+    pub fn try_insert(&mut self, p: &[f64], w: f64) -> Result<(), KarlError> {
+        let index = self.points.len();
+        if p.len() != self.points.dims() {
+            return Err(KarlError::DimMismatch {
+                expected: self.points.dims(),
+                got: p.len(),
+            });
+        }
+        if let Some((dim, &value)) = p.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(KarlError::NonFinitePoint { index, dim, value });
+        }
+        if !w.is_finite() {
+            return Err(KarlError::NonFiniteWeight { index, value: w });
+        }
         self.points.push(p);
         self.weights.push(w);
         let overlay = self.overlay_len();
@@ -84,6 +119,7 @@ impl<S: NodeShape> StreamingEvaluator<S> {
         {
             self.rebuild();
         }
+        Ok(())
     }
 
     /// Inserts a batch of weighted points.

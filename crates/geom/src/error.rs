@@ -1,0 +1,60 @@
+//! Typed rejection for malformed point data at the geometry layer.
+
+use std::fmt;
+
+/// Structural or numeric defects a [`crate::PointSet`] entry check can
+/// report. `karl_core` converts these into its own `KarlError` taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeomError {
+    /// `dims == 0`: points must have at least one coordinate.
+    ZeroDims,
+    /// The flat buffer length is not a multiple of the dimensionality.
+    MisalignedData {
+        /// Buffer length supplied.
+        len: usize,
+        /// Dimensionality supplied.
+        dims: usize,
+    },
+    /// `from_rows` was given no rows at all.
+    EmptyRows,
+    /// A row's length disagrees with the first row's.
+    InconsistentRow {
+        /// Index of the offending row.
+        index: usize,
+        /// Expected row length (from row 0).
+        expected: usize,
+        /// Actual row length.
+        got: usize,
+    },
+    /// A coordinate is NaN/±inf.
+    NonFiniteCoordinate {
+        /// Point index.
+        index: usize,
+        /// Coordinate dimension.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::ZeroDims => write!(f, "PointSet requires dims > 0"),
+            GeomError::MisalignedData { len, dims } => {
+                write!(f, "data length {len} is not a multiple of dims {dims}")
+            }
+            GeomError::EmptyRows => write!(f, "from_rows requires at least one row"),
+            GeomError::InconsistentRow {
+                index,
+                expected,
+                got,
+            } => write!(f, "row {index} has length {got}, expected {expected}"),
+            GeomError::NonFiniteCoordinate { index, dim, value } => {
+                write!(f, "point {index} has non-finite coordinate {value} at dim {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}

@@ -16,12 +16,14 @@
 
 pub mod ball;
 pub mod dist;
+pub mod error;
 pub mod fused;
 pub mod points;
 pub mod rect;
 
 pub use ball::Ball;
 pub use dist::{dist2, dot, norm2};
+pub use error::GeomError;
 pub use fused::{
     ball_dist, ball_dist_nodes, ball_ip, ball_ip_nodes, rect_dist, rect_dist_nodes, rect_ip,
     rect_ip_nodes,

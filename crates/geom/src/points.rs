@@ -7,6 +7,7 @@
 //! paper's throughput comparisons are memory-bandwidth bound.
 
 use crate::dist::norm2;
+use crate::error::GeomError;
 
 /// A dense set of `n` points in `d` dimensions, stored row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,14 +22,25 @@ impl PointSet {
     /// # Panics
     /// Panics if `dims == 0` or if `data.len()` is not a multiple of `dims`.
     pub fn new(dims: usize, data: Vec<f64>) -> Self {
-        assert!(dims > 0, "PointSet requires dims > 0");
-        assert!(
-            data.len().is_multiple_of(dims),
-            "data length {} is not a multiple of dims {}",
-            data.len(),
-            dims
-        );
-        Self { dims, data }
+        Self::try_new(dims, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating variant of [`new`](Self::new): rejects `dims == 0` and
+    /// misaligned buffers with a typed [`GeomError`] instead of panicking.
+    /// Non-finite coordinates are *not* rejected here (use
+    /// [`check_finite`](Self::check_finite)) so adversarial inputs can be
+    /// constructed for the validated entry points upstream.
+    pub fn try_new(dims: usize, data: Vec<f64>) -> Result<Self, GeomError> {
+        if dims == 0 {
+            return Err(GeomError::ZeroDims);
+        }
+        if !data.len().is_multiple_of(dims) {
+            return Err(GeomError::MisalignedData {
+                len: data.len(),
+                dims,
+            });
+        }
+        Ok(Self { dims, data })
     }
 
     /// Creates an empty point set with the given dimensionality.
@@ -41,14 +53,41 @@ impl PointSet {
     /// # Panics
     /// Panics if rows have inconsistent lengths or `dims == 0`.
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
-        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        Self::try_from_rows(rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating variant of [`from_rows`](Self::from_rows).
+    pub fn try_from_rows(rows: &[Vec<f64>]) -> Result<Self, GeomError> {
+        if rows.is_empty() {
+            return Err(GeomError::EmptyRows);
+        }
         let dims = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * dims);
-        for row in rows {
-            assert_eq!(row.len(), dims, "inconsistent row length");
+        for (index, row) in rows.iter().enumerate() {
+            if row.len() != dims {
+                return Err(GeomError::InconsistentRow {
+                    index,
+                    expected: dims,
+                    got: row.len(),
+                });
+            }
             data.extend_from_slice(row);
         }
-        Self::new(dims, data)
+        Self::try_new(dims, data)
+    }
+
+    /// Scans for the first NaN/±inf coordinate and reports it with its
+    /// point index and dimension — the entry check the validated index
+    /// builders run before touching the data.
+    pub fn check_finite(&self) -> Result<(), GeomError> {
+        for (index, p) in self.iter().enumerate() {
+            for (dim, &value) in p.iter().enumerate() {
+                if !value.is_finite() {
+                    return Err(GeomError::NonFiniteCoordinate { index, dim, value });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of points.
@@ -252,5 +291,32 @@ mod tests {
         let pts: Vec<&[f64]> = ps.iter().collect();
         assert_eq!(pts.len(), 3);
         assert_eq!(pts[1], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_new_reports_structural_errors() {
+        assert_eq!(
+            PointSet::try_new(0, vec![]).unwrap_err(),
+            GeomError::ZeroDims
+        );
+        assert_eq!(
+            PointSet::try_new(2, vec![1.0, 2.0, 3.0]).unwrap_err(),
+            GeomError::MisalignedData { len: 3, dims: 2 }
+        );
+        assert!(PointSet::try_from_rows(&[]).is_err());
+        assert!(matches!(
+            PointSet::try_from_rows(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(GeomError::InconsistentRow { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn check_finite_locates_the_offender() {
+        let ps = PointSet::new(2, vec![0.0, 1.0, 2.0, f64::NAN]);
+        assert!(matches!(
+            ps.check_finite(),
+            Err(GeomError::NonFiniteCoordinate { index: 1, dim: 1, .. })
+        ));
+        assert!(sample().check_finite().is_ok());
     }
 }

@@ -25,7 +25,7 @@ pub mod regression;
 
 pub use regression::{KernelRegression, RegressionEstimate};
 
-use karl_core::{aggregate_exact, BoundMethod, Evaluator, KdEvaluator, Kernel};
+use karl_core::{aggregate_exact, BoundMethod, Evaluator, KarlError, KdEvaluator, Kernel};
 use karl_geom::PointSet;
 
 /// Scott's-rule bandwidth `h = n^{−1/(d+4)} · σ̄`, with `σ̄` the average
@@ -65,13 +65,23 @@ impl Kde {
     /// # Panics
     /// Panics if `points` is empty.
     pub fn fit(points: PointSet) -> Self {
+        Self::try_fit(points).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating [`fit`](Self::fit): rejects an empty or non-finite point
+    /// set with a typed [`KarlError`] instead of panicking.
+    pub fn try_fit(points: PointSet) -> Result<Self, KarlError> {
+        if points.is_empty() {
+            return Err(KarlError::EmptyPoints);
+        }
+        points.check_finite()?;
         let gamma = scotts_gamma(&points);
         let weight = 1.0 / points.len() as f64;
-        Self {
+        Ok(Self {
             points,
             gamma,
             weight,
-        }
+        })
     }
 
     /// Fits a KDE with an explicit `γ`.
@@ -79,14 +89,25 @@ impl Kde {
     /// # Panics
     /// Panics if `points` is empty or `gamma ≤ 0`.
     pub fn with_gamma(points: PointSet, gamma: f64) -> Self {
-        assert!(!points.is_empty(), "empty point set");
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
+        Self::try_with_gamma(points, gamma).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating [`with_gamma`](Self::with_gamma): `EmptyPoints`,
+    /// `NonFinitePoint` or `InvalidGamma` instead of a panic.
+    pub fn try_with_gamma(points: PointSet, gamma: f64) -> Result<Self, KarlError> {
+        if points.is_empty() {
+            return Err(KarlError::EmptyPoints);
+        }
+        points.check_finite()?;
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(KarlError::InvalidGamma { value: gamma });
+        }
         let weight = 1.0 / points.len() as f64;
-        Self {
+        Ok(Self {
             points,
             gamma,
             weight,
-        }
+        })
     }
 
     /// The underlying points.

@@ -12,7 +12,7 @@
 //! trained offset. [`SvmModel`] packages exactly those pieces so they can
 //! be handed straight to a `karl_core` evaluator.
 
-use karl_core::{aggregate_exact, Kernel};
+use karl_core::{aggregate_exact, KarlError, Kernel};
 use karl_geom::PointSet;
 
 /// A trained SVM decision function `sign(Σ wᵢK(q, pᵢ) − ρ)`.
@@ -30,14 +30,40 @@ impl SvmModel {
     /// # Panics
     /// Panics if lengths mismatch or the support set is empty.
     pub fn new(support: PointSet, weights: Vec<f64>, rho: f64, kernel: Kernel) -> Self {
-        assert_eq!(weights.len(), support.len(), "weights/support mismatch");
-        assert!(!support.is_empty(), "a model needs at least one support vector");
-        Self {
+        Self::try_new(support, weights, rho, kernel).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: typed [`KarlError`] for an empty support
+    /// set, length mismatch, non-finite support coordinates/weights or a
+    /// non-finite `ρ`, instead of a panic.
+    pub fn try_new(
+        support: PointSet,
+        weights: Vec<f64>,
+        rho: f64,
+        kernel: Kernel,
+    ) -> Result<Self, KarlError> {
+        if support.is_empty() {
+            return Err(KarlError::EmptyPoints);
+        }
+        if weights.len() != support.len() {
+            return Err(KarlError::LengthMismatch {
+                expected: support.len(),
+                got: weights.len(),
+            });
+        }
+        support.check_finite()?;
+        if let Some((index, &value)) = weights.iter().enumerate().find(|(_, w)| !w.is_finite()) {
+            return Err(KarlError::NonFiniteWeight { index, value });
+        }
+        if !rho.is_finite() {
+            return Err(KarlError::InvalidTau { value: rho });
+        }
+        Ok(Self {
             support,
             weights,
             rho,
             kernel,
-        }
+        })
     }
 
     /// The support vectors (the point set `P` of the aggregation query).

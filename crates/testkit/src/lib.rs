@@ -17,6 +17,12 @@
 //! * [`bench`] — a tiny wall-clock micro-benchmark timer with a
 //!   Criterion-shaped API for the `criterion-benches`-gated bench targets.
 
+//! * [`adversarial`] — a hostile-input generator (non-finite and denormal
+//!   coordinates, zero/mixed-sign weights, extreme γ, duplicated points)
+//!   with per-case verdict tags, for property-testing the validated
+//!   constructors' typed rejections.
+
+pub mod adversarial;
 pub mod bench;
 pub mod oracle;
 pub mod props;

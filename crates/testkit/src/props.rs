@@ -20,6 +20,10 @@
 //! dropping vector elements) and panics with the shrunk input plus the
 //! `KARL_TEST_SEED=<seed>` incantation that replays the exact run.
 
+// The doctest above deliberately shows `#[test]` inside `props!` — that
+// is the macro's real call syntax, not a mistakenly-inert test.
+#![allow(clippy::test_attr_in_doctest)]
+
 use crate::rng::{bounded_u64, RngCore, SampleRange, SeedableRng, StdRng};
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};

@@ -1,0 +1,57 @@
+//! Typed rejection for malformed tree-build inputs.
+
+use std::fmt;
+
+/// Defects [`crate::Tree::try_build`] can reject. `karl_core` converts
+/// these into its `KarlError` taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TreeError {
+    /// Cannot build a tree over an empty point set.
+    EmptyPoints,
+    /// `weights.len() != points.len()`.
+    LengthMismatch {
+        /// Number of points.
+        expected: usize,
+        /// Number of weights supplied.
+        got: usize,
+    },
+    /// `leaf_capacity == 0`.
+    ZeroLeafCapacity,
+    /// A coordinate is NaN/±inf — rejected up front so the median split's
+    /// comparator never sees unordered values mid-build.
+    NonFiniteCoordinate {
+        /// Point index (in the caller's original order).
+        index: usize,
+        /// Coordinate dimension.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A weight is NaN/±inf.
+    NonFiniteWeight {
+        /// Weight index.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::EmptyPoints => write!(f, "cannot build a tree over an empty set"),
+            TreeError::LengthMismatch { expected, got } => {
+                write!(f, "weights/points length mismatch: {got} weights for {expected} points")
+            }
+            TreeError::ZeroLeafCapacity => write!(f, "leaf capacity must be at least 1"),
+            TreeError::NonFiniteCoordinate { index, dim, value } => {
+                write!(f, "point {index} has non-finite coordinate {value} at dim {dim}")
+            }
+            TreeError::NonFiniteWeight { index, value } => {
+                write!(f, "weight {index} is non-finite ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

@@ -21,10 +21,12 @@
 //! scan, and the "top-i-levels" tree views used by in-situ tuning fall out
 //! for free (treat depth-`i` nodes as leaves).
 
+pub mod error;
 pub mod frozen;
 pub mod stats;
 pub mod tree;
 
+pub use error::TreeError;
 pub use frozen::{FrozenShapes, FrozenTree, NO_CHILD};
 pub use stats::NodeStats;
 pub use tree::{BallTree, KdTree, Node, NodeId, NodeShape, Tree};

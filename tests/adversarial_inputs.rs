@@ -1,0 +1,165 @@
+//! Validated constructors vs. the adversarial-input generator: every
+//! hostile case must either be rejected with the *right* [`KarlError`]
+//! variant (index-level diagnostics included) or — when structurally
+//! valid — build an evaluator whose answers match the brute-force oracle,
+//! denormals, duplicates, mixed signs, extreme γ and all.
+
+use karl::core::{BoundMethod, Evaluator, KarlError, Kernel, Query, QueryBatch};
+use karl::geom::{PointSet, Rect};
+use karl_testkit::adversarial::{adversarial_case, Expected};
+use karl_testkit::oracle::exact_sum;
+use karl_testkit::{prop_assert, prop_assert_eq, props};
+
+props! {
+    /// The tentpole property: constructor verdicts match the generator's
+    /// tags, and accepted inputs answer correctly.
+    #[test]
+    fn prop_validated_build_matches_expected_verdict(seed in 0u64..300) {
+        let case = adversarial_case(seed);
+        let points = PointSet::new(case.dims, case.data.clone());
+        let kernel = Kernel::gaussian(case.gamma);
+        let built =
+            Evaluator::<Rect>::try_build(&points, &case.weights, kernel, BoundMethod::Karl, 4);
+        match case.expected {
+            Expected::Accept => {
+                let eval = match built {
+                    Ok(e) => e,
+                    Err(e) => panic!("valid case rejected: {e}"),
+                };
+                // Oracle agreement on an exact-interval query at a data point.
+                let q = points.point(0);
+                let exact = exact_sum(points.iter(), &case.weights, q, |a, b| kernel.eval(a, b));
+                let out = eval.run_query(q, Query::Within { tol: 1e-12 }, None);
+                // The evaluator computes distances via the norm identity,
+                // the oracle via direct differences; at the generator's
+                // coordinate/γ extremes the two agree to ~γ·‖x‖²·ε, which
+                // this tolerance dominates.
+                let tol = 1e-5 * (1.0 + exact.abs());
+                prop_assert!(out.lb <= exact + tol && exact <= out.ub + tol,
+                    "[{}, {}] misses oracle {exact}", out.lb, out.ub);
+            }
+            Expected::NonFinitePoint { index, dim } => {
+                match built {
+                    Err(KarlError::NonFinitePoint { index: i, dim: d, value }) => {
+                        prop_assert_eq!(i, index);
+                        prop_assert_eq!(d, dim);
+                        prop_assert!(!value.is_finite());
+                    }
+                    other => panic!("expected NonFinitePoint({index},{dim}), got {other:?}"),
+                }
+            }
+            Expected::NonFiniteWeight { index } => {
+                match built {
+                    Err(KarlError::NonFiniteWeight { index: i, value }) => {
+                        prop_assert_eq!(i, index);
+                        prop_assert!(!value.is_finite());
+                    }
+                    other => panic!("expected NonFiniteWeight({index}), got {other:?}"),
+                }
+            }
+            Expected::AllZeroWeights => {
+                prop_assert!(
+                    matches!(built, Err(KarlError::AllZeroWeights)),
+                    "expected AllZeroWeights, got {:?}", built.err()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn invalid_parameters_are_rejected_with_typed_errors() {
+    assert!(matches!(
+        Kernel::try_gaussian(0.0),
+        Err(KarlError::InvalidGamma { value }) if value == 0.0
+    ));
+    assert!(matches!(
+        Kernel::try_gaussian(f64::NAN),
+        Err(KarlError::InvalidGamma { .. })
+    ));
+    assert!(matches!(
+        Kernel::try_polynomial(1.0, f64::INFINITY, 2),
+        Err(KarlError::InvalidCoef0 { .. })
+    ));
+    assert!(matches!(
+        Kernel::try_sigmoid(-1.0, 0.0),
+        Err(KarlError::InvalidGamma { .. })
+    ));
+    // Extreme but valid γ is accepted.
+    assert!(Kernel::try_gaussian(1e-300).is_ok());
+    assert!(Kernel::try_laplacian(1e300).is_ok());
+
+    let points = PointSet::new(2, vec![0.0, 0.0, 1.0, 1.0]);
+    assert!(matches!(
+        Evaluator::<Rect>::try_build(&points, &[1.0, 1.0], Kernel::gaussian(1.0),
+            BoundMethod::Karl, 0),
+        Err(KarlError::InvalidLeafCapacity)
+    ));
+    assert!(matches!(
+        Evaluator::<Rect>::try_build(&points, &[1.0], Kernel::gaussian(1.0),
+            BoundMethod::Karl, 2),
+        Err(KarlError::LengthMismatch { expected: 2, got: 1 })
+    ));
+
+    let eval =
+        Evaluator::<Rect>::try_build(&points, &[1.0, 1.0], Kernel::gaussian(1.0), BoundMethod::Karl, 2)
+            .unwrap();
+    assert!(matches!(
+        eval.try_run_query(&[0.0], Query::Tkaq { tau: 0.5 }, None),
+        Err(KarlError::DimMismatch { expected: 2, got: 1 })
+    ));
+    assert!(matches!(
+        eval.try_run_query(&[f64::NAN, 0.0], Query::Tkaq { tau: 0.5 }, None),
+        Err(KarlError::NonFiniteQuery { dim: 0, .. })
+    ));
+    assert!(matches!(
+        eval.try_run_query(&[0.0, 0.0], Query::Ekaq { eps: -1.0 }, None),
+        Err(KarlError::InvalidEps { .. })
+    ));
+    assert!(matches!(
+        eval.try_run_query(&[0.0, 0.0], Query::Within { tol: 0.0 }, None),
+        Err(KarlError::InvalidTol { .. })
+    ));
+}
+
+#[test]
+fn batch_rejects_dim_mismatch_in_release_builds() {
+    // Satellite (a): the batch-entry dimension check is a checked error,
+    // not a debug_assert, so release builds reject it too.
+    let points = PointSet::new(3, vec![0.0; 9]);
+    let eval = Evaluator::<Rect>::try_build(
+        &points,
+        &[1.0, 1.0, 1.0],
+        Kernel::gaussian(1.0),
+        BoundMethod::Karl,
+        2,
+    )
+    .unwrap();
+    let queries = PointSet::new(2, vec![0.0; 4]);
+    let report = QueryBatch::new(&queries, Query::Tkaq { tau: 0.5 }).try_run(&eval);
+    assert!(matches!(
+        report,
+        Err(KarlError::DimMismatch { expected: 3, got: 2 })
+    ));
+    // Batch-level construction errors are typed as well.
+    assert!(matches!(
+        QueryBatch::try_new(&queries, Query::Ekaq { eps: 0.0 }),
+        Err(KarlError::InvalidEps { .. })
+    ));
+}
+
+#[test]
+fn error_display_carries_index_level_diagnostics() {
+    let e = KarlError::NonFinitePoint {
+        index: 7,
+        dim: 2,
+        value: f64::NEG_INFINITY,
+    };
+    let msg = e.to_string();
+    assert!(msg.contains('7') && msg.contains('2'), "{msg}");
+    let e = KarlError::QueryPanicked {
+        index: 12,
+        message: "boom".into(),
+    };
+    assert!(e.to_string().contains("12") && e.to_string().contains("boom"));
+}
