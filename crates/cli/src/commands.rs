@@ -181,6 +181,7 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         "budget-nodes",
         "budget-leaf",
         "deadline-ms",
+        "dual",
     ])
     .map_err(|e| e.to_string())?;
     let data =
@@ -282,7 +283,13 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         }
         spec = spec.threads(t);
     }
-    let report = spec.try_run_any(&eval).map_err(|e| e.to_string())?;
+    let dual = p.has("dual");
+    let report = if dual {
+        spec.try_run_dual_any(&eval)
+    } else {
+        spec.try_run_any(&eval)
+    }
+    .map_err(|e| e.to_string())?;
 
     let mut out = String::with_capacity(queries.len() * 8);
     let mut failed = 0usize;
@@ -329,8 +336,14 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         let s = report.stats();
         let _ = writeln!(
             out,
-            "# stats nodes_refined {} envelopes_built {} cache_hits {} cache_misses {} curve_value_calls {}",
-            s.nodes_refined, s.envelopes_built, s.cache_hits, s.cache_misses, s.curve_value_calls
+            "# stats nodes_refined {} envelopes_built {} cache_hits {} cache_misses {} curve_value_calls {} dual_pairs_scored {} dual_wholesale_decided {}",
+            s.nodes_refined,
+            s.envelopes_built,
+            s.cache_hits,
+            s.cache_misses,
+            s.curve_value_calls,
+            s.dual_pairs_scored,
+            s.dual_wholesale_decided
         );
     }
     Ok(CmdOutput {

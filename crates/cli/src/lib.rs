@@ -32,11 +32,15 @@ commands:
             [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
             [--engine frozen|pointer] [--envelope-cache on|off] [--stats]
             [--budget-nodes N] [--budget-leaf P] [--deadline-ms MS]
+            [--dual]
             parallel batch engine; KARL_THREADS env sets the default N;
             frozen (default) is the SoA index, bitwise equal to pointer;
             envelope-cache (default off) memoizes exact KARL envelopes,
             paying off when queries repeat — a pure perf switch, answers
             are bitwise identical either way;
+            --dual (default off) freezes a second tree over the queries
+            and decides whole query nodes at once from joint intervals
+            (TKAQ); answers are identical to the default engine;
             --stats prints run counters (needs the `stats` build feature);
             budget flags bound each query's refinement (nodes refined,
             leaf points scanned, wall-clock deadline) — queries that hit
@@ -355,6 +359,46 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("on|off"));
+    }
+
+    #[test]
+    fn batch_dual_flag_output_is_byte_identical_to_default() {
+        let data = tmp("batch_dual.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "400",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        // All three query types; --dual answer lines must match the
+        // default engine byte for byte ('#' diagnostics carry timings).
+        for spec in [["--tau", "0.3"], ["--eps", "0.15"], ["--tol", "0.05"]] {
+            let mut args = vec![
+                "batch",
+                "--data",
+                data.to_str().unwrap(),
+                "--queries",
+                data.to_str().unwrap(),
+                spec[0],
+                spec[1],
+                "--threads",
+                "2",
+            ];
+            let single = run_vec(&args).unwrap();
+            args.push("--dual");
+            let dual = run_vec(&args).unwrap();
+            assert_eq!(strip(&dual), strip(&single), "{spec:?}");
+        }
     }
 
     #[test]

@@ -362,6 +362,12 @@ pub struct RunStats {
     pub cache_misses: u64,
     /// `Curve::value` evaluations — the transcendental workhorse count.
     pub curve_value_calls: u64,
+    /// Query-node × data-node pair intervals scored by the dual-tree
+    /// descent (zero outside `run_dual`).
+    pub dual_pairs_scored: u64,
+    /// Queries decided wholesale by a joint query-node interval, without
+    /// any per-query refinement (zero outside `run_dual`).
+    pub dual_wholesale_decided: u64,
 }
 
 #[cfg(feature = "stats")]
@@ -373,6 +379,8 @@ impl RunStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.curve_value_calls += other.curve_value_calls;
+        self.dual_pairs_scored += other.dual_pairs_scored;
+        self.dual_wholesale_decided += other.dual_wholesale_decided;
     }
 }
 
@@ -1285,7 +1293,7 @@ impl<S: NodeShape> Evaluator<S> {
 }
 
 #[inline]
-fn contribution(b: &BoundPair, negated: bool) -> (f64, f64) {
+pub(crate) fn contribution(b: &BoundPair, negated: bool) -> (f64, f64) {
     if negated {
         (-b.ub, -b.lb)
     } else {

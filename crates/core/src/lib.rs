@@ -63,8 +63,10 @@ pub mod tuning;
 pub use batch::{resolve_threads, BatchOutcome, BatchReport, QueryBatch};
 pub use error::KarlError;
 pub use bounds::{
-    assemble_interval, node_bounds, node_bounds_frozen, node_interval_frozen,
-    node_intervals_frozen, BoundMethod, BoundPair, NodeInterval, QueryContext,
+    assemble_interval, assemble_pair, node_bounds, node_bounds_frozen, node_interval_frozen,
+    node_intervals_frozen, pair_bounds_frozen, pair_interval_frozen, pair_intervals_frozen,
+    BoundMethod, BoundPair, DualQueryContext, NodeInterval, PairInterval, QueryContext,
+    QueryRegion,
 };
 pub use curve::{Curvature, Curve};
 pub use envelope::{envelope, envelope_parts, Envelope, EnvelopeCache, EnvelopeParts, Line};

@@ -213,6 +213,14 @@ impl FrozenTree {
         &self.weighted_sum
     }
 
+    /// The full per-node `W_R` buffer (`num_nodes`), for batched kernels
+    /// that index it by node id themselves — the dual-tree pair kernels
+    /// need the weight sum alongside `a_R` for every node in one pass.
+    #[inline]
+    pub fn weight_sums(&self) -> &[f64] {
+        &self.weight_sum
+    }
+
     /// The packed shape buffers.
     #[inline]
     pub fn shapes(&self) -> &FrozenShapes {

@@ -27,6 +27,6 @@ pub mod stats;
 pub mod tree;
 
 pub use error::TreeError;
-pub use frozen::{FrozenShapes, FrozenTree, NO_CHILD};
+pub use frozen::{freeze_built, FrozenShapes, FrozenTree, NO_CHILD};
 pub use stats::NodeStats;
 pub use tree::{BallTree, KdTree, Node, NodeId, NodeShape, Tree};

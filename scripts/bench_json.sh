@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Runs the perf benches and records the merged results as JSON.
 #
-# Produces BENCH_PR5.json at the repo root with two sections plus host
+# Produces BENCH_PR6.json at the repo root with two sections plus host
 # metadata (available_parallelism, uname), so numbers from different
 # machines are interpretable:
 #
 #   * throughput_batch — end-to-end queries/s: sequential pointer engine
 #     (baseline) vs the default frozen engine, scratch reuse, and
-#     QueryBatch at 1/2/4/8 worker threads (eKAQ and TKAQ workloads);
+#     QueryBatch at 1/2/4/8 worker threads (eKAQ and TKAQ workloads),
+#     plus the dual_tkaq section: node visits and queries/s of the
+#     dual-tree descent vs the single-tree engine on a clustered grid
+#     of TKAQ queries;
 #   * frozen_bounds — per-node bound-kernel throughput (bounds/s),
 #     pointer vs frozen, kd and ball families, SOTA and KARL methods,
 #     plus the envelope_micro section: envelopes/s for the direct
@@ -22,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 # cargo bench runs the bench binary from the package directory, so make
 # the output path absolute before handing it over.
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 case "$out" in
     /*) ;;
     *) out="$(pwd)/$out" ;;
@@ -45,17 +48,21 @@ with open(os.path.join(tmpdir, "throughput_batch.json")) as f:
 with open(os.path.join(tmpdir, "frozen_bounds.json")) as f:
     bounds = json.load(f)
 merged = {
-    "bench": "BENCH_PR5",
+    "bench": "BENCH_PR6",
     "note": (
-        "PR5 adds validated entry points, per-query budget checks and batch "
-        "fault containment; validation runs once at the boundary and the "
-        "budget check is one predicted branch after the termination test, so "
-        "the bound-kernel rows are a control for overhead. Same-code "
-        "back-to-back reruns on this shared 1-core host vary +/-3-10% per "
-        "row; the SOTA rows (untouched arithmetic) and KARL rows move within "
-        "the same band, i.e. the robustness-layer overhead is within noise. "
-        "Methodology otherwise identical to BENCH_PR4 (same benches, sizes, "
-        "workloads)."
+        "PR6 adds the dual-tree batch path (QueryBatch::run_dual): a second "
+        "frozen tree over the queries and node-vs-node joint intervals that "
+        "decide whole TKAQ query nodes wholesale. The dual_tkaq section "
+        "runs the canonical profitable workload -- a 2-D KDE level-set grid "
+        "(tau = 1/8 of peak blob density, fixed gamma, data leaf 16; "
+        "dual-tree gains are a low-d phenomenon, see DESIGN.md s12) -- and "
+        "compares node visits: single = per-query refinement iterations, "
+        "dual = pair intervals scored + fallback iterations; visits are "
+        "deterministic and machine-independent, wall clock on this shared "
+        "host varies +/-3-10% per row. The default (single-tree) path is "
+        "untouched, so the remaining rows are a no-regression control. "
+        "Methodology otherwise identical to BENCH_PR5 (same benches and "
+        "sizes for the pre-existing sections)."
     ),
     "host": {
         # The Rust-side value is cgroup-aware; os.cpu_count() is not.

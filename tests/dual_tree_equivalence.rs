@@ -1,0 +1,110 @@
+//! Differential property test for the dual-tree batch engine: for random
+//! clustered datasets, mixed-sign weights, all four kernels, both index
+//! families and thread counts 1/2/4/8, [`QueryBatch::run_dual`] must
+//! *answer* exactly like the per-query frozen engine —
+//!
+//! * identical TKAQ `decisions()` (and therefore bitwise-identical
+//!   `estimates()`, which are `1.0`/`0.0` images of the decisions),
+//! * bitwise-identical eKAQ `estimates()`,
+//! * bitwise-identical Within `intervals()`,
+//!
+//! at every thread count. Raw `outcomes()` of wholesale-decided TKAQ
+//! queries legitimately carry the joint interval instead of the
+//! per-query refinement endpoint, which is why the contract is stated on
+//! answers; eKAQ and Within answers never take the wholesale path, so
+//! for them the raw outcomes must also match bit for bit.
+
+use karl::core::{BoundMethod, Evaluator, Kernel, Query, QueryBatch};
+use karl::geom::{Ball, PointSet, Rect};
+use karl_testkit::rng::{Rng, SeedableRng, StdRng};
+use karl_testkit::{prop_assert, prop_assert_eq, props};
+
+/// Two tight blobs plus background — the workload shape where joint
+/// query-node intervals actually decide whole leaves wholesale.
+fn clustered(n: usize, d: usize, rng: &mut StdRng) -> PointSet {
+    let mut data = Vec::with_capacity(n * d);
+    for i in 0..n {
+        match i % 3 {
+            0 => data.extend((0..d).map(|_| -1.5 + rng.random_range(-0.4..0.4))),
+            1 => data.extend((0..d).map(|_| 1.5 + rng.random_range(-0.4..0.4))),
+            _ => data.extend((0..d).map(|_| rng.random_range(-3.0..3.0))),
+        }
+    }
+    PointSet::new(d, data)
+}
+
+fn mixed_weights(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let w: f64 = rng.random_range(0.1..1.5);
+            if rng.random_bool(0.35) {
+                -w
+            } else {
+                w
+            }
+        })
+        .collect()
+}
+
+/// Asserts the answer-equivalence contract for one evaluator.
+fn check_dual<S: karl::tree::NodeShape + Sync>(
+    eval: &Evaluator<S>,
+    queries: &PointSet,
+    query: Query,
+) {
+    let single = QueryBatch::new(queries, query).threads(1).run(eval);
+    for threads in [1usize, 2, 4, 8] {
+        let dual = QueryBatch::new(queries, query).threads(threads).run_dual(eval);
+        prop_assert!(dual.threads() >= 1 && dual.threads() <= threads);
+        match query {
+            Query::Tkaq { .. } => {
+                prop_assert_eq!(dual.decisions(), single.decisions());
+                prop_assert_eq!(dual.estimates(), single.estimates());
+            }
+            Query::Ekaq { .. } => {
+                prop_assert_eq!(dual.outcomes(), single.outcomes());
+                prop_assert_eq!(dual.estimates(), single.estimates());
+            }
+            Query::Within { .. } => {
+                prop_assert_eq!(dual.outcomes(), single.outcomes());
+                prop_assert_eq!(dual.intervals(), single.intervals());
+            }
+        }
+    }
+}
+
+props! {
+    #[test]
+    fn dual_tree_answers_match_per_query_engine(
+        seed in 0u64..1_000_000,
+        n in 40usize..220,
+        d in 1usize..5,
+        leaf in 1usize..24,
+        kernel_id in 0usize..4,
+        variant in 0usize..3
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = clustered(n, d, &mut rng);
+        let weights = mixed_weights(n, &mut rng);
+        let kernel = match kernel_id {
+            0 => Kernel::gaussian(rng.random_range(0.3..1.5)),
+            1 => Kernel::laplacian(rng.random_range(0.3..1.2)),
+            2 => Kernel::polynomial(rng.random_range(0.1..0.5), 0.2, 2),
+            _ => Kernel::sigmoid(rng.random_range(0.05..0.3), 0.1),
+        };
+        let query = match variant {
+            0 => Query::Tkaq { tau: rng.random_range(-0.5..0.5) },
+            1 => Query::Ekaq { eps: rng.random_range(0.01..0.4) },
+            _ => Query::Within { tol: rng.random_range(0.001..0.1) },
+        };
+        // More queries than the dual QUERY_LEAF so internal query nodes,
+        // leaf query nodes and the split/fallback paths all exercise.
+        let queries = clustered(41, d, &mut rng);
+
+        let kd = Evaluator::<Rect>::build(&points, &weights, kernel, BoundMethod::Karl, leaf);
+        check_dual(&kd, &queries, query);
+
+        let ball = Evaluator::<Ball>::build(&points, &weights, kernel, BoundMethod::Karl, leaf);
+        check_dual(&ball, &queries, query);
+    }
+}

@@ -125,6 +125,78 @@ fn all_faulted_batch_still_completes() {
 }
 
 #[test]
+fn dual_path_poisons_exactly_the_planted_slots() {
+    // The dual descent decides whole query nodes wholesale — a planted
+    // fault must still surface in exactly its own slot (fault-planned
+    // queries are excluded from wholesale acceptance), and every other
+    // slot must carry the same bits as a healthy dual run.
+    let (eval, queries) = setup();
+    let query = Query::Tkaq { tau: 0.05 };
+    let healthy: Vec<Outcome> = QueryBatch::new(&queries, query)
+        .threads(1)
+        .try_run_dual(&eval)
+        .unwrap()
+        .results()
+        .iter()
+        .map(|r| *r.as_ref().unwrap())
+        .collect();
+    let plan = [(3usize, Fault::Panic), (17, Fault::Nan), (40, Fault::Panic)];
+    let _guard = fault::inject(&plan);
+    for threads in [1, 2, 4, 8] {
+        let report = QueryBatch::new(&queries, query)
+            .threads(threads)
+            .try_run_dual(&eval)
+            .unwrap();
+        assert_eq!(report.failed_indices(), vec![3, 17, 40], "x{threads}");
+        assert_eq!(report.quarantined(), 2, "x{threads}");
+        for (i, result) in report.results().iter().enumerate() {
+            match result {
+                Ok(out) => {
+                    let b = &healthy[i];
+                    assert_eq!(out.lb().to_bits(), b.lb().to_bits(), "query {i} x{threads}");
+                    assert_eq!(out.ub().to_bits(), b.ub().to_bits(), "query {i} x{threads}");
+                }
+                Err(KarlError::QueryPanicked { index, message }) => {
+                    assert_eq!(*index, i);
+                    assert!(matches!(i, 3 | 40), "unexpected panic slot {i}");
+                    assert!(message.contains("injected fault"), "{message}");
+                }
+                Err(KarlError::NonFiniteQuery { value, .. }) => {
+                    assert_eq!(i, 17);
+                    assert!(value.is_nan());
+                }
+                Err(e) => panic!("query {i}: unexpected error {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dual_wholesale_never_masks_a_planted_fault() {
+    // Even when the joint interval would have decided the faulted query's
+    // whole node, the fault wins: plant a fault at every index in turn of
+    // one query leaf's worth of slots and check it always errs.
+    let (eval, queries) = setup();
+    let query = Query::Tkaq { tau: 0.01 };
+    let clean = QueryBatch::new(&queries, query)
+        .threads(1)
+        .try_run_dual(&eval)
+        .unwrap();
+    assert!(
+        clean.dual_wholesale() > 0,
+        "setup must produce wholesale decisions for the test to bite"
+    );
+    for victim in [0usize, 11, 33, 66] {
+        let _guard = fault::inject(&[(victim, Fault::Panic)]);
+        let report = QueryBatch::new(&queries, query)
+            .threads(2)
+            .try_run_dual(&eval)
+            .unwrap();
+        assert_eq!(report.failed_indices(), vec![victim]);
+    }
+}
+
+#[test]
 fn envelope_cache_survives_containment_with_identical_bits() {
     // The quarantine path re-enables the envelope-cache flag on the fresh
     // scratch; with faults injected, cached healthy outcomes must still be
