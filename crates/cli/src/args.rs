@@ -1,17 +1,21 @@
 //! A small dependency-free flag parser for the CLI.
 //!
 //! Supports `--key value`, `--key=value` and bare `--flag` switches, plus
-//! one leading positional subcommand. Unknown flags are an error (typos
-//! should not be silently ignored on a tool that runs long jobs).
+//! one leading positional subcommand and an optional positional action
+//! (`karl coreset build …`). Unknown flags are an error (typos should not
+//! be silently ignored on a tool that runs long jobs); commands that take
+//! no action reject one at dispatch.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: a subcommand plus its flags.
+/// Parsed command line: a subcommand, an optional action, and flags.
 #[derive(Debug, Clone, Default)]
 pub struct Parsed {
     /// The leading subcommand, if any.
     pub command: Option<String>,
+    /// The second positional (e.g. `build` in `karl coreset build`), if any.
+    pub action: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -74,6 +78,8 @@ impl Parsed {
                 }
             } else if out.command.is_none() {
                 out.command = Some(a.clone());
+            } else if out.action.is_none() {
+                out.action = Some(a.clone());
             } else {
                 return Err(ArgError::UnexpectedPositional(a.clone()));
             }
@@ -182,9 +188,12 @@ mod tests {
     }
 
     #[test]
-    fn stray_positionals_are_rejected() {
+    fn action_positional_is_captured_and_a_third_rejected() {
+        let p = parse(&["coreset", "build", "--eps", "0.1"]).unwrap();
+        assert_eq!(p.command.as_deref(), Some("coreset"));
+        assert_eq!(p.action.as_deref(), Some("build"));
         assert!(matches!(
-            parse(&["kde", "oops"]),
+            parse(&["kde", "oops", "again"]),
             Err(ArgError::UnexpectedPositional(_))
         ));
     }

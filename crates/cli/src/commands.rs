@@ -4,8 +4,8 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use karl_core::{
-    AnyEvaluator, BoundMethod, Budget, Engine, IndexKind, Kernel, OfflineTuner, Query, QueryBatch,
-    Scan,
+    AnyEvaluator, BoundMethod, Budget, Coreset, Engine, IndexKind, Kernel, OfflineTuner, Query,
+    QueryBatch, Scan,
 };
 use karl_data::{
     by_name, load_csv, load_labeled_csv, load_libsvm, registry, save_csv, LabelColumn,
@@ -182,6 +182,7 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         "budget-leaf",
         "deadline-ms",
         "dual",
+        "coreset",
     ])
     .map_err(|e| e.to_string())?;
     let data =
@@ -263,9 +264,13 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         budget = budget.deadline(Duration::from_millis(ms));
     }
 
+    let coreset_eps: Option<f64> = p
+        .get_parsed("coreset", "a target eps")
+        .map_err(|e| e.to_string())?;
+
     let n = data.len();
     let weights = vec![1.0 / n as f64; n];
-    let eval = AnyEvaluator::build(
+    let mut eval = AnyEvaluator::build(
         IndexKind::Kd,
         &data,
         &weights,
@@ -277,6 +282,19 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         .engine(engine)
         .envelope_cache(env_cache)
         .budget(budget);
+    let coreset = match coreset_eps {
+        Some(ceps) => {
+            if ceps <= 0.0 {
+                return Err("--coreset must be positive".into());
+            }
+            let cs = Coreset::try_build(&data, &weights, Kernel::gaussian(gamma), ceps)
+                .map_err(|e| e.to_string())?;
+            eval = eval.with_coreset_tier(&cs, leaf).map_err(|e| e.to_string())?;
+            spec = spec.coreset(true);
+            Some(cs)
+        }
+        None => None,
+    };
     if let Some(t) = threads {
         if t == 0 {
             return Err("--threads must be at least 1".into());
@@ -320,6 +338,19 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         report.threads(),
         if env_cache { "on" } else { "off" }
     );
+    if let Some(cs) = &coreset {
+        let _ = writeln!(
+            out,
+            "# coreset tier {} of {} points (eps_c {:.3e}, margin {:.3e}, footprint {} bytes): decided {} fell_through {}",
+            cs.len(),
+            n,
+            cs.eps_c(),
+            cs.margin(),
+            eval.tier_footprint_bytes().unwrap_or(0),
+            report.coreset_decided(),
+            report.coreset_fallthrough()
+        );
+    }
     let truncated = report.truncated_count();
     if truncated > 0 {
         let _ = writeln!(
@@ -336,20 +367,94 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         let s = report.stats();
         let _ = writeln!(
             out,
-            "# stats nodes_refined {} envelopes_built {} cache_hits {} cache_misses {} curve_value_calls {} dual_pairs_scored {} dual_wholesale_decided {}",
+            "# stats nodes_refined {} envelopes_built {} cache_hits {} cache_misses {} curve_value_calls {} dual_pairs_scored {} dual_wholesale_decided {} coreset_decided {} coreset_fallthrough {}",
             s.nodes_refined,
             s.envelopes_built,
             s.cache_hits,
             s.cache_misses,
             s.curve_value_calls,
             s.dual_pairs_scored,
-            s.dual_wholesale_decided
+            s.dual_wholesale_decided,
+            s.coreset_decided,
+            s.coreset_fallthrough
         );
     }
     Ok(CmdOutput {
         text: out,
         failed_queries: failed,
     })
+}
+
+/// `karl coreset build --data FILE --eps E [--gamma G] [--kernel rbf|laplacian] [--leaf CAP]`
+///
+/// Builds the certified coreset the `batch --coreset` cascade uses and
+/// reports its compression, the analytic certificate `eps_c`, the
+/// discrepancy actually measured against brute force on held-out probes
+/// (always ≤ the certified margin), and the frozen tier's memory
+/// footprint. Construction is deterministic, so `batch --coreset EPS`
+/// rebuilds the identical coreset inline — this verb exists to inspect
+/// the trade-off before committing a workload to it.
+pub fn coreset(p: &Parsed) -> CmdResult {
+    match p.action.as_deref() {
+        Some("build") => {}
+        Some(other) => return Err(format!("unknown coreset action {other:?} (build)")),
+        None => return Err("usage: karl coreset build --data FILE --eps E".into()),
+    }
+    p.expect_flags(&["data", "eps", "gamma", "kernel", "leaf"])
+        .map_err(|e| e.to_string())?;
+    let data =
+        load_csv(p.required("data").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    let eps: f64 = p
+        .get_parsed("eps", "a number")
+        .map_err(|e| e.to_string())?
+        .ok_or("missing required flag --eps")?;
+    let gamma = gamma_for(p, &data)?;
+    let kernel = match p.get("kernel") {
+        None | Some("rbf") | Some("gaussian") => Kernel::gaussian(gamma),
+        Some("laplacian") => Kernel::laplacian(gamma),
+        Some(other) => {
+            return Err(format!(
+                "unknown kernel {other:?} (rbf|laplacian — polynomial/sigmoid have no uniform Lipschitz bound, so no certificate)"
+            ))
+        }
+    };
+    let leaf: usize = p
+        .get_or("leaf", 80, "a leaf capacity")
+        .map_err(|e| e.to_string())?;
+    let n = data.len();
+    let weights = vec![1.0 / n as f64; n];
+    let start = Instant::now();
+    let cs = Coreset::try_build(&data, &weights, kernel, eps).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let eval = AnyEvaluator::build(IndexKind::Kd, &data, &weights, kernel, BoundMethod::Karl, leaf)
+        .with_coreset_tier(&cs, leaf)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "coreset: {} of {} points ({:.1}x compression) built in {elapsed:.2?}",
+        cs.len(),
+        n,
+        n as f64 / cs.len() as f64
+    );
+    let _ = writeln!(out, "eps_c (certified, per unit |w|): {:.6e}", cs.eps_c());
+    let _ = writeln!(
+        out,
+        "margin (eps_c x sum |w|):        {:.6e}",
+        cs.margin()
+    );
+    let _ = writeln!(
+        out,
+        "measured over {} probes:         {:.6e} (must be <= margin)",
+        cs.probe_count(),
+        cs.eps_measured()
+    );
+    let _ = writeln!(
+        out,
+        "frozen tier footprint:           {} bytes (leaf {leaf})",
+        eval.tier_footprint_bytes().unwrap_or(0)
+    );
+    Ok(out)
 }
 
 fn load_training(p: &Parsed) -> Result<(PointSet, Option<Vec<f64>>), String> {

@@ -6,6 +6,7 @@
 //! * `generate` — write a registry dataset to CSV.
 //! * `kde` — answer density queries (TKAQ or eKAQ) over a CSV dataset.
 //! * `batch` — the same queries through the parallel batch engine.
+//! * `coreset` — build a certified coreset and report its error certificate.
 //! * `svm-train` — train a C-SVC / one-class model, save LIBSVM format.
 //! * `svm-predict` — classify queries with a saved model through KARL.
 //! * `tune` — run the offline index tuner and print the grid report.
@@ -32,7 +33,7 @@ commands:
             [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
             [--engine frozen|pointer] [--envelope-cache on|off] [--stats]
             [--budget-nodes N] [--budget-leaf P] [--deadline-ms MS]
-            [--dual]
+            [--dual] [--coreset EPS]
             parallel batch engine; KARL_THREADS env sets the default N;
             frozen (default) is the SoA index, bitwise equal to pointer;
             envelope-cache (default off) memoizes exact KARL envelopes,
@@ -47,7 +48,19 @@ commands:
             a budget stop early and answer from the certified interval
             they reached (TKAQ prints '?' when still undecided); a
             contained per-query failure prints an '# error' line and the
-            process exits 2 (0 = clean, 1 = command error)
+            process exits 2 (0 = clean, 1 = command error);
+            --coreset EPS (default off) builds a certified coreset with
+            per-unit-weight error EPS and answers TKAQ/eKAQ on the small
+            tier first, widening by the certificate and falling through
+            to the full tree only when undecided — TKAQ decisions are
+            identical, eKAQ stays within the requested relative error,
+            Within bypasses the tier (bitwise identical)
+  coreset   build --data FILE --eps E [--gamma G]
+            [--kernel rbf|laplacian] [--leaf CAP]
+            build a certified coreset and report its size, analytic
+            certificate eps_c, the measured discrepancy on held-out
+            probes, and the frozen tier footprint (construction is
+            deterministic; `batch --coreset` rebuilds it inline)
   svm-train --data FILE --svm csvc|oneclass --out MODEL
             [--format csv-last|csv-first|libsvm] [--c C] [--nu NU]
             [--kernel rbf|poly|sigmoid|laplacian] [--gamma G]
@@ -84,8 +97,14 @@ impl CmdOutput {
 /// plus the count of contained per-query failures.
 pub fn run_report(args: &[String]) -> Result<CmdOutput, String> {
     let parsed = Parsed::parse(args).map_err(|e| e.to_string())?;
+    if let Some(action) = parsed.action.as_deref() {
+        if parsed.command.as_deref() != Some("coreset") {
+            return Err(format!("unexpected argument {action:?}"));
+        }
+    }
     match parsed.command.as_deref() {
         Some("batch") => return commands::batch(&parsed),
+        Some("coreset") => commands::coreset(&parsed),
         Some("datasets") => commands::datasets(&parsed),
         Some("generate") => commands::generate(&parsed),
         Some("kde") => commands::kde(&parsed),
@@ -402,6 +421,109 @@ mod tests {
     }
 
     #[test]
+    fn coreset_build_reports_a_certificate() {
+        let data = tmp("coreset_build.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "600",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_vec(&[
+            "coreset",
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.05",
+        ])
+        .unwrap();
+        for needle in ["compression", "eps_c", "margin", "probes", "footprint"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        // Unsupported kernels are rejected with the Lipschitz explanation.
+        let err = run_vec(&[
+            "coreset",
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.05",
+            "--kernel",
+            "poly",
+        ])
+        .unwrap_err();
+        assert!(err.contains("Lipschitz"));
+        // A bare `karl coreset` explains itself; stray actions on other
+        // commands are rejected.
+        assert!(run_vec(&["coreset"]).unwrap_err().contains("coreset build"));
+        assert!(run_vec(&["datasets", "build"]).is_err());
+    }
+
+    #[test]
+    fn batch_coreset_flag_keeps_decisions_and_reports_the_tier() {
+        let data = tmp("batch_coreset.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "500",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        // TKAQ decisions and Within answers must be byte-identical with the
+        // cascade on; every TKAQ query is accounted to exactly one tier.
+        for spec in [["--tau", "0.05"], ["--tol", "0.05"]] {
+            let mut args = vec![
+                "batch",
+                "--data",
+                data.to_str().unwrap(),
+                "--queries",
+                data.to_str().unwrap(),
+                spec[0],
+                spec[1],
+                "--threads",
+                "2",
+            ];
+            let plain = run_vec(&args).unwrap();
+            args.extend_from_slice(&["--coreset", "0.02"]);
+            let cascade = run_vec(&args).unwrap();
+            assert_eq!(strip(&cascade), strip(&plain), "{spec:?}");
+            let line = cascade
+                .lines()
+                .find(|l| l.starts_with("# coreset"))
+                .expect("coreset summary line");
+            assert!(line.contains("decided") && line.contains("fell_through"));
+        }
+        // Zero eps is rejected up front.
+        assert!(run_vec(&[
+            "batch",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--tau",
+            "0.05",
+            "--coreset",
+            "0",
+        ])
+        .unwrap_err()
+        .contains("--coreset"));
+    }
+
+    #[test]
     fn batch_stats_flag_depends_on_the_feature() {
         let data = tmp("batch_stats.csv");
         run_vec(&[
@@ -437,6 +559,8 @@ mod tests {
                 "cache_hits",
                 "cache_misses",
                 "curve_value_calls",
+                "coreset_decided",
+                "coreset_fallthrough",
             ] {
                 assert!(stats_line.contains(field), "missing {field}");
             }

@@ -68,7 +68,7 @@ use crate::error::{self, KarlError};
 use crate::eval::RunStats;
 use crate::eval::{
     contribution, decide_tkaq, estimate_ekaq, Budget, Engine, Evaluator, Outcome, Query,
-    RunOutcome, Scratch,
+    RunOutcome, Scratch, TierPath,
 };
 use crate::kernel::Kernel;
 use crate::tuning::AnyEvaluator;
@@ -112,6 +112,33 @@ const DUAL_EXPANSION_SLACK: usize = 32;
 
 /// Per-slot results of a fault-contained run: `(query index, outcome)`.
 type TriedSlots = Vec<(usize, Result<Outcome, KarlError>)>;
+
+/// Coreset-cascade tally of one run (or one worker's share of it): how many
+/// queries tier 1 decided outright vs how many fell through to the full
+/// tree. Each query's [`TierPath`] is a pure function of the query, so the
+/// summed tally is deterministic at any thread count.
+#[derive(Debug, Clone, Copy, Default)]
+struct TierCounts {
+    decided: u64,
+    fell: u64,
+}
+
+impl TierCounts {
+    #[inline]
+    fn note(&mut self, path: TierPath) {
+        match path {
+            TierPath::Decided => self.decided += 1,
+            TierPath::FellThrough => self.fell += 1,
+            TierPath::Bypassed => {}
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, other: &TierCounts) {
+        self.decided += other.decided;
+        self.fell += other.fell;
+    }
+}
 
 /// Resolves the worker count for a batch: explicit request →
 /// `KARL_THREADS` → `available_parallelism` → 1. Zero and unparsable
@@ -358,6 +385,7 @@ pub struct QueryBatch<'a> {
     engine: Engine,
     env_cache: bool,
     budget: Budget,
+    coreset: bool,
 }
 
 impl<'a> QueryBatch<'a> {
@@ -384,6 +412,7 @@ impl<'a> QueryBatch<'a> {
             engine: Engine::default(),
             env_cache: false,
             budget: Budget::UNLIMITED,
+            coreset: false,
         })
     }
 
@@ -424,6 +453,27 @@ impl<'a> QueryBatch<'a> {
         self
     }
 
+    /// Enables the coreset cascade (default off): per-query evaluation
+    /// first refines on the evaluator's attached coreset tier (see
+    /// [`Evaluator::with_coreset_tier`]) and only falls through to the
+    /// full tree when the widened interval cannot decide. A no-op on
+    /// evaluators without a tier. Applies wherever the per-query path
+    /// runs — [`run`](Self::run), [`try_run`](Self::try_run), and the
+    /// per-query fallback of the dual-tree entry points.
+    ///
+    /// Answer contract (`tests/coreset_cascade_equivalence.rs`): TKAQ
+    /// decisions and `Within` results are identical to the cascade-off
+    /// run (`Within` queries bypass the tier entirely — their answer *is*
+    /// the interval, which tier widening would legitimately coarsen — so
+    /// their outcomes stay bitwise identical); eKAQ estimates satisfy the
+    /// requested relative error but may differ bitwise when the tier
+    /// decides. When off, the code path is bitwise identical to the
+    /// pre-cascade engine.
+    pub fn coreset(mut self, on: bool) -> Self {
+        self.coreset = on;
+        self
+    }
+
     /// Applies a per-query refinement [`Budget`] (default unlimited).
     /// Budgets are honored by [`try_run`](Self::try_run); queries that
     /// exhaust theirs report `Outcome::Truncated` with the certified
@@ -456,21 +506,14 @@ impl<'a> QueryBatch<'a> {
         let n = self.queries.len();
         let threads = resolve_threads(self.threads).min(n.max(1));
         let start = Instant::now();
-        let (outcomes, scratches) = if threads <= 1 {
+        let (outcomes, scratches, tier) = if threads <= 1 {
             let mut scratch = Scratch::new();
             scratch.set_envelope_cache(self.env_cache);
+            let mut tier = TierCounts::default();
             let out = (0..n)
-                .map(|i| {
-                    eval.run_with_scratch_on(
-                        self.engine,
-                        self.queries.point(i),
-                        self.query,
-                        self.level_cap,
-                        &mut scratch,
-                    )
-                })
+                .map(|i| self.run_one_unchecked(eval, self.queries.point(i), &mut scratch, &mut tier))
                 .collect();
-            (out, vec![scratch])
+            (out, vec![scratch], tier)
         } else {
             self.run_parallel(eval, n, threads)
         };
@@ -481,6 +524,8 @@ impl<'a> QueryBatch<'a> {
             for sc in &scratches {
                 s.merge(&sc.stats());
             }
+            s.coreset_decided += tier.decided;
+            s.coreset_fallthrough += tier.fell;
             s
         };
         let _ = scratches;
@@ -491,8 +536,32 @@ impl<'a> QueryBatch<'a> {
             outcomes,
             dual_pairs: 0,
             dual_wholesale: 0,
+            coreset_decided: tier.decided,
+            coreset_fallthrough: tier.fell,
             #[cfg(feature = "stats")]
             stats,
+        }
+    }
+
+    /// One query through the unvalidated per-query path: the plain
+    /// scratch-reusing entry point, or the cascade twin when
+    /// [`coreset`](Self::coreset) is on. With the flag off this compiles
+    /// down to exactly the pre-cascade call.
+    #[inline]
+    fn run_one_unchecked<S: NodeShape + Sync>(
+        &self,
+        eval: &Evaluator<S>,
+        q: &[f64],
+        scratch: &mut Scratch,
+        tier: &mut TierCounts,
+    ) -> RunOutcome {
+        if self.coreset {
+            let (out, path) =
+                eval.run_cascade_with_scratch_on(self.engine, q, self.query, self.level_cap, scratch);
+            tier.note(path);
+            out
+        } else {
+            eval.run_with_scratch_on(self.engine, q, self.query, self.level_cap, scratch)
         }
     }
 
@@ -530,14 +599,15 @@ impl<'a> QueryBatch<'a> {
         let n = self.queries.len();
         let threads = resolve_threads(self.threads).min(n.max(1));
         let start = Instant::now();
-        let (results, scratches, quarantined) = if threads <= 1 {
+        let (results, scratches, quarantined, tier) = if threads <= 1 {
             let mut scratch = Scratch::new();
             scratch.set_envelope_cache(self.env_cache);
             let mut quarantined = 0usize;
+            let mut tier = TierCounts::default();
             let out = (0..n)
-                .map(|i| self.run_one_contained(eval, i, &mut scratch, &mut quarantined))
+                .map(|i| self.run_one_contained(eval, i, &mut scratch, &mut quarantined, &mut tier))
                 .collect();
-            (out, vec![scratch], quarantined)
+            (out, vec![scratch], quarantined, tier)
         } else {
             self.try_run_parallel(eval, n, threads)
         };
@@ -548,6 +618,8 @@ impl<'a> QueryBatch<'a> {
             for sc in &scratches {
                 s.merge(&sc.stats());
             }
+            s.coreset_decided += tier.decided;
+            s.coreset_fallthrough += tier.fell;
             s
         };
         let _ = scratches;
@@ -559,6 +631,8 @@ impl<'a> QueryBatch<'a> {
             quarantined,
             dual_pairs: 0,
             dual_wholesale: 0,
+            coreset_decided: tier.decided,
+            coreset_fallthrough: tier.fell,
             #[cfg(feature = "stats")]
             stats,
         })
@@ -622,7 +696,7 @@ impl<'a> QueryBatch<'a> {
                 })
             })
             .collect();
-        let (filled, scratches) = self.run_pending(eval, &pending, threads);
+        let (filled, scratches, tier) = self.run_pending(eval, &pending, threads);
         for (i, out) in filled {
             outcomes[i] = out;
         }
@@ -636,6 +710,8 @@ impl<'a> QueryBatch<'a> {
             }
             s.dual_pairs_scored += plan.pairs;
             s.dual_wholesale_decided += dual_wholesale;
+            s.coreset_decided += tier.decided;
+            s.coreset_fallthrough += tier.fell;
             s
         };
         let _ = scratches;
@@ -646,6 +722,8 @@ impl<'a> QueryBatch<'a> {
             outcomes,
             dual_pairs: plan.pairs,
             dual_wholesale,
+            coreset_decided: tier.decided,
+            coreset_fallthrough: tier.fell,
             #[cfg(feature = "stats")]
             stats,
         }
@@ -700,7 +778,7 @@ impl<'a> QueryBatch<'a> {
                 None => pending.push(i),
             }
         }
-        let (filled, scratches, quarantined) = self.try_run_pending(eval, &pending, threads);
+        let (filled, scratches, quarantined, tier) = self.try_run_pending(eval, &pending, threads);
         for (i, r) in filled {
             results[i] = r;
         }
@@ -714,6 +792,8 @@ impl<'a> QueryBatch<'a> {
             }
             s.dual_pairs_scored += plan.pairs;
             s.dual_wholesale_decided += dual_wholesale;
+            s.coreset_decided += tier.decided;
+            s.coreset_fallthrough += tier.fell;
             s
         };
         let _ = scratches;
@@ -725,6 +805,8 @@ impl<'a> QueryBatch<'a> {
             quarantined,
             dual_pairs: plan.pairs,
             dual_wholesale,
+            coreset_decided: tier.decided,
+            coreset_fallthrough: tier.fell,
             #[cfg(feature = "stats")]
             stats,
         })
@@ -839,37 +921,35 @@ impl<'a> QueryBatch<'a> {
         eval: &Evaluator<S>,
         pending: &[usize],
         threads: usize,
-    ) -> (Vec<(usize, RunOutcome)>, Vec<Scratch>) {
+    ) -> (Vec<(usize, RunOutcome)>, Vec<Scratch>, TierCounts) {
         let m = pending.len();
         let workers = threads.min(m.max(1));
         if workers <= 1 {
             let mut scratch = Scratch::new();
             scratch.set_envelope_cache(self.env_cache);
+            let mut tier = TierCounts::default();
             let out = pending
                 .iter()
                 .map(|&i| {
-                    let out = eval.run_with_scratch_on(
-                        self.engine,
+                    let out = self.run_one_unchecked(
+                        eval,
                         self.queries.point(i),
-                        self.query,
-                        self.level_cap,
                         &mut scratch,
+                        &mut tier,
                     );
                     (i, out)
                 })
                 .collect();
-            return (out, vec![scratch]);
+            return (out, vec![scratch], tier);
         }
         let cursor = AtomicUsize::new(0);
-        let queries = self.queries;
-        let (query, level_cap, engine) = (self.query, self.level_cap, self.engine);
-        let env_cache = self.env_cache;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut scratch = Scratch::new();
-                        scratch.set_envelope_cache(env_cache);
+                        scratch.set_envelope_cache(self.env_cache);
+                        let mut tier = TierCounts::default();
                         let mut local: Vec<(usize, RunOutcome)> =
                             Vec::with_capacity(m / workers + CHUNK);
                         loop {
@@ -879,29 +959,30 @@ impl<'a> QueryBatch<'a> {
                             }
                             let hi = (lo + CHUNK).min(m);
                             for &i in &pending[lo..hi] {
-                                let out = eval.run_with_scratch_on(
-                                    engine,
-                                    queries.point(i),
-                                    query,
-                                    level_cap,
+                                let out = self.run_one_unchecked(
+                                    eval,
+                                    self.queries.point(i),
                                     &mut scratch,
+                                    &mut tier,
                                 );
                                 local.push((i, out));
                             }
                             scratch.reset_with_capacity_cap(SCRATCH_CAP);
                         }
-                        (local, scratch)
+                        (local, scratch, tier)
                     })
                 })
                 .collect();
             let mut out = Vec::with_capacity(m);
             let mut scratches = Vec::with_capacity(workers);
+            let mut tier = TierCounts::default();
             for h in handles {
-                let (local, scratch) = h.join().expect("batch worker panicked");
+                let (local, scratch, t) = h.join().expect("batch worker panicked");
                 out.extend(local);
                 scratches.push(scratch);
+                tier.add(&t);
             }
-            (out, scratches)
+            (out, scratches, tier)
         })
     }
 
@@ -912,21 +993,23 @@ impl<'a> QueryBatch<'a> {
         eval: &Evaluator<S>,
         pending: &[usize],
         threads: usize,
-    ) -> (TriedSlots, Vec<Scratch>, usize) {
+    ) -> (TriedSlots, Vec<Scratch>, usize, TierCounts) {
         let m = pending.len();
         let workers = threads.min(m.max(1));
         if workers <= 1 {
             let mut scratch = Scratch::new();
             scratch.set_envelope_cache(self.env_cache);
             let mut quarantined = 0usize;
+            let mut tier = TierCounts::default();
             let out = pending
                 .iter()
                 .map(|&i| {
-                    let r = self.run_one_contained(eval, i, &mut scratch, &mut quarantined);
+                    let r =
+                        self.run_one_contained(eval, i, &mut scratch, &mut quarantined, &mut tier);
                     (i, r)
                 })
                 .collect();
-            return (out, vec![scratch], quarantined);
+            return (out, vec![scratch], quarantined, tier);
         }
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -936,6 +1019,7 @@ impl<'a> QueryBatch<'a> {
                         let mut scratch = Scratch::new();
                         scratch.set_envelope_cache(self.env_cache);
                         let mut quarantined = 0usize;
+                        let mut tier = TierCounts::default();
                         let mut local: Vec<(usize, Result<Outcome, KarlError>)> =
                             Vec::with_capacity(m / workers + CHUNK);
                         loop {
@@ -950,25 +1034,28 @@ impl<'a> QueryBatch<'a> {
                                     i,
                                     &mut scratch,
                                     &mut quarantined,
+                                    &mut tier,
                                 );
                                 local.push((i, r));
                             }
                             scratch.reset_with_capacity_cap(SCRATCH_CAP);
                         }
-                        (local, scratch, quarantined)
+                        (local, scratch, quarantined, tier)
                     })
                 })
                 .collect();
             let mut out = Vec::with_capacity(m);
             let mut scratches = Vec::with_capacity(workers);
             let mut quarantined = 0usize;
+            let mut tier = TierCounts::default();
             for h in handles {
-                let (local, scratch, q) = h.join().expect("batch worker panicked");
+                let (local, scratch, q, t) = h.join().expect("batch worker panicked");
                 out.extend(local);
                 scratches.push(scratch);
                 quarantined += q;
+                tier.add(&t);
             }
-            (out, scratches, quarantined)
+            (out, scratches, quarantined, tier)
         })
     }
 
@@ -981,6 +1068,7 @@ impl<'a> QueryBatch<'a> {
         i: usize,
         scratch: &mut Scratch,
         quarantined: &mut usize,
+        tier: &mut TierCounts,
     ) -> Result<Outcome, KarlError> {
         // AssertUnwindSafe audit: the closure mutates only `scratch`, and
         // the catch arm below discards that scratch instead of reusing it,
@@ -990,29 +1078,50 @@ impl<'a> QueryBatch<'a> {
             match crate::fault::planned(i) {
                 Some(crate::fault::Fault::Panic) => panic!("injected fault at query {i}"),
                 Some(crate::fault::Fault::Nan) => {
+                    // Fault-planned queries skip the coreset tier
+                    // (mirroring the dual wholesale exclusion): a planted
+                    // fault must surface in its own slot, never be decided
+                    // away by the tier.
                     let nan_q = vec![f64::NAN; self.queries.dims()];
-                    return eval.run_budgeted_with_scratch_on(
-                        self.engine,
-                        &nan_q,
-                        self.query,
-                        self.level_cap,
-                        &self.budget,
-                        scratch,
-                    );
+                    return eval
+                        .run_budgeted_with_scratch_on(
+                            self.engine,
+                            &nan_q,
+                            self.query,
+                            self.level_cap,
+                            &self.budget,
+                            scratch,
+                        )
+                        .map(|o| (o, TierPath::Bypassed));
                 }
                 None => {}
             }
-            eval.run_budgeted_with_scratch_on(
-                self.engine,
-                self.queries.point(i),
-                self.query,
-                self.level_cap,
-                &self.budget,
-                scratch,
-            )
+            if self.coreset {
+                eval.run_cascade_budgeted_with_scratch_on(
+                    self.engine,
+                    self.queries.point(i),
+                    self.query,
+                    self.level_cap,
+                    &self.budget,
+                    scratch,
+                )
+            } else {
+                eval.run_budgeted_with_scratch_on(
+                    self.engine,
+                    self.queries.point(i),
+                    self.query,
+                    self.level_cap,
+                    &self.budget,
+                    scratch,
+                )
+                .map(|o| (o, TierPath::Bypassed))
+            }
         }));
         match attempt {
-            Ok(result) => result,
+            Ok(result) => result.map(|(o, path)| {
+                tier.note(path);
+                o
+            }),
             Err(payload) => {
                 *scratch = Scratch::new();
                 scratch.set_envelope_cache(self.env_cache);
@@ -1034,7 +1143,12 @@ impl<'a> QueryBatch<'a> {
         eval: &Evaluator<S>,
         n: usize,
         threads: usize,
-    ) -> (Vec<Result<Outcome, KarlError>>, Vec<Scratch>, usize) {
+    ) -> (
+        Vec<Result<Outcome, KarlError>>,
+        Vec<Scratch>,
+        usize,
+        TierCounts,
+    ) {
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
@@ -1043,6 +1157,7 @@ impl<'a> QueryBatch<'a> {
                         let mut scratch = Scratch::new();
                         scratch.set_envelope_cache(self.env_cache);
                         let mut quarantined = 0usize;
+                        let mut tier = TierCounts::default();
                         let mut local: Vec<(usize, Result<Outcome, KarlError>)> =
                             Vec::with_capacity(n / threads + CHUNK);
                         loop {
@@ -1057,12 +1172,13 @@ impl<'a> QueryBatch<'a> {
                                     i,
                                     &mut scratch,
                                     &mut quarantined,
+                                    &mut tier,
                                 );
                                 local.push((i, r));
                             }
                             scratch.reset_with_capacity_cap(SCRATCH_CAP);
                         }
-                        (local, scratch, quarantined)
+                        (local, scratch, quarantined, tier)
                     })
                 })
                 .collect();
@@ -1070,18 +1186,20 @@ impl<'a> QueryBatch<'a> {
             out.resize_with(n, || Err(KarlError::EmptyPoints));
             let mut scratches = Vec::with_capacity(threads);
             let mut quarantined = 0usize;
+            let mut tier = TierCounts::default();
             for w in workers {
                 // Worker threads never panic for query-level faults —
                 // those are contained per slot — so this join only fails
                 // on harness-level bugs.
-                let (local, scratch, q) = w.join().expect("batch worker panicked");
+                let (local, scratch, q, t) = w.join().expect("batch worker panicked");
                 for (i, r) in local {
                     out[i] = r;
                 }
                 scratches.push(scratch);
                 quarantined += q;
+                tier.add(&t);
             }
-            (out, scratches, quarantined)
+            (out, scratches, quarantined, tier)
         })
     }
 
@@ -1090,17 +1208,16 @@ impl<'a> QueryBatch<'a> {
         eval: &Evaluator<S>,
         n: usize,
         threads: usize,
-    ) -> (Vec<RunOutcome>, Vec<Scratch>) {
+    ) -> (Vec<RunOutcome>, Vec<Scratch>, TierCounts) {
         let cursor = AtomicUsize::new(0);
         let queries = self.queries;
-        let (query, level_cap, engine) = (self.query, self.level_cap, self.engine);
-        let env_cache = self.env_cache;
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut scratch = Scratch::new();
-                        scratch.set_envelope_cache(env_cache);
+                        scratch.set_envelope_cache(self.env_cache);
+                        let mut tier = TierCounts::default();
                         let mut local: Vec<(usize, RunOutcome)> =
                             Vec::with_capacity(n / threads + CHUNK);
                         loop {
@@ -1110,12 +1227,11 @@ impl<'a> QueryBatch<'a> {
                             }
                             let hi = (lo + CHUNK).min(n);
                             for i in lo..hi {
-                                let out = eval.run_with_scratch_on(
-                                    engine,
+                                let out = self.run_one_unchecked(
+                                    eval,
                                     queries.point(i),
-                                    query,
-                                    level_cap,
                                     &mut scratch,
+                                    &mut tier,
                                 );
                                 local.push((i, out));
                             }
@@ -1126,7 +1242,7 @@ impl<'a> QueryBatch<'a> {
                             // cache entries survive ordinary workloads.
                             scratch.reset_with_capacity_cap(SCRATCH_CAP);
                         }
-                        (local, scratch)
+                        (local, scratch, tier)
                     })
                 })
                 .collect();
@@ -1141,14 +1257,16 @@ impl<'a> QueryBatch<'a> {
                 n
             ];
             let mut scratches = Vec::with_capacity(threads);
+            let mut tier = TierCounts::default();
             for w in workers {
-                let (local, scratch) = w.join().expect("batch worker panicked");
+                let (local, scratch, t) = w.join().expect("batch worker panicked");
                 for (i, r) in local {
                     out[i] = r;
                 }
                 scratches.push(scratch);
+                tier.add(&t);
             }
-            (out, scratches)
+            (out, scratches, tier)
         })
     }
 }
@@ -1162,6 +1280,8 @@ pub struct BatchOutcome {
     outcomes: Vec<RunOutcome>,
     dual_pairs: u64,
     dual_wholesale: u64,
+    coreset_decided: u64,
+    coreset_fallthrough: u64,
     #[cfg(feature = "stats")]
     stats: RunStats,
 }
@@ -1230,6 +1350,21 @@ impl BatchOutcome {
         self.dual_wholesale
     }
 
+    /// Queries the coreset front tier decided outright (the full tree was
+    /// never touched). Zero when [`QueryBatch::coreset`] is off or the
+    /// evaluator carries no tier.
+    pub fn coreset_decided(&self) -> u64 {
+        self.coreset_decided
+    }
+
+    /// Queries that ran the coreset tier but fell through to the full
+    /// tree. Zero when [`QueryBatch::coreset`] is off or the evaluator
+    /// carries no tier (`Within` queries bypass the tier and count in
+    /// neither tally).
+    pub fn coreset_fallthrough(&self) -> u64 {
+        self.coreset_fallthrough
+    }
+
     /// Total node visits attributable to a dual run: pair intervals
     /// scored by the descent plus refinement iterations of the
     /// per-query fallback. Comparable against
@@ -1293,6 +1428,8 @@ pub struct BatchReport {
     quarantined: usize,
     dual_pairs: u64,
     dual_wholesale: u64,
+    coreset_decided: u64,
+    coreset_fallthrough: u64,
     #[cfg(feature = "stats")]
     stats: RunStats,
 }
@@ -1336,6 +1473,21 @@ impl BatchReport {
     /// contained per-query path). Zero for [`QueryBatch::try_run`].
     pub fn dual_wholesale(&self) -> u64 {
         self.dual_wholesale
+    }
+
+    /// Queries the coreset front tier decided outright (fault-planned
+    /// queries never count — they always take the contained per-query
+    /// path). Zero when [`QueryBatch::coreset`] is off or the evaluator
+    /// carries no tier.
+    pub fn coreset_decided(&self) -> u64 {
+        self.coreset_decided
+    }
+
+    /// Queries that ran the coreset tier but fell through to the full
+    /// tree. Zero when [`QueryBatch::coreset`] is off or the evaluator
+    /// carries no tier.
+    pub fn coreset_fallthrough(&self) -> u64 {
+        self.coreset_fallthrough
     }
 
     /// Number of queries in the batch.

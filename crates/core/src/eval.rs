@@ -27,6 +27,7 @@ use crate::bounds::{
     assemble_interval, node_bounds, node_intervals_frozen, BoundMethod, BoundPair, NodeInterval,
     QueryContext,
 };
+use crate::coreset::Coreset;
 use crate::envelope::EnvelopeCache;
 use crate::error::{self, KarlError};
 use crate::kernel::Kernel;
@@ -368,6 +369,12 @@ pub struct RunStats {
     /// Queries decided wholesale by a joint query-node interval, without
     /// any per-query refinement (zero outside `run_dual`).
     pub dual_wholesale_decided: u64,
+    /// Queries the coreset front tier decided outright (zero when the
+    /// cascade is off).
+    pub coreset_decided: u64,
+    /// Queries that ran the coreset tier but fell through to the full tree
+    /// (zero when the cascade is off).
+    pub coreset_fallthrough: u64,
 }
 
 #[cfg(feature = "stats")]
@@ -381,6 +388,8 @@ impl RunStats {
         self.curve_value_calls += other.curve_value_calls;
         self.dual_pairs_scored += other.dual_pairs_scored;
         self.dual_wholesale_decided += other.dual_wholesale_decided;
+        self.coreset_decided += other.coreset_decided;
+        self.coreset_fallthrough += other.coreset_fallthrough;
     }
 }
 
@@ -503,6 +512,34 @@ pub struct Evaluator<S: NodeShape> {
     kernel: Kernel,
     method: BoundMethod,
     dims: usize,
+    /// Optional coreset front tier for the evaluation cascade (default
+    /// `None`; attach with [`with_coreset_tier`](Self::with_coreset_tier)).
+    tier: Option<Box<CoresetTier<S>>>,
+}
+
+/// The coreset front tier: a second (small) evaluator frozen over the
+/// coreset representatives, plus the certified absolute widening its
+/// intervals need to stay sound for the full dataset.
+#[derive(Debug, Clone)]
+struct CoresetTier<S: NodeShape> {
+    eval: Evaluator<S>,
+    /// `eps_c · Σ|wᵢ|`: `|S_coreset(q) − S_full(q)|` never exceeds this for
+    /// any finite query (see [`crate::coreset`] for the certificate).
+    margin: f64,
+}
+
+/// Which tier of the coreset cascade produced a query's answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierPath {
+    /// No tier is attached, or the query type bypasses the tier (`Within`
+    /// queries always run on the full tree so their answers stay bitwise
+    /// identical to the non-cascade engine).
+    Bypassed,
+    /// The widened coreset interval decided the query at tier 1; the full
+    /// tree was never touched.
+    Decided,
+    /// The widened interval could not decide; the full tree answered.
+    FellThrough,
 }
 
 /// Evaluator over a kd-tree.
@@ -578,6 +615,7 @@ impl<S: NodeShape> Evaluator<S> {
             kernel,
             method,
             dims: points.dims(),
+            tier: None,
         })
     }
 
@@ -626,6 +664,7 @@ impl<S: NodeShape> Evaluator<S> {
             kernel,
             method,
             dims,
+            tier: None,
         })
     }
 
@@ -776,8 +815,16 @@ impl<S: NodeShape> Evaluator<S> {
     ) -> (RunOutcome, Vec<TraceStep>) {
         self.check_query(q);
         let mut scratch = Scratch::new();
-        let (out, _) =
-            self.run_core_on(engine, q, query, None, &mut scratch, true, &Budget::UNLIMITED);
+        let (out, _) = self.run_core_on(
+            engine,
+            q,
+            query,
+            None,
+            &mut scratch,
+            true,
+            &Budget::UNLIMITED,
+            0.0,
+        );
         (out, std::mem::take(&mut scratch.trace))
     }
 
@@ -806,6 +853,7 @@ impl<S: NodeShape> Evaluator<S> {
             &mut Scratch::new(),
             false,
             &Budget::UNLIMITED,
+            0.0,
         );
         Ok(out)
     }
@@ -846,7 +894,7 @@ impl<S: NodeShape> Evaluator<S> {
         error::validate_query(q, self.dims)?;
         error::validate_spec(query)?;
         let (out, truncated) =
-            self.run_core_on(engine, q, query, level_cap, scratch, false, budget);
+            self.run_core_on(engine, q, query, level_cap, scratch, false, budget, 0.0);
         Ok(match truncated {
             None => Outcome::Complete(out),
             Some(reason) => Outcome::Truncated {
@@ -926,6 +974,7 @@ impl<S: NodeShape> Evaluator<S> {
             &mut Scratch::new(),
             false,
             &Budget::UNLIMITED,
+            0.0,
         )
         .0
     }
@@ -954,6 +1003,7 @@ impl<S: NodeShape> Evaluator<S> {
             scratch,
             false,
             &Budget::UNLIMITED,
+            0.0,
         )
         .0
     }
@@ -967,8 +1017,220 @@ impl<S: NodeShape> Evaluator<S> {
         level_cap: Option<u16>,
         scratch: &mut Scratch,
     ) -> RunOutcome {
-        self.run_core_on(engine, q, query, level_cap, scratch, false, &Budget::UNLIMITED)
-            .0
+        self.run_core_on(
+            engine,
+            q,
+            query,
+            level_cap,
+            scratch,
+            false,
+            &Budget::UNLIMITED,
+            0.0,
+        )
+        .0
+    }
+
+    /// Attaches a coreset front tier, turning this evaluator into a two-tier
+    /// cascade: TKAQ/eKAQ queries first refine on a small tree frozen over
+    /// the coreset representatives with every termination test widened by
+    /// the certificate `margin = eps_c·Σ|wᵢ|`, and only fall through to the
+    /// full tree when the widened interval cannot decide. A tier answer is
+    /// sound for the full dataset because `S_full(q)` always lies inside
+    /// `[lb_core − margin, ub_core + margin]`.
+    ///
+    /// `Within` queries always bypass the tier (their batch contract is a
+    /// bitwise-identical answer to the non-cascade engine, see
+    /// `tests/coreset_cascade_equivalence.rs`). The tier only pays when
+    /// queries land in clear accept/reject regions of `τ` (or loose `ε`);
+    /// a fall-through costs one extra O(|coreset|) refinement.
+    ///
+    /// Errors: [`KarlError::DimMismatch`] when the coreset dimensionality
+    /// disagrees, [`KarlError::LengthMismatch`] via tree construction, and
+    /// a kernel mismatch is rejected as
+    /// [`KarlError::UnsupportedCoresetKernel`] — the certificate is only
+    /// valid for the kernel it was derived for.
+    pub fn with_coreset_tier(
+        mut self,
+        coreset: &Coreset,
+        leaf_capacity: usize,
+    ) -> Result<Self, KarlError> {
+        if coreset.points().dims() != self.dims {
+            return Err(KarlError::DimMismatch {
+                expected: self.dims,
+                got: coreset.points().dims(),
+            });
+        }
+        if coreset.kernel() != self.kernel {
+            return Err(KarlError::UnsupportedCoresetKernel {
+                kernel: "mismatched (coreset was certified for a different kernel)",
+            });
+        }
+        let eval = Evaluator::try_build(
+            coreset.points(),
+            coreset.weights(),
+            self.kernel,
+            self.method,
+            leaf_capacity,
+        )?;
+        self.tier = Some(Box::new(CoresetTier {
+            eval,
+            margin: coreset.margin(),
+        }));
+        Ok(self)
+    }
+
+    /// Detaches the coreset tier (subsequent runs use the full tree only).
+    pub fn without_coreset_tier(mut self) -> Self {
+        self.tier = None;
+        self
+    }
+
+    /// Whether a coreset front tier is attached.
+    pub fn has_coreset_tier(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// The certified absolute widening of the attached tier, if any.
+    pub fn coreset_margin(&self) -> Option<f64> {
+        self.tier.as_ref().map(|t| t.margin)
+    }
+
+    /// Heap bytes of the attached tier's frozen indexes, if any — the extra
+    /// memory the cascade stacks on top of the full index.
+    pub fn tier_footprint_bytes(&self) -> Option<usize> {
+        self.tier.as_ref().map(|t| {
+            t.eval.pos_frozen().map_or(0, FrozenTree::footprint_bytes)
+                + t.eval.neg_frozen().map_or(0, FrozenTree::footprint_bytes)
+        })
+    }
+
+    /// Whether the attached tier applies to `query` at all (`Within`
+    /// bypasses it, and without a tier nothing applies).
+    #[inline]
+    fn tier_applies(&self, query: Query) -> bool {
+        self.tier.is_some() && !matches!(query, Query::Within { .. })
+    }
+
+    /// Runs tier 1 of the cascade: refine on the coreset tree with the
+    /// termination test widened by the certificate margin, and return the
+    /// *widened* outcome when it decides the query. `None` means the tier
+    /// does not apply or could not decide: tier refinement stops at the
+    /// certificate's resolution (interval width ≤ margin) because past
+    /// that floor the coreset's own error dominates — queries inside the
+    /// margin-wide boundary band fall through instead of grinding the
+    /// coreset tree down to an exact scan.
+    fn tier_attempt(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+        scratch: &mut Scratch,
+    ) -> Option<RunOutcome> {
+        let tier = self.tier.as_deref()?;
+        if matches!(query, Query::Within { .. }) {
+            return None;
+        }
+        // Unbudgeted: the tier's cost is bounded by the coreset size, and
+        // the caller's budget governs the expensive fall-through run only
+        // (mirroring the dual-tree wholesale semantics).
+        let (out, _) = tier.eval.run_core_on(
+            engine,
+            q,
+            query,
+            None,
+            scratch,
+            false,
+            &Budget::UNLIMITED,
+            tier.margin,
+        );
+        if terminated(query, out.lb, out.ub, tier.margin) {
+            Some(RunOutcome {
+                lb: out.lb - tier.margin,
+                ub: out.ub + tier.margin,
+                iterations: out.iterations,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// [`run_with_scratch_on`](Self::run_with_scratch_on) through the
+    /// coreset cascade: tier 1 first (when attached and applicable), full
+    /// tree on fall-through. The returned [`TierPath`] records which tier
+    /// answered; a [`TierPath::Decided`] outcome carries the widened —
+    /// still certified — interval, whose `decide_tkaq`/`estimate_ekaq`
+    /// answers match the full-tree engine (TKAQ exactly, eKAQ within the
+    /// requested ε).
+    pub fn run_cascade_with_scratch_on(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        scratch: &mut Scratch,
+    ) -> (RunOutcome, TierPath) {
+        if let Some(out) = self.tier_attempt(engine, q, query, scratch) {
+            return (out, TierPath::Decided);
+        }
+        let path = if self.tier_applies(query) {
+            TierPath::FellThrough
+        } else {
+            TierPath::Bypassed
+        };
+        let out = self
+            .run_core_on(
+                engine,
+                q,
+                query,
+                level_cap,
+                scratch,
+                false,
+                &Budget::UNLIMITED,
+                0.0,
+            )
+            .0;
+        (out, path)
+    }
+
+    /// Budget-aware cascade twin of
+    /// [`run_budgeted_with_scratch_on`](Self::run_budgeted_with_scratch_on).
+    /// The budget applies to the fall-through full-tree run only: tier-1
+    /// work is bounded by the coreset size, so a tier-decided query is
+    /// always `Outcome::Complete` even under a starving budget (exactly the
+    /// dual-tree wholesale contract).
+    #[allow(clippy::too_many_arguments)] // mirrors run_budgeted_with_scratch_on
+    pub fn run_cascade_budgeted_with_scratch_on(
+        &self,
+        engine: Engine,
+        q: &[f64],
+        query: Query,
+        level_cap: Option<u16>,
+        budget: &Budget,
+        scratch: &mut Scratch,
+    ) -> Result<(Outcome, TierPath), KarlError> {
+        error::validate_query(q, self.dims)?;
+        error::validate_spec(query)?;
+        if let Some(out) = self.tier_attempt(engine, q, query, scratch) {
+            return Ok((Outcome::Complete(out), TierPath::Decided));
+        }
+        let path = if self.tier_applies(query) {
+            TierPath::FellThrough
+        } else {
+            TierPath::Bypassed
+        };
+        let (out, truncated) =
+            self.run_core_on(engine, q, query, level_cap, scratch, false, budget, 0.0);
+        Ok((
+            match truncated {
+                None => Outcome::Complete(out),
+                Some(reason) => Outcome::Truncated {
+                    lb: out.lb,
+                    ub: out.ub,
+                    reason,
+                },
+            },
+            path,
+        ))
     }
 
     fn check_query(&self, q: &[f64]) {
@@ -985,6 +1247,7 @@ impl<S: NodeShape> Evaluator<S> {
             &mut Scratch::new(),
             false,
             &Budget::UNLIMITED,
+            0.0,
         )
         .0
     }
@@ -1000,7 +1263,7 @@ impl<S: NodeShape> Evaluator<S> {
         scratch: &mut Scratch,
     ) -> RunOutcome {
         self.check_query(q);
-        self.run_core_on(engine, q, query, None, scratch, true, &Budget::UNLIMITED)
+        self.run_core_on(engine, q, query, None, scratch, true, &Budget::UNLIMITED, 0.0)
             .0
     }
 
@@ -1015,6 +1278,7 @@ impl<S: NodeShape> Evaluator<S> {
         scratch: &mut Scratch,
         record_trace: bool,
         budget: &Budget,
+        margin: f64,
     ) -> (RunOutcome, Option<TruncateReason>) {
         #[cfg(feature = "stats")]
         let (value_calls0, built0) = (
@@ -1023,10 +1287,10 @@ impl<S: NodeShape> Evaluator<S> {
         );
         let out = match engine {
             Engine::Frozen => {
-                self.run_core_frozen(q, query, level_cap, scratch, record_trace, budget)
+                self.run_core_frozen(q, query, level_cap, scratch, record_trace, budget, margin)
             }
             Engine::Pointer => {
-                self.run_core_pointer(q, query, level_cap, scratch, record_trace, budget)
+                self.run_core_pointer(q, query, level_cap, scratch, record_trace, budget, margin)
             }
         };
         #[cfg(feature = "stats")]
@@ -1052,6 +1316,7 @@ impl<S: NodeShape> Evaluator<S> {
     /// `lb`/`ub` in that same order with the same per-node arithmetic, so
     /// outcomes and traces are bitwise identical to the pre-frontier engine
     /// (and to the pointer oracle).
+    #[allow(clippy::too_many_arguments)] // internal plumbing shared by every public entry
     fn run_core_frozen(
         &self,
         q: &[f64],
@@ -1060,6 +1325,7 @@ impl<S: NodeShape> Evaluator<S> {
         scratch: &mut Scratch,
         record_trace: bool,
         budget: &Budget,
+        margin: f64,
     ) -> (RunOutcome, Option<TruncateReason>) {
         debug_assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
         let ctx = QueryContext::new(&self.kernel, self.method, q);
@@ -1128,7 +1394,16 @@ impl<S: NodeShape> Evaluator<S> {
             });
         }
         loop {
-            if terminated(query, lb, ub) {
+            if terminated(query, lb, ub, margin) {
+                break;
+            }
+            // Tier runs (margin > 0) refine at certificate resolution only:
+            // once the interval is narrower than the widening margin the
+            // coreset's own error dominates, so grinding on (ultimately to
+            // an exact scan of every representative) cannot settle a query
+            // the widened test hasn't settled already — give up and let the
+            // caller fall through to the full tree.
+            if margin > 0.0 && ub - lb <= margin {
                 break;
             }
             // Checked after the termination test so a completed run can
@@ -1183,6 +1458,7 @@ impl<S: NodeShape> Evaluator<S> {
         (RunOutcome { lb, ub, iterations }, truncated)
     }
 
+    #[allow(clippy::too_many_arguments)] // internal plumbing shared by every public entry
     fn run_core_pointer(
         &self,
         q: &[f64],
@@ -1191,6 +1467,7 @@ impl<S: NodeShape> Evaluator<S> {
         scratch: &mut Scratch,
         record_trace: bool,
         budget: &Budget,
+        margin: f64,
     ) -> (RunOutcome, Option<TruncateReason>) {
         debug_assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
         let qn = norm2(q);
@@ -1241,7 +1518,12 @@ impl<S: NodeShape> Evaluator<S> {
             });
         }
         loop {
-            if terminated(query, lb, ub) {
+            if terminated(query, lb, ub, margin) {
+                break;
+            }
+            // Certificate-resolution floor for tier runs; see the frozen
+            // loop for the rationale (the two engines must stay in lockstep).
+            if margin > 0.0 && ub - lb <= margin {
                 break;
             }
             if budgeted {
@@ -1301,12 +1583,20 @@ pub(crate) fn contribution(b: &BoundPair, negated: bool) -> (f64, f64) {
     }
 }
 
+/// Termination test on the interval `[lb − margin, ub + margin]`.
+///
+/// `margin` is the coreset cascade's certified widening (`eps_c · Σ|wᵢ|`);
+/// the full-tree paths pass `0.0`, for which every arm reduces *exactly* to
+/// the unwidened predicate (`x − 0.0` and `x + 0.0` preserve the value of
+/// every finite `x`, and `±0.0` compare equal), so the margin-free paths
+/// stay bitwise identical to the pre-cascade engine.
 #[inline]
-fn terminated(query: Query, lb: f64, ub: f64) -> bool {
+fn terminated(query: Query, lb: f64, ub: f64, margin: f64) -> bool {
+    let (wl, wu) = (lb - margin, ub + margin);
     match query {
-        Query::Tkaq { tau } => lb >= tau || ub < tau,
-        Query::Ekaq { eps } => (lb > 0.0 && ub <= (1.0 + eps) * lb) || ub <= lb,
-        Query::Within { tol } => ub - lb <= tol,
+        Query::Tkaq { tau } => wl >= tau || wu < tau,
+        Query::Ekaq { eps } => (wl > 0.0 && wu <= (1.0 + eps) * wl) || wu <= wl,
+        Query::Within { tol } => wu - wl <= tol,
     }
 }
 

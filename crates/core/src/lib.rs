@@ -49,6 +49,7 @@
 
 pub mod batch;
 pub mod bounds;
+pub mod coreset;
 pub mod curve;
 pub mod envelope;
 pub mod error;
@@ -68,13 +69,14 @@ pub use bounds::{
     BoundMethod, BoundPair, DualQueryContext, NodeInterval, PairInterval, QueryContext,
     QueryRegion,
 };
+pub use coreset::{lipschitz, Coreset};
 pub use curve::{Curvature, Curve};
 pub use envelope::{envelope, envelope_parts, Envelope, EnvelopeCache, EnvelopeParts, Line};
 #[cfg(feature = "stats")]
 pub use eval::RunStats;
 pub use eval::{
     BallEvaluator, Budget, Engine, Estimate, Evaluator, KdEvaluator, Outcome, Query, RunOutcome,
-    Scratch, TkaqDecision, TraceStep, TruncateReason,
+    Scratch, TierPath, TkaqDecision, TraceStep, TruncateReason,
 };
 #[cfg(feature = "fault-inject")]
 pub use fault::{clear_plan, inject, Fault, InjectionGuard};

@@ -226,6 +226,24 @@ impl FrozenTree {
     pub fn shapes(&self) -> &FrozenShapes {
         &self.shapes
     }
+
+    /// Total heap bytes held by the flat evaluation buffers. Lets callers
+    /// that stack a small front-tier tree on top of a full index (the
+    /// coreset cascade) report the extra footprint the tier costs.
+    pub fn footprint_bytes(&self) -> usize {
+        let shape_f64s = match &self.shapes {
+            FrozenShapes::Rect { lo, hi } => lo.len() + hi.len(),
+            FrozenShapes::Ball { center, radius } => center.len() + radius.len(),
+        };
+        let f64s =
+            shape_f64s + self.weight_sum.len() + self.weighted_sum.len() + self.weighted_norm2.len();
+        let u32s = self.count.len() + self.start.len() + self.end.len() + self.left.len()
+            + self.right.len();
+        let u16s = self.depth.len();
+        f64s * std::mem::size_of::<f64>()
+            + u32s * std::mem::size_of::<u32>()
+            + u16s * std::mem::size_of::<u16>()
+    }
 }
 
 impl<S: NodeShape> Tree<S> {
@@ -343,6 +361,22 @@ mod tests {
                 frozen.weighted_sum(id)
             );
         }
+    }
+
+    #[test]
+    fn footprint_counts_every_buffer_exactly() {
+        let ps = random_points(150, 3, 15);
+        let tree = KdTree::build(ps, &vec![1.0; 150], 4);
+        let frozen = tree.freeze();
+        let n = frozen.num_nodes();
+        let d = frozen.dims();
+        // Rect shapes: 2 corner buffers of n*d f64s; aggregates: W_R (n),
+        // a_R (n*d), b_R (n); links/ranges/counts: 5 u32 buffers; depth u16.
+        let expected = (2 * n * d + n + n * d + n) * 8 + 5 * n * 4 + n * 2;
+        assert_eq!(frozen.footprint_bytes(), expected);
+        // A coreset-sized tree must be strictly smaller than the full one.
+        let small = KdTree::build(random_points(10, 3, 15), &[1.0; 10], 4).freeze();
+        assert!(small.footprint_bytes() < frozen.footprint_bytes());
     }
 
     #[test]

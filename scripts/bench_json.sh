@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the perf benches and records the merged results as JSON.
 #
-# Produces BENCH_PR6.json at the repo root with two sections plus host
+# Produces BENCH_PR7.json at the repo root with two sections plus host
 # metadata (available_parallelism, uname), so numbers from different
 # machines are interpretable:
 #
@@ -10,7 +10,10 @@
 #     QueryBatch at 1/2/4/8 worker threads (eKAQ and TKAQ workloads),
 #     plus the dual_tkaq section: node visits and queries/s of the
 #     dual-tree descent vs the single-tree engine on a clustered grid
-#     of TKAQ queries;
+#     of TKAQ queries, and the coreset_cascade section: tier-1 decided
+#     fraction and end-to-end speedup of the certified coreset cascade
+#     vs the same-process full-tree control on a quantized skewed-τ
+#     level-set workload;
 #   * frozen_bounds — per-node bound-kernel throughput (bounds/s),
 #     pointer vs frozen, kd and ball families, SOTA and KARL methods,
 #     plus the envelope_micro section: envelopes/s for the direct
@@ -25,7 +28,7 @@ cd "$(dirname "$0")/.."
 
 # cargo bench runs the bench binary from the package directory, so make
 # the output path absolute before handing it over.
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 case "$out" in
     /*) ;;
     *) out="$(pwd)/$out" ;;
@@ -48,21 +51,25 @@ with open(os.path.join(tmpdir, "throughput_batch.json")) as f:
 with open(os.path.join(tmpdir, "frozen_bounds.json")) as f:
     bounds = json.load(f)
 merged = {
-    "bench": "BENCH_PR6",
+    "bench": "BENCH_PR7",
     "note": (
-        "PR6 adds the dual-tree batch path (QueryBatch::run_dual): a second "
-        "frozen tree over the queries and node-vs-node joint intervals that "
-        "decide whole TKAQ query nodes wholesale. The dual_tkaq section "
-        "runs the canonical profitable workload -- a 2-D KDE level-set grid "
-        "(tau = 1/8 of peak blob density, fixed gamma, data leaf 16; "
-        "dual-tree gains are a low-d phenomenon, see DESIGN.md s12) -- and "
-        "compares node visits: single = per-query refinement iterations, "
-        "dual = pair intervals scored + fallback iterations; visits are "
-        "deterministic and machine-independent, wall clock on this shared "
-        "host varies +/-3-10% per row. The default (single-tree) path is "
-        "untouched, so the remaining rows are a no-regression control. "
-        "Methodology otherwise identical to BENCH_PR5 (same benches and "
-        "sizes for the pre-existing sections)."
+        "PR7 adds the certified coreset front tier (Evaluator::"
+        "with_coreset_tier + QueryBatch::coreset). The coreset_cascade "
+        "section runs the tier's profitable workload: the 2-D level-set "
+        "grid with every coordinate quantized to a 0.05 sensor lattice "
+        "(duplicate-heavy metered data), where the grid-snap coreset is a "
+        "certified dedup (measured eps_c ~ 1e-15) an order of magnitude "
+        "smaller than the data. Decisive queries terminate at coarse node "
+        "resolution on either tree; the tau-straddling band must refine "
+        "to leaf scans, where the tier pays compression-fold fewer kernel "
+        "evaluations -- the reported speedup is cascade vs a same-process "
+        "full-tree control differing only in the tier flag. On smooth "
+        "un-quantized data the tier is roughly cost-neutral (refinement "
+        "cost tracks geometric resolution, not point count; see DESIGN.md "
+        "s13). Wall clock on this shared host varies +/-3-10% per row; "
+        "tier-1 decided counts are deterministic. The dual_tkaq section "
+        "and the remaining rows are unchanged from BENCH_PR6 as a "
+        "no-regression control (same benches and sizes)."
     ),
     "host": {
         # The Rust-side value is cgroup-aware; os.cpu_count() is not.

@@ -33,6 +33,9 @@ KARL_THREADS=4 cargo test -q --offline -p karl --test envelope_cache_equivalence
 echo "==> guard: dual-tree answers match the per-query engine at KARL_THREADS=4"
 KARL_THREADS=4 cargo test -q --offline -p karl --test dual_tree_equivalence
 
+echo "==> guard: coreset cascade answers match the plain engine at KARL_THREADS=4"
+KARL_THREADS=4 cargo test -q --offline -p karl --test coreset_cascade_equivalence
+
 echo "==> guard: run counters build and pass under --features stats"
 cargo test -q --offline -p karl-core --features stats
 cargo test -q --offline -p karl-cli --features stats

@@ -1,0 +1,231 @@
+//! Differential property test for the coreset cascade: for random
+//! clustered datasets, mixed-sign weights, all four kernels, both index
+//! families and thread counts 1/2/4/8, a [`QueryBatch`] with
+//! `.coreset(true)` over an evaluator carrying a certified tier must
+//! *answer* exactly like the plain engine —
+//!
+//! * identical TKAQ `decisions()` (the tier only answers when its widened
+//!   interval clears τ, so a decision is never flipped),
+//! * eKAQ estimates within the requested relative error of the
+//!   brute-force oracle (tier answers may differ bitwise from the full
+//!   tree — both satisfy ε),
+//! * bitwise-identical Within `intervals()` (Within always bypasses the
+//!   tier; this is the documented batch.rs contract),
+//!
+//! and every reported interval — widened tier answers included — must
+//! bracket the oracle sum. Polynomial and sigmoid kernels have no uniform
+//! Lipschitz bound, so coreset construction must be rejected with the
+//! typed error rather than producing an uncertifiable tier. The analytic
+//! certificate is also validated against measurement: the discrepancy
+//! brute-forced on held-out probes never exceeds the widening margin.
+//!
+//! With the flag off — even with a tier attached — answers must be
+//! bitwise identical to the plain engine at every thread count
+//! (default-off neutrality).
+
+use karl::core::{
+    BoundMethod, Coreset, Engine, Evaluator, KarlError, Kernel, Query, QueryBatch, Scratch,
+    TierPath,
+};
+use karl::geom::{Ball, PointSet, Rect};
+use karl_testkit::oracle;
+use karl_testkit::rng::{Rng, SeedableRng, StdRng};
+use karl_testkit::{prop_assert, prop_assert_eq, props};
+
+/// Two tight blobs plus background — queries near a blob sit far above
+/// typical thresholds and queries in the void far below, which is the
+/// regime where the widened tier interval actually decides.
+fn clustered(n: usize, d: usize, rng: &mut StdRng) -> PointSet {
+    let mut data = Vec::with_capacity(n * d);
+    for i in 0..n {
+        match i % 3 {
+            0 => data.extend((0..d).map(|_| -1.5 + rng.random_range(-0.4..0.4))),
+            1 => data.extend((0..d).map(|_| 1.5 + rng.random_range(-0.4..0.4))),
+            _ => data.extend((0..d).map(|_| rng.random_range(-3.0..3.0))),
+        }
+    }
+    PointSet::new(d, data)
+}
+
+fn mixed_weights(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let w: f64 = rng.random_range(0.1..1.5);
+            if rng.random_bool(0.35) {
+                -w
+            } else {
+                w
+            }
+        })
+        .collect()
+}
+
+/// Brute-force aggregate at `q` straight from the testkit oracle.
+fn exact_at(points: &PointSet, weights: &[f64], kernel: Kernel, q: &[f64]) -> f64 {
+    oracle::exact_sum(points.iter(), weights, q, |a, b| kernel.eval(a, b))
+}
+
+/// Asserts the cascade contract for one index family.
+#[allow(clippy::too_many_arguments)]
+fn check_cascade<S: karl::tree::NodeShape + Sync>(
+    points: &PointSet,
+    weights: &[f64],
+    kernel: Kernel,
+    leaf: usize,
+    target_eps: f64,
+    queries: &PointSet,
+    query: Query,
+) {
+    let plain = Evaluator::<S>::build(points, weights, kernel, BoundMethod::Karl, leaf);
+    let coreset = Coreset::try_build(points, weights, kernel, target_eps);
+
+    let coreset = match kernel {
+        Kernel::Polynomial { .. } | Kernel::Sigmoid { .. } => {
+            // No uniform Lipschitz bound — the certificate cannot exist and
+            // construction must say so, not silently degrade.
+            prop_assert!(matches!(
+                coreset,
+                Err(KarlError::UnsupportedCoresetKernel { .. })
+            ));
+            return;
+        }
+        _ => coreset.expect("gaussian/laplacian coresets must build"),
+    };
+
+    // The measured discrepancy over held-out probes can never exceed the
+    // analytic widening margin (tiny slack for the brute-force roundoff).
+    prop_assert!(
+        coreset.eps_measured() <= coreset.margin() * (1.0 + 1e-9) + 1e-12,
+        "measured {} must be bounded by certified margin {}",
+        coreset.eps_measured(),
+        coreset.margin()
+    );
+
+    let cascade = plain
+        .clone()
+        .with_coreset_tier(&coreset, leaf)
+        .expect("tier over same kernel/dims must attach");
+
+    let baseline = QueryBatch::new(queries, query).threads(1).run(&plain);
+    let cascade_seq = QueryBatch::new(queries, query)
+        .threads(1)
+        .coreset(true)
+        .run(&cascade);
+
+    // Default-off neutrality: a tier that is attached but not enabled is
+    // invisible — bitwise — at any thread count.
+    for threads in [1usize, 4] {
+        let off = QueryBatch::new(queries, query).threads(threads).run(&cascade);
+        prop_assert_eq!(off.outcomes(), baseline.outcomes());
+        prop_assert_eq!(off.estimates(), baseline.estimates());
+        prop_assert_eq!(off.coreset_decided(), 0);
+        prop_assert_eq!(off.coreset_fallthrough(), 0);
+    }
+
+    for threads in [1usize, 2, 4, 8] {
+        let run = QueryBatch::new(queries, query)
+            .threads(threads)
+            .coreset(true)
+            .run(&cascade);
+        prop_assert!(run.threads() >= 1 && run.threads() <= threads);
+
+        // Tier accounting is a pure function of each query, so the tallies
+        // are identical at every thread count; Within never runs the tier,
+        // TKAQ/eKAQ queries land in exactly one of the two buckets.
+        prop_assert_eq!(run.coreset_decided(), cascade_seq.coreset_decided());
+        prop_assert_eq!(run.coreset_fallthrough(), cascade_seq.coreset_fallthrough());
+        match query {
+            Query::Within { .. } => {
+                prop_assert_eq!(run.coreset_decided() + run.coreset_fallthrough(), 0);
+            }
+            _ => {
+                prop_assert_eq!(
+                    run.coreset_decided() + run.coreset_fallthrough(),
+                    queries.len() as u64
+                );
+            }
+        }
+
+        match query {
+            Query::Tkaq { .. } => {
+                prop_assert_eq!(run.decisions(), baseline.decisions());
+                prop_assert_eq!(run.estimates(), baseline.estimates());
+            }
+            Query::Ekaq { eps } => {
+                for (i, (&est, q)) in run.estimates().iter().zip(queries.iter()).enumerate() {
+                    let exact = exact_at(points, weights, kernel, q);
+                    let slack = eps * exact.abs() + 1e-9;
+                    prop_assert!(
+                        (est - exact).abs() <= slack,
+                        "query {i}: estimate {est} misses exact {exact} by more than ε-slack {slack}"
+                    );
+                }
+            }
+            Query::Within { .. } => {
+                prop_assert_eq!(run.outcomes(), baseline.outcomes());
+                prop_assert_eq!(run.intervals(), baseline.intervals());
+                prop_assert_eq!(run.estimates(), baseline.estimates());
+            }
+        }
+
+        // Soundness: every reported interval — widened tier answers
+        // included — brackets the oracle sum.
+        for (o, q) in run.outcomes().iter().zip(queries.iter()) {
+            let exact = exact_at(points, weights, kernel, q);
+            if let Err(msg) = oracle::check_bracket(o.lb, exact, o.ub, 1e-9) {
+                panic!("cascade interval excludes the true sum: {msg}");
+            }
+        }
+    }
+
+    // Per-query provenance through the public cascade entry point: Within
+    // always bypasses; for TKAQ/eKAQ a Decided path must carry an interval
+    // that still satisfies the query predicate after widening.
+    let mut scratch = Scratch::new();
+    for q in queries.iter().take(8) {
+        let (out, path) =
+            cascade.run_cascade_with_scratch_on(Engine::Frozen, q, query, None, &mut scratch);
+        match query {
+            Query::Within { .. } => prop_assert_eq!(path, TierPath::Bypassed),
+            _ => prop_assert!(path == TierPath::Decided || path == TierPath::FellThrough),
+        }
+        let exact = exact_at(points, weights, kernel, q);
+        if let Err(msg) = oracle::check_bracket(out.lb, exact, out.ub, 1e-9) {
+            panic!("cascade run interval excludes the true sum: {msg}");
+        }
+    }
+}
+
+props! {
+    #[test]
+    fn cascade_answers_match_plain_engine(
+        seed in 0u64..1_000_000,
+        n in 40usize..200,
+        d in 1usize..4,
+        leaf in 1usize..24,
+        kernel_id in 0usize..4,
+        variant in 0usize..3
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = clustered(n, d, &mut rng);
+        let weights = mixed_weights(n, &mut rng);
+        let kernel = match kernel_id {
+            0 => Kernel::gaussian(rng.random_range(0.3..1.5)),
+            1 => Kernel::laplacian(rng.random_range(0.3..1.2)),
+            2 => Kernel::polynomial(rng.random_range(0.1..0.5), 0.2, 2),
+            _ => Kernel::sigmoid(rng.random_range(0.05..0.3), 0.1),
+        };
+        let query = match variant {
+            0 => Query::Tkaq { tau: rng.random_range(-0.5..0.5) },
+            1 => Query::Ekaq { eps: rng.random_range(0.01..0.4) },
+            _ => Query::Within { tol: rng.random_range(0.001..0.1) },
+        };
+        // Coarse-to-tight coverage: coarse coresets mostly fall through,
+        // tight ones mostly decide — both paths must stay sound.
+        let target_eps = rng.random_range(0.001..0.2);
+        let queries = clustered(33, d, &mut rng);
+
+        check_cascade::<Rect>(&points, &weights, kernel, leaf, target_eps, &queries, query);
+        check_cascade::<Ball>(&points, &weights, kernel, leaf, target_eps, &queries, query);
+    }
+}

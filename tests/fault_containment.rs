@@ -7,7 +7,7 @@
 #![cfg(feature = "fault-inject")]
 
 use karl::core::{
-    fault, BoundMethod, Evaluator, Fault, KarlError, Kernel, Outcome, Query, QueryBatch,
+    fault, BoundMethod, Coreset, Evaluator, Fault, KarlError, Kernel, Outcome, Query, QueryBatch,
 };
 use karl::geom::{PointSet, Rect};
 use karl_testkit::rng::{Rng, SeedableRng, StdRng};
@@ -193,6 +193,66 @@ fn dual_wholesale_never_masks_a_planted_fault() {
             .try_run_dual(&eval)
             .unwrap();
         assert_eq!(report.failed_indices(), vec![victim]);
+    }
+}
+
+#[test]
+fn cascade_path_poisons_exactly_the_planted_slots() {
+    // With the coreset cascade enabled, planted faults must still surface
+    // in exactly their own slots (fault-planned queries skip the tier and
+    // fail through the plain budgeted path), and every healthy slot must
+    // carry the same bits as a healthy *cascade* run at any thread count.
+    let (eval, queries) = setup();
+    let ps = clustered(400, 3, 1);
+    let w: Vec<f64> = (0..400).map(|i| 0.3 + (i % 5) as f64 * 0.2).collect();
+    let coreset = Coreset::try_build(&ps, &w, Kernel::gaussian(0.6), 0.05).unwrap();
+    let cascade = eval.with_coreset_tier(&coreset, 8).unwrap();
+    let query = Query::Ekaq { eps: 0.1 };
+    let healthy: Vec<Outcome> = QueryBatch::new(&queries, query)
+        .threads(1)
+        .coreset(true)
+        .try_run(&cascade)
+        .unwrap()
+        .results()
+        .iter()
+        .map(|r| *r.as_ref().unwrap())
+        .collect();
+    let plan = [(3usize, Fault::Panic), (17, Fault::Nan), (40, Fault::Panic)];
+    let _guard = fault::inject(&plan);
+    for threads in [1, 2, 4, 8] {
+        let report = QueryBatch::new(&queries, query)
+            .threads(threads)
+            .coreset(true)
+            .try_run(&cascade)
+            .unwrap();
+        assert_eq!(report.failed_indices(), vec![3, 17, 40], "x{threads}");
+        assert_eq!(report.quarantined(), 2, "x{threads}");
+        // Tier accounting excludes the three fault-planned (bypassed)
+        // queries and is identical at every thread count.
+        assert_eq!(
+            report.coreset_decided() + report.coreset_fallthrough(),
+            (queries.len() - plan.len()) as u64,
+            "x{threads}"
+        );
+        for (i, result) in report.results().iter().enumerate() {
+            match result {
+                Ok(out) => {
+                    let b = &healthy[i];
+                    assert_eq!(out.lb().to_bits(), b.lb().to_bits(), "query {i} x{threads}");
+                    assert_eq!(out.ub().to_bits(), b.ub().to_bits(), "query {i} x{threads}");
+                }
+                Err(KarlError::QueryPanicked { index, message }) => {
+                    assert_eq!(*index, i);
+                    assert!(matches!(i, 3 | 40), "unexpected panic slot {i}");
+                    assert!(message.contains("injected fault"), "{message}");
+                }
+                Err(KarlError::NonFiniteQuery { value, .. }) => {
+                    assert_eq!(i, 17);
+                    assert!(value.is_nan());
+                }
+                Err(e) => panic!("query {i}: unexpected error {e}"),
+            }
+        }
     }
 }
 
