@@ -1,21 +1,27 @@
 //! A small dependency-free flag parser for the CLI.
 //!
 //! Supports `--key value`, `--key=value` and bare `--flag` switches, plus
-//! one leading positional subcommand and an optional positional action
-//! (`karl coreset build …`). Unknown flags are an error (typos should not
-//! be silently ignored on a tool that runs long jobs); commands that take
-//! no action reject one at dispatch.
+//! one leading positional subcommand, an optional positional action
+//! (`karl coreset build …`), and trailing operands (`karl index build
+//! DATA OUT`). Unknown flags are an error (typos should not be silently
+//! ignored on a tool that runs long jobs); commands that take no action
+//! or operands reject them at dispatch.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: a subcommand, an optional action, and flags.
+/// Parsed command line: a subcommand, an optional action, trailing
+/// operands, and flags.
 #[derive(Debug, Clone, Default)]
 pub struct Parsed {
     /// The leading subcommand, if any.
     pub command: Option<String>,
     /// The second positional (e.g. `build` in `karl coreset build`), if any.
     pub action: Option<String>,
+    /// Positional operands after the action (e.g. the `DATA OUT` paths of
+    /// `karl index build DATA OUT`). Commands that take none reject them
+    /// at dispatch.
+    pub rest: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -81,7 +87,7 @@ impl Parsed {
             } else if out.action.is_none() {
                 out.action = Some(a.clone());
             } else {
-                return Err(ArgError::UnexpectedPositional(a.clone()));
+                out.rest.push(a.clone());
             }
             i += 1;
         }
@@ -188,14 +194,17 @@ mod tests {
     }
 
     #[test]
-    fn action_positional_is_captured_and_a_third_rejected() {
+    fn action_positional_is_captured_and_operands_collected() {
         let p = parse(&["coreset", "build", "--eps", "0.1"]).unwrap();
         assert_eq!(p.command.as_deref(), Some("coreset"));
         assert_eq!(p.action.as_deref(), Some("build"));
-        assert!(matches!(
-            parse(&["kde", "oops", "again"]),
-            Err(ArgError::UnexpectedPositional(_))
-        ));
+        assert!(p.rest.is_empty());
+        // Operands after the action land in `rest` in order (dispatch
+        // rejects them for commands that take none).
+        let p = parse(&["index", "build", "data.csv", "out.idx", "--leaf", "80"]).unwrap();
+        assert_eq!(p.action.as_deref(), Some("build"));
+        assert_eq!(p.rest, vec!["data.csv".to_string(), "out.idx".to_string()]);
+        assert_eq!(p.get("leaf"), Some("80"));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Subcommand implementations.
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use karl_core::{
-    AnyEvaluator, BoundMethod, Budget, Coreset, Engine, IndexKind, Kernel, OfflineTuner, Query,
-    QueryBatch, Scan,
+    plan_for_storage, AnyEvaluator, BoundMethod, Budget, Coreset, Engine, IndexKind, IndexMeta,
+    Kernel, OfflineTuner, Query, QueryBatch, Scan, StorageCalibration, StorageProfile,
 };
 use karl_data::{
     by_name, load_csv, load_labeled_csv, load_libsvm, registry, save_csv, LabelColumn,
@@ -167,6 +168,7 @@ pub fn kde(p: &Parsed) -> CmdResult {
 pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
     p.expect_flags(&[
         "data",
+        "index",
         "queries",
         "tau",
         "eps",
@@ -185,22 +187,33 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         "coreset",
     ])
     .map_err(|e| e.to_string())?;
-    let data =
-        load_csv(p.required("data").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    let index_path = p.get("index");
+    if index_path.is_some() {
+        for flag in ["data", "gamma", "method", "leaf", "coreset", "dual"] {
+            if p.has(flag) {
+                return Err(format!(
+                    "--{flag} conflicts with --index (kernel, method and leaf capacity are recorded in the index file)"
+                ));
+            }
+        }
+    }
+    let data = match index_path {
+        None => Some(
+            load_csv(p.required("data").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?,
+        ),
+        Some(_) => None,
+    };
     let queries =
         load_csv(p.required("queries").map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
-    if queries.dims() != data.dims() {
-        return Err(format!(
-            "query dims {} != data dims {}",
-            queries.dims(),
-            data.dims()
-        ));
+    if let Some(data) = &data {
+        if queries.dims() != data.dims() {
+            return Err(format!(
+                "query dims {} != data dims {}",
+                queries.dims(),
+                data.dims()
+            ));
+        }
     }
-    let method = parse_method(p)?;
-    let leaf: usize = p
-        .get_or("leaf", 80, "a leaf capacity")
-        .map_err(|e| e.to_string())?;
-    let gamma = gamma_for(p, &data)?;
     let tau: Option<f64> = p.get_parsed("tau", "a number").map_err(|e| e.to_string())?;
     let eps: Option<f64> = p.get_parsed("eps", "a number").map_err(|e| e.to_string())?;
     let tol: Option<f64> = p.get_parsed("tol", "a number").map_err(|e| e.to_string())?;
@@ -268,32 +281,69 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         .get_parsed("coreset", "a target eps")
         .map_err(|e| e.to_string())?;
 
-    let n = data.len();
-    let weights = vec![1.0 / n as f64; n];
-    let mut eval = AnyEvaluator::build(
-        IndexKind::Kd,
-        &data,
-        &weights,
-        Kernel::gaussian(gamma),
-        method,
-        leaf,
-    );
+    let (mut eval, gamma, method, leaf) = match (index_path, &data) {
+        (Some(path), _) => {
+            if engine == Engine::Pointer {
+                return Err(
+                    "--engine pointer is unavailable with --index (loaded indexes carry only the frozen representation)"
+                        .into(),
+                );
+            }
+            let (eval, meta) =
+                AnyEvaluator::from_index_file(Path::new(path)).map_err(|e| e.to_string())?;
+            if queries.dims() != eval.dims() {
+                return Err(format!(
+                    "query dims {} != index dims {}",
+                    queries.dims(),
+                    eval.dims()
+                ));
+            }
+            let gamma = match meta.kernel {
+                Kernel::Gaussian { gamma }
+                | Kernel::Polynomial { gamma, .. }
+                | Kernel::Sigmoid { gamma, .. }
+                | Kernel::Laplacian { gamma } => gamma,
+            };
+            (eval, gamma, meta.method, meta.leaf_capacity as usize)
+        }
+        (None, Some(data)) => {
+            let method = parse_method(p)?;
+            let leaf: usize = p
+                .get_or("leaf", 80, "a leaf capacity")
+                .map_err(|e| e.to_string())?;
+            let gamma = gamma_for(p, data)?;
+            let n = data.len();
+            let weights = vec![1.0 / n as f64; n];
+            let eval = AnyEvaluator::build(
+                IndexKind::Kd,
+                data,
+                &weights,
+                Kernel::gaussian(gamma),
+                method,
+                leaf,
+            );
+            (eval, gamma, method, leaf)
+        }
+        (None, None) => unreachable!("data is loaded whenever --index is absent"),
+    };
+    let n = eval.len();
     let mut spec = QueryBatch::new(&queries, query)
         .engine(engine)
         .envelope_cache(env_cache)
         .budget(budget);
-    let coreset = match coreset_eps {
-        Some(ceps) => {
+    let coreset = match (coreset_eps, &data) {
+        (Some(ceps), Some(data)) => {
             if ceps <= 0.0 {
                 return Err("--coreset must be positive".into());
             }
-            let cs = Coreset::try_build(&data, &weights, Kernel::gaussian(gamma), ceps)
+            let weights = vec![1.0 / n as f64; n];
+            let cs = Coreset::try_build(data, &weights, Kernel::gaussian(gamma), ceps)
                 .map_err(|e| e.to_string())?;
             eval = eval.with_coreset_tier(&cs, leaf).map_err(|e| e.to_string())?;
             spec = spec.coreset(true);
             Some(cs)
         }
-        None => None,
+        _ => None,
     };
     if let Some(t) = threads {
         if t == 0 {
@@ -453,6 +503,150 @@ pub fn coreset(p: &Parsed) -> CmdResult {
         out,
         "frozen tier footprint:           {} bytes (leaf {leaf})",
         eval.tier_footprint_bytes().unwrap_or(0)
+    );
+    Ok(out)
+}
+
+/// `karl index build DATA OUT …` / `karl index info PATH`
+///
+/// `build` constructs the evaluator over DATA (weights `1/n`, Gaussian
+/// kernel) and saves it in the versioned zero-copy format of
+/// `karl_tree::persist`; family and leaf capacity default to the
+/// storage-aware cost model for `--profile` (memory is calibrated on
+/// this machine, disk uses canned cold-storage constants), and explicit
+/// `--family` / `--leaf` override it. `info` prints the header, the
+/// decoded build metadata, and the per-section byte breakdown (the
+/// checksum is verified as a side effect).
+pub fn index(p: &Parsed) -> CmdResult {
+    match p.action.as_deref() {
+        Some("build") => index_build(p),
+        Some("info") => index_info(p),
+        Some(other) => Err(format!("unknown index action {other:?} (build|info)")),
+        None => Err("usage: karl index build DATA OUT | karl index info PATH".into()),
+    }
+}
+
+fn index_build(p: &Parsed) -> CmdResult {
+    p.expect_flags(&["profile", "family", "leaf", "gamma", "method"])
+        .map_err(|e| e.to_string())?;
+    let [data_path, out_path] = p.rest.as_slice() else {
+        return Err("usage: karl index build DATA OUT [--profile memory|disk] …".into());
+    };
+    let data = load_csv(data_path).map_err(|e| e.to_string())?;
+    let method = parse_method(p)?;
+    let gamma = gamma_for(p, &data)?;
+    let profile = match p.get("profile") {
+        None => StorageProfile::Memory,
+        Some(s) => StorageProfile::parse(s)
+            .ok_or_else(|| format!("unknown profile {s:?} (memory|disk)"))?,
+    };
+    let calibration = StorageCalibration::for_profile(profile);
+    let plan = plan_for_storage(data.len(), data.dims(), profile, calibration);
+    let family = match p.get("family") {
+        None => plan.kind,
+        Some("kd") => IndexKind::Kd,
+        Some("ball") => IndexKind::Ball,
+        Some(other) => return Err(format!("unknown family {other:?} (kd|ball)")),
+    };
+    let leaf: usize = p
+        .get_parsed("leaf", "a leaf capacity")
+        .map_err(|e| e.to_string())?
+        .unwrap_or(plan.leaf_capacity);
+    if leaf == 0 || leaf > u32::MAX as usize {
+        return Err("--leaf must be between 1 and 2^32-1".into());
+    }
+    let n = data.len();
+    let weights = vec![1.0 / n as f64; n];
+    let t0 = Instant::now();
+    let eval = AnyEvaluator::build(family, &data, &weights, Kernel::gaussian(gamma), method, leaf);
+    let build_time = t0.elapsed();
+    let meta = IndexMeta {
+        kernel: Kernel::gaussian(gamma),
+        method,
+        leaf_capacity: leaf as u32,
+        profile,
+        calibration,
+    };
+    let t1 = Instant::now();
+    let bytes = eval
+        .write_index_file(Path::new(out_path), &meta)
+        .map_err(|e| e.to_string())?;
+    let write_time = t1.elapsed();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "indexed {n} points x {} dims into {out_path} ({bytes} bytes)",
+        data.dims()
+    );
+    let _ = writeln!(
+        out,
+        "family {} leaf {leaf}{} (profile {profile}: node {:.0} ns, byte {:.4} ns)",
+        match family {
+            IndexKind::Kd => "kd",
+            IndexKind::Ball => "ball",
+        },
+        if p.has("family") || p.has("leaf") {
+            ""
+        } else {
+            " [auto-tuned]"
+        },
+        calibration.node_visit_ns,
+        calibration.byte_read_ns
+    );
+    let _ = writeln!(
+        out,
+        "gamma {gamma:.4}, {method:?}; built in {build_time:.2?}, written in {write_time:.2?}"
+    );
+    Ok(out)
+}
+
+fn index_info(p: &Parsed) -> CmdResult {
+    p.expect_flags(&[]).map_err(|e| e.to_string())?;
+    let [path] = p.rest.as_slice() else {
+        return Err("usage: karl index info PATH".into());
+    };
+    let info = karl_tree::index_file_info(Path::new(path)).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "format v{}  family {}  dims {}  {} bytes  checksum {:#018x} (verified)",
+        info.version, info.family, info.dims, info.file_len, info.checksum
+    );
+    match IndexMeta::decode(&info.app_meta) {
+        Ok(m) => {
+            let _ = writeln!(
+                out,
+                "built with {:?} kernel, {:?}, leaf {}; tuned for {} (node {:.0} ns, byte {:.4} ns)",
+                m.kernel,
+                m.method,
+                m.leaf_capacity,
+                m.profile,
+                m.calibration.node_visit_ns,
+                m.calibration.byte_read_ns
+            );
+        }
+        Err(_) => {
+            let _ = writeln!(
+                out,
+                "metadata: {} bytes (not a karl-cli metadata record)",
+                info.app_meta.len()
+            );
+        }
+    }
+    let _ = writeln!(out, "\nsection               elem       offset        bytes        count");
+    let mut total = 0u64;
+    for s in &info.sections {
+        total += s.bytes;
+        let _ = writeln!(
+            out,
+            "{:<20}  {:<4} {:>12} {:>12} {:>12}",
+            s.label, s.elem, s.offset, s.bytes, s.count
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<20}  {:<4} {:>12} {:>12}",
+        "total payload", "", "", total
     );
     Ok(out)
 }

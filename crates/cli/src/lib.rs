@@ -7,6 +7,8 @@
 //! * `kde` — answer density queries (TKAQ or eKAQ) over a CSV dataset.
 //! * `batch` — the same queries through the parallel batch engine.
 //! * `coreset` — build a certified coreset and report its error certificate.
+//! * `index` — build a persistent index file, inspect one, and serve
+//!   `batch --index` queries from it with zero-copy loading.
 //! * `svm-train` — train a C-SVC / one-class model, save LIBSVM format.
 //! * `svm-predict` — classify queries with a saved model through KARL.
 //! * `tune` — run the offline index tuner and print the grid report.
@@ -29,7 +31,8 @@ commands:
   generate  --name N --n COUNT --out FILE [--labeled]
   kde       --data FILE --queries FILE (--tau T | --eps E)
             [--method karl|sota] [--leaf CAP] [--gamma G]
-  batch     --data FILE --queries FILE (--tau T | --eps E | --tol W)
+  batch     (--data FILE | --index FILE) --queries FILE
+            (--tau T | --eps E | --tol W)
             [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
             [--engine frozen|pointer] [--envelope-cache on|off] [--stats]
             [--budget-nodes N] [--budget-leaf P] [--deadline-ms MS]
@@ -54,7 +57,24 @@ commands:
             tier first, widening by the certificate and falling through
             to the full tree only when undecided — TKAQ decisions are
             identical, eKAQ stays within the requested relative error,
-            Within bypasses the tier (bitwise identical)
+            Within bypasses the tier (bitwise identical);
+            --index FILE answers from a persistent index built by
+            `karl index build` instead of --data: the file is loaded
+            zero-copy (kernel, method and leaf capacity come from the
+            index metadata, so those flags and --gamma are rejected) and
+            answers are byte-identical to a --data run with the same
+            build parameters
+  index     build DATA OUT [--profile memory|disk] [--family kd|ball]
+            [--leaf CAP] [--gamma G] [--method karl|sota]
+            build the evaluator over DATA (weights 1/n, Gaussian kernel)
+            and save it to OUT in the versioned zero-copy format;
+            family/leaf default to the storage-aware cost model for
+            --profile (default memory, calibrated on this machine; disk
+            uses canned cold-storage constants) — explicit --family or
+            --leaf override the model
+  index     info PATH
+            print the header, decoded build metadata, and the per-section
+            byte breakdown of an index file (validates the checksum)
   coreset   build --data FILE --eps E [--gamma G]
             [--kernel rbf|laplacian] [--leaf CAP]
             build a certified coreset and report its size, analytic
@@ -97,14 +117,21 @@ impl CmdOutput {
 /// plus the count of contained per-query failures.
 pub fn run_report(args: &[String]) -> Result<CmdOutput, String> {
     let parsed = Parsed::parse(args).map_err(|e| e.to_string())?;
+    let command = parsed.command.as_deref();
     if let Some(action) = parsed.action.as_deref() {
-        if parsed.command.as_deref() != Some("coreset") {
+        if !matches!(command, Some("coreset") | Some("index")) {
             return Err(format!("unexpected argument {action:?}"));
         }
     }
-    match parsed.command.as_deref() {
+    if let Some(operand) = parsed.rest.first() {
+        if command != Some("index") {
+            return Err(format!("unexpected argument {operand:?}"));
+        }
+    }
+    match command {
         Some("batch") => return commands::batch(&parsed),
         Some("coreset") => commands::coreset(&parsed),
+        Some("index") => commands::index(&parsed),
         Some("datasets") => commands::datasets(&parsed),
         Some("generate") => commands::generate(&parsed),
         Some("kde") => commands::kde(&parsed),
@@ -742,6 +769,181 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--tau, --eps or --tol"));
+    }
+
+    #[test]
+    fn index_build_info_and_batch_roundtrip() {
+        let data = tmp("index_data.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "500",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let idx = tmp("home.idx");
+        // Pin the family and leaf so the in-memory `batch` defaults match.
+        let built = run_vec(&[
+            "index",
+            "build",
+            data.to_str().unwrap(),
+            idx.to_str().unwrap(),
+            "--family",
+            "kd",
+            "--leaf",
+            "80",
+        ])
+        .unwrap();
+        assert!(built.contains("500 points"));
+        assert!(built.contains("family kd leaf 80"));
+
+        let info = run_vec(&["index", "info", idx.to_str().unwrap()]).unwrap();
+        assert!(info.contains("format v1"), "missing header in:\n{info}");
+        assert!(info.contains("(verified)"));
+        assert!(info.contains("leaf 80"));
+        assert!(info.contains("pos.points"));
+        assert!(info.contains("pos.shape.lo"));
+
+        // Answers from the loaded index are byte-identical to the
+        // in-memory build, for every workload.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        for spec in [["--tau", "0.3"], ["--eps", "0.15"], ["--tol", "0.05"]] {
+            let fresh = run_vec(&[
+                "batch",
+                "--data",
+                data.to_str().unwrap(),
+                "--queries",
+                data.to_str().unwrap(),
+                spec[0],
+                spec[1],
+                "--threads",
+                "2",
+            ])
+            .unwrap();
+            let loaded = run_vec(&[
+                "batch",
+                "--index",
+                idx.to_str().unwrap(),
+                "--queries",
+                data.to_str().unwrap(),
+                spec[0],
+                spec[1],
+                "--threads",
+                "2",
+            ])
+            .unwrap();
+            assert_eq!(strip(&loaded), strip(&fresh), "{spec:?}");
+        }
+
+        // Flags recorded in the index conflict with --index.
+        let err = run_vec(&[
+            "batch",
+            "--index",
+            idx.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.15",
+            "--leaf",
+            "40",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--leaf conflicts with --index"), "{err}");
+        // The pointer engine cannot serve a loaded index.
+        let err = run_vec(&[
+            "batch",
+            "--index",
+            idx.to_str().unwrap(),
+            "--queries",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.15",
+            "--engine",
+            "pointer",
+        ])
+        .unwrap_err();
+        assert!(err.contains("frozen"), "{err}");
+        // Missing operands and stray positionals stay errors.
+        assert!(run_vec(&["index", "build"]).is_err());
+        assert!(run_vec(&["index"]).unwrap_err().contains("usage"));
+        assert!(run_vec(&["kde", "x", "y"]).is_err());
+    }
+
+    #[test]
+    fn index_info_rejects_corruption_with_a_typed_reason() {
+        let data = tmp("index_corrupt.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "200",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let idx = tmp("corrupt.idx");
+        run_vec(&[
+            "index",
+            "build",
+            data.to_str().unwrap(),
+            idx.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut bytes = std::fs::read(&idx).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&idx, &bytes).unwrap();
+        let err = run_vec(&["index", "info", idx.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn index_build_profiles_pick_monotone_leaves() {
+        let data = tmp("index_profile.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "400",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let leaf_of = |profile: &str| {
+            let idx = tmp(&format!("profile_{profile}.idx"));
+            run_vec(&[
+                "index",
+                "build",
+                data.to_str().unwrap(),
+                idx.to_str().unwrap(),
+                "--profile",
+                profile,
+            ])
+            .unwrap();
+            let info = run_vec(&["index", "info", idx.to_str().unwrap()]).unwrap();
+            let line = info.lines().find(|l| l.contains("leaf")).unwrap().to_string();
+            let leaf: usize = line
+                .split("leaf ")
+                .nth(1)
+                .unwrap()
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            leaf
+        };
+        assert!(leaf_of("memory") <= leaf_of("disk"));
     }
 
     #[test]

@@ -108,6 +108,43 @@ pub enum KarlError {
         /// Panic payload rendered as text (when downcastable).
         message: String,
     },
+    /// An OS-level I/O failure while reading or writing an index file.
+    IndexIo {
+        /// Operation and OS error rendering.
+        reason: String,
+    },
+    /// A structurally invalid index file: bad magic, foreign endianness,
+    /// inconsistent section table, malformed tree topology, or metadata
+    /// this build cannot decode.
+    IndexFormat {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An index file's payload checksum did not match its header — the
+    /// file was corrupted after it was written.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum computed over the payload.
+        got: u64,
+    },
+    /// An index file's format version is newer than this build supports.
+    VersionUnsupported {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// An index file ends before the bytes its header requires.
+    Truncated {
+        /// Bytes required.
+        needed: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// The pointer engine was requested on an evaluator restored from a
+    /// persistent index, which carries only the frozen representation.
+    PointerEngineUnavailable,
 }
 
 impl fmt::Display for KarlError {
@@ -153,11 +190,47 @@ impl fmt::Display for KarlError {
             KarlError::QueryPanicked { index, message } => {
                 write!(f, "query {index} panicked: {message}")
             }
+            KarlError::IndexIo { reason } => write!(f, "index file I/O error: {reason}"),
+            KarlError::IndexFormat { reason } => write!(f, "invalid index file: {reason}"),
+            KarlError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "index file checksum mismatch: header records {expected:#018x}, payload hashes to {got:#018x}"
+            ),
+            KarlError::VersionUnsupported { found, supported } => write!(
+                f,
+                "index format version {found} unsupported (this build reads up to {supported})"
+            ),
+            KarlError::Truncated { needed, got } => {
+                write!(f, "index file truncated: need {needed} bytes, found {got}")
+            }
+            KarlError::PointerEngineUnavailable => write!(
+                f,
+                "pointer engine unavailable: loaded indexes carry only the frozen representation"
+            ),
         }
     }
 }
 
 impl std::error::Error for KarlError {}
+
+impl From<karl_tree::PersistError> for KarlError {
+    fn from(e: karl_tree::PersistError) -> Self {
+        use karl_tree::PersistError as P;
+        match e {
+            P::Io { op, reason } => KarlError::IndexIo {
+                reason: format!("{op}: {reason}"),
+            },
+            P::Truncated { needed, got } => KarlError::Truncated { needed, got },
+            P::Format { reason } => KarlError::IndexFormat { reason },
+            P::ChecksumMismatch { expected, got } => {
+                KarlError::ChecksumMismatch { expected, got }
+            }
+            P::VersionUnsupported { found, supported } => {
+                KarlError::VersionUnsupported { found, supported }
+            }
+        }
+    }
+}
 
 impl From<TreeError> for KarlError {
     fn from(e: TreeError) -> Self {

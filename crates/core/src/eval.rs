@@ -21,7 +21,7 @@ use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use karl_geom::{norm2, PointSet};
-use karl_tree::{FrozenTree, NodeId, NodeShape, Tree};
+use karl_tree::{FrozenTree, LeafData, NodeId, NodeShape, SideImage, Tree};
 
 use crate::bounds::{
     assemble_interval, node_bounds, node_intervals_frozen, BoundMethod, BoundPair, NodeInterval,
@@ -503,10 +503,11 @@ impl Scratch {
 /// [`AnyEvaluator`](crate::tuning::AnyEvaluator).
 #[derive(Debug, Clone)]
 pub struct Evaluator<S: NodeShape> {
-    pos: Option<Tree<S>>,
-    neg: Option<Tree<S>>,
-    /// SoA compilations of `pos`/`neg`, frozen at construction. Always
-    /// `Some` exactly where the pointer tree is `Some`.
+    pos: Option<SideData<S>>,
+    neg: Option<SideData<S>>,
+    /// SoA compilations of `pos`/`neg`, frozen at construction (or loaded
+    /// straight from an index file). Always `Some` exactly where the side
+    /// is `Some`.
     pos_frozen: Option<FrozenTree>,
     neg_frozen: Option<FrozenTree>,
     kernel: Kernel,
@@ -515,6 +516,65 @@ pub struct Evaluator<S: NodeShape> {
     /// Optional coreset front tier for the evaluation cascade (default
     /// `None`; attach with [`with_coreset_tier`](Self::with_coreset_tier)).
     tier: Option<Box<CoresetTier<S>>>,
+}
+
+/// Per-side point data backing leaf refinement: either a built pointer
+/// tree (which owns its reordered point buffers), or the bare leaf
+/// buffers restored zero-copy from a persistent index.
+///
+/// Both the frozen and the pointer refinement loop read only
+/// `points`/`weights`/`norms2` at the leaves; the pointer engine
+/// additionally needs the node arena and is therefore only available on
+/// [`Built`](SideData::Built) sides.
+#[derive(Debug, Clone)]
+enum SideData<S: NodeShape> {
+    /// A tree built in this process; the pointer engine can walk it.
+    Built(Tree<S>),
+    /// Leaf buffers loaded from an index file; frozen engine only.
+    Loaded(LeafData),
+}
+
+impl<S: NodeShape> SideData<S> {
+    #[inline]
+    fn points(&self) -> &PointSet {
+        match self {
+            SideData::Built(t) => t.points(),
+            SideData::Loaded(l) => l.points(),
+        }
+    }
+
+    #[inline]
+    fn weights(&self) -> &[f64] {
+        match self {
+            SideData::Built(t) => t.weights(),
+            SideData::Loaded(l) => l.weights(),
+        }
+    }
+
+    #[inline]
+    fn norms2(&self) -> &[f64] {
+        match self {
+            SideData::Built(t) => t.norms2(),
+            SideData::Loaded(l) => l.norms2(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            SideData::Built(t) => t.len(),
+            SideData::Loaded(l) => l.len(),
+        }
+    }
+
+    /// The pointer tree, when this side was built in-process.
+    #[inline]
+    fn tree(&self) -> Option<&Tree<S>> {
+        match self {
+            SideData::Built(t) => Some(t),
+            SideData::Loaded(_) => None,
+        }
+    }
 }
 
 /// The coreset front tier: a second (small) evaluator frozen over the
@@ -610,8 +670,8 @@ impl<S: NodeShape> Evaluator<S> {
         Ok(Self {
             pos_frozen: pos.as_ref().map(Tree::freeze),
             neg_frozen: neg.as_ref().map(Tree::freeze),
-            pos,
-            neg,
+            pos: pos.map(SideData::Built),
+            neg: neg.map(SideData::Built),
             kernel,
             method,
             dims: points.dims(),
@@ -659,6 +719,46 @@ impl<S: NodeShape> Evaluator<S> {
         Ok(Self {
             pos_frozen: pos.as_ref().map(Tree::freeze),
             neg_frozen: neg.as_ref().map(Tree::freeze),
+            pos: pos.map(SideData::Built),
+            neg: neg.map(SideData::Built),
+            kernel,
+            method,
+            dims,
+            tier: None,
+        })
+    }
+
+    /// Assembles an evaluator from loaded (frozen-only) sides; the
+    /// zero-copy path of [`from_index_file`](Self::from_index_file).
+    pub(crate) fn from_loaded(
+        pos: Option<(FrozenTree, LeafData)>,
+        neg: Option<(FrozenTree, LeafData)>,
+        kernel: Kernel,
+        method: BoundMethod,
+    ) -> Result<Self, KarlError> {
+        let dims = match (&pos, &neg) {
+            (Some((p, _)), Some((n, _))) => {
+                if p.dims() != n.dims() {
+                    return Err(KarlError::DimMismatch {
+                        expected: p.dims(),
+                        got: n.dims(),
+                    });
+                }
+                p.dims()
+            }
+            (Some((p, _)), None) => p.dims(),
+            (None, Some((n, _))) => n.dims(),
+            (None, None) => return Err(KarlError::NoTree),
+        };
+        let split = |side: Option<(FrozenTree, LeafData)>| match side {
+            Some((frozen, leaf)) => (Some(frozen), Some(SideData::Loaded(leaf))),
+            None => (None, None),
+        };
+        let (pos_frozen, pos) = split(pos);
+        let (neg_frozen, neg) = split(neg);
+        Ok(Self {
+            pos_frozen,
+            neg_frozen,
             pos,
             neg,
             kernel,
@@ -666,6 +766,31 @@ impl<S: NodeShape> Evaluator<S> {
             dims,
             tier: None,
         })
+    }
+
+    /// Borrows both sides as persistence images (used by
+    /// [`write_index_file`](Self::write_index_file); works for built and
+    /// loaded sides alike, so a loaded index can be re-serialized).
+    pub(crate) fn side_images(&self) -> (Option<SideImage<'_>>, Option<SideImage<'_>>) {
+        fn image<'a, S: NodeShape>(
+            side: Option<&'a SideData<S>>,
+            frozen: Option<&'a FrozenTree>,
+        ) -> Option<SideImage<'a>> {
+            side.zip(frozen).map(|(s, f)| match s {
+                SideData::Built(t) => SideImage::from_tree(t, f),
+                SideData::Loaded(l) => SideImage {
+                    frozen: f,
+                    points: l.points(),
+                    weights: l.weights(),
+                    norms2: l.norms2(),
+                    perm: l.perm(),
+                },
+            })
+        }
+        (
+            image(self.pos.as_ref(), self.pos_frozen.as_ref()),
+            image(self.neg.as_ref(), self.neg_frozen.as_ref()),
+        )
     }
 
     /// The kernel this evaluator aggregates with.
@@ -688,7 +813,7 @@ impl<S: NodeShape> Evaluator<S> {
 
     /// Number of indexed points (both signs).
     pub fn len(&self) -> usize {
-        self.pos.as_ref().map_or(0, Tree::len) + self.neg.as_ref().map_or(0, Tree::len)
+        self.pos.as_ref().map_or(0, SideData::len) + self.neg.as_ref().map_or(0, SideData::len)
     }
 
     /// Whether the evaluator indexes no points (never true once built).
@@ -704,20 +829,35 @@ impl<S: NodeShape> Evaluator<S> {
 
     /// Depth of the deepest node across both trees.
     pub fn max_depth(&self) -> u16 {
-        self.pos
-            .as_ref()
-            .map_or(0, Tree::max_depth)
-            .max(self.neg.as_ref().map_or(0, Tree::max_depth))
+        let side = |side: Option<&SideData<S>>, frozen: Option<&FrozenTree>| match side {
+            Some(SideData::Built(t)) => t.max_depth(),
+            Some(SideData::Loaded(_)) => {
+                frozen.map_or(0, |f| f.max_depth().try_into().unwrap_or(u16::MAX))
+            }
+            None => 0,
+        };
+        side(self.pos.as_ref(), self.pos_frozen.as_ref())
+            .max(side(self.neg.as_ref(), self.neg_frozen.as_ref()))
     }
 
-    /// The positive-weight tree, if any.
+    /// The positive-weight pointer tree, if this evaluator was built
+    /// in-process (`None` on a side restored from an index file).
     pub fn pos_tree(&self) -> Option<&Tree<S>> {
-        self.pos.as_ref()
+        self.pos.as_ref().and_then(SideData::tree)
     }
 
-    /// The negative-weight tree (holding `|wᵢ|`), if any.
+    /// The negative-weight pointer tree (holding `|wᵢ|`), if this
+    /// evaluator was built in-process.
     pub fn neg_tree(&self) -> Option<&Tree<S>> {
-        self.neg.as_ref()
+        self.neg.as_ref().and_then(SideData::tree)
+    }
+
+    /// Whether the pointer engine can run: every present side must carry
+    /// its built pointer tree. Sides restored from a persistent index are
+    /// frozen-only.
+    pub fn pointer_available(&self) -> bool {
+        self.pos.as_ref().is_none_or(|s| s.tree().is_some())
+            && self.neg.as_ref().is_none_or(|s| s.tree().is_some())
     }
 
     /// The frozen SoA index of the positive-weight tree, if any.
@@ -734,13 +874,13 @@ impl<S: NodeShape> Evaluator<S> {
     pub fn exact(&self, q: &[f64]) -> f64 {
         self.check_query(q);
         let qn = norm2(q);
-        let side = |tree: &Tree<S>| {
+        let side = |side: &SideData<S>| {
             self.kernel.eval_range(
-                tree.points(),
-                tree.weights(),
-                tree.norms2(),
+                side.points(),
+                side.weights(),
+                side.norms2(),
                 0,
-                tree.len(),
+                side.len(),
                 q,
                 qn,
             )
@@ -893,6 +1033,9 @@ impl<S: NodeShape> Evaluator<S> {
     ) -> Result<Outcome, KarlError> {
         error::validate_query(q, self.dims)?;
         error::validate_spec(query)?;
+        if engine == Engine::Pointer && !self.pointer_available() {
+            return Err(KarlError::PointerEngineUnavailable);
+        }
         let (out, truncated) =
             self.run_core_on(engine, q, query, level_cap, scratch, false, budget, 0.0);
         Ok(match truncated {
@@ -1210,6 +1353,9 @@ impl<S: NodeShape> Evaluator<S> {
     ) -> Result<(Outcome, TierPath), KarlError> {
         error::validate_query(q, self.dims)?;
         error::validate_spec(query)?;
+        if engine == Engine::Pointer && !self.pointer_available() {
+            return Err(KarlError::PointerEngineUnavailable);
+        }
         if let Some(out) = self.tier_attempt(engine, q, query, scratch) {
             return Ok((Outcome::Complete(out), TierPath::Decided));
         }
@@ -1419,7 +1565,7 @@ impl<S: NodeShape> Evaluator<S> {
             iterations += 1;
             lb -= entry.lb;
             ub -= entry.ub;
-            let (tree, frozen) = if entry.negated {
+            let (side, frozen) = if entry.negated {
                 neg.expect("negated entry without neg tree")
             } else {
                 pos.expect("entry without pos tree")
@@ -1430,9 +1576,9 @@ impl<S: NodeShape> Evaluator<S> {
                 let (start, end) = frozen.range(entry.node);
                 leaf_points += (end - start) as u64;
                 let exact = self.kernel.eval_range(
-                    tree.points(),
-                    tree.weights(),
-                    tree.norms2(),
+                    side.points(),
+                    side.weights(),
+                    side.norms2(),
                     start,
                     end,
                     q,
@@ -1498,10 +1644,19 @@ impl<S: NodeShape> Evaluator<S> {
             });
         };
 
-        if let Some(tree) = &self.pos {
+        // Loaded (frozen-only) sides cannot reach here: the validated
+        // entry points reject `Engine::Pointer` with
+        // `KarlError::PointerEngineUnavailable` first.
+        fn expect_tree<S: NodeShape>(side: &SideData<S>) -> &Tree<S> {
+            side.tree()
+                .expect("pointer engine requires built trees; loaded indexes are frozen-only")
+        }
+        if let Some(side) = &self.pos {
+            let tree = expect_tree(side);
             push(heap, &mut lb, &mut ub, tree, tree.root(), false);
         }
-        if let Some(tree) = &self.neg {
+        if let Some(side) = &self.neg {
+            let tree = expect_tree(side);
             push(heap, &mut lb, &mut ub, tree, tree.root(), true);
         }
 
@@ -1536,11 +1691,11 @@ impl<S: NodeShape> Evaluator<S> {
             iterations += 1;
             lb -= entry.lb;
             ub -= entry.ub;
-            let tree = if entry.negated {
+            let tree = expect_tree(if entry.negated {
                 self.neg.as_ref().expect("negated entry without neg tree")
             } else {
                 self.pos.as_ref().expect("entry without pos tree")
-            };
+            });
             let node = tree.node(entry.node);
             let refine_exactly = node.is_leaf() || level_cap.is_some_and(|cap| node.depth >= cap);
             if refine_exactly {

@@ -56,6 +56,7 @@ pub mod error;
 pub mod eval;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+pub mod index;
 pub mod kernel;
 pub mod scan;
 pub mod stream;
@@ -80,10 +81,12 @@ pub use eval::{
 };
 #[cfg(feature = "fault-inject")]
 pub use fault::{clear_plan, inject, Fault, InjectionGuard};
+pub use index::{IndexMeta, META_LEN};
 pub use kernel::{aggregate_exact, Kernel};
 pub use scan::{LibSvmScan, Scan};
 pub use stream::StreamingEvaluator;
 pub use tuning::{
-    AnyEvaluator, CandidateResult, IndexKind, OfflineTuner, OfflineTuningOutcome, OnlineRunReport,
-    OnlineTuner,
+    plan_for_storage, AnyEvaluator, CandidateResult, IndexKind, OfflineTuner,
+    OfflineTuningOutcome, OnlineRunReport, OnlineTuner, StorageCalibration, StorageCandidate,
+    StoragePlan, StorageProfile,
 };

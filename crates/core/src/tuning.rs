@@ -171,9 +171,240 @@ impl AnyEvaluator {
         }
     }
 
+    /// Dimensionality of the indexed points.
+    pub fn dims(&self) -> usize {
+        match self {
+            AnyEvaluator::Kd(e) => e.dims(),
+            AnyEvaluator::Ball(e) => e.dims(),
+        }
+    }
+
     /// Whether no points are indexed (never true once built).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Where a persistent index is expected to live when it is queried —
+/// the knob of the storage-aware tuner.
+///
+/// The branch-and-bound loop pays two very different prices per visited
+/// node depending on residence: an in-memory (or page-cached) index costs
+/// roughly a cache miss per node, while a cold on-disk index pays the
+/// storage stack's per-access latency plus a per-byte transfer cost. The
+/// optimal leaf capacity moves accordingly: cheap node visits favour
+/// small leaves (tight bounds, little exact work), expensive ones favour
+/// large leaves (fewer visits, sequential leaf scans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageProfile {
+    /// Index resident in RAM (the default; matches the in-process tuner).
+    #[default]
+    Memory,
+    /// Index loaded cold from persistent storage per query batch.
+    Disk,
+}
+
+impl std::fmt::Display for StorageProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StorageProfile::Memory => "memory",
+            StorageProfile::Disk => "disk",
+        })
+    }
+}
+
+impl StorageProfile {
+    /// Parses the CLI spelling (`memory` / `disk`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "memory" | "mem" | "ram" => Some(StorageProfile::Memory),
+            "disk" | "ssd" | "cold" => Some(StorageProfile::Disk),
+            _ => None,
+        }
+    }
+}
+
+/// The two measured parameters of the storage cost model: what one node
+/// visit costs (latency) and what one transferred byte costs (bandwidth).
+///
+/// Recorded in the index file header at build time so `karl index info`
+/// can report the assumptions the stored layout was tuned under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageCalibration {
+    /// Fixed cost per node visit, in nanoseconds (pointer chase / seek).
+    pub node_visit_ns: f64,
+    /// Cost per byte moved to the CPU, in nanoseconds.
+    pub byte_read_ns: f64,
+}
+
+impl StorageCalibration {
+    /// Canned calibration constants per profile: a RAM visit is a cache
+    /// miss (~60 ns) with ~100 GB/s streaming; a cold-storage visit pays
+    /// ~80 µs of stack latency with ~500 MB/s effective bandwidth.
+    pub fn canned(profile: StorageProfile) -> Self {
+        match profile {
+            StorageProfile::Memory => Self {
+                node_visit_ns: 60.0,
+                byte_read_ns: 0.01,
+            },
+            StorageProfile::Disk => Self {
+                node_visit_ns: 80_000.0,
+                byte_read_ns: 2.0,
+            },
+        }
+    }
+
+    /// Measures the *memory* parameters on this machine with a short
+    /// pointer-chase (latency) and sequential-sum (bandwidth) probe.
+    /// Deterministic access pattern; only the timings vary per host.
+    pub fn measure() -> Self {
+        // Latency: chase a shuffled permutation so the prefetcher can't
+        // help. 1 Mi entries × 8 B = 8 MiB, comfortably past L2.
+        const N: usize = 1 << 20;
+        let mut next: Vec<u32> = (0..N as u32).collect();
+        // Deterministic LCG shuffle (no external RNG dependency here).
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for i in (1..N).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            next.swap(i, j);
+        }
+        let t0 = Instant::now();
+        let mut idx = 0u32;
+        for _ in 0..N {
+            idx = next[idx as usize];
+        }
+        std::hint::black_box(idx);
+        let node_visit_ns = (t0.elapsed().as_nanos() as f64 / N as f64).max(1.0);
+
+        // Bandwidth: stream the same buffer sequentially.
+        let t1 = Instant::now();
+        let sum: u64 = next.iter().map(|&x| x as u64).sum();
+        std::hint::black_box(sum);
+        let bytes = (N * std::mem::size_of::<u32>()) as f64;
+        let byte_read_ns = (t1.elapsed().as_nanos() as f64 / bytes).max(1e-4);
+        Self {
+            node_visit_ns,
+            byte_read_ns,
+        }
+    }
+
+    /// Calibration for `profile`: measured on this host for
+    /// [`Memory`](StorageProfile::Memory), canned constants for
+    /// [`Disk`](StorageProfile::Disk) (cold-storage latency cannot be
+    /// probed without actually owning the target device).
+    pub fn for_profile(profile: StorageProfile) -> Self {
+        match profile {
+            StorageProfile::Memory => Self::measure(),
+            StorageProfile::Disk => Self::canned(StorageProfile::Disk),
+        }
+    }
+}
+
+/// One candidate of the storage-aware analytic sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageCandidate {
+    /// The index family tried.
+    pub kind: IndexKind,
+    /// The leaf capacity tried.
+    pub leaf_capacity: usize,
+    /// Modelled per-query cost in nanoseconds.
+    pub est_cost_ns: f64,
+}
+
+/// The storage-aware tuning decision plus the full modelled sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoragePlan {
+    /// Chosen index family.
+    pub kind: IndexKind,
+    /// Chosen leaf capacity.
+    pub leaf_capacity: usize,
+    /// The profile the plan was made for.
+    pub profile: StorageProfile,
+    /// The calibration the cost model used.
+    pub calibration: StorageCalibration,
+    /// Every candidate with its modelled cost, cheapest first.
+    pub candidates: Vec<StorageCandidate>,
+}
+
+/// Bytes the evaluator touches per visited node of each family: the
+/// frozen SoA row (shape + aggregates as `f64`, counts/ranges/links as
+/// `u32`/`u16`), matching [`FrozenTree::footprint_sections`] per node.
+///
+/// [`FrozenTree::footprint_sections`]: karl_tree::FrozenTree::footprint_sections
+fn node_bytes(kind: IndexKind, dims: usize) -> f64 {
+    let d = dims as f64;
+    let aggregates = (d + 2.0) * 8.0; // weighted_sum + weight_sum + weighted_norm2
+    let links = 22.0; // count/start/end/left/right u32 + depth u16
+    match kind {
+        IndexKind::Kd => 2.0 * d * 8.0 + aggregates + links,
+        IndexKind::Ball => (d + 1.0) * 8.0 + aggregates + links,
+    }
+}
+
+/// Analytic storage-aware tuner: picks (family, leaf capacity) from a
+/// two-parameter cost model instead of a measured sweep, so it can plan
+/// for a device the build machine does not have (the `--profile disk`
+/// case of `karl index build`).
+///
+/// Model: branch-and-bound refinement visits a corridor of `k` nodes per
+/// level down a tree of `log₂(n / c)` levels, then refines `k` leaves of
+/// `c` points each. Per node it pays `t_node + node_bytes · t_byte`; per
+/// leaf additionally the point payload `c·(d+2)·8 · t_byte` plus the
+/// arithmetic of `c` kernel evaluations. The corridor is wider for
+/// rectangles in high dimension (their bounds loosen faster than balls'),
+/// which is what lets the model flip family with `d`.
+///
+/// The absolute numbers are rough, but the *argmin* over candidates only
+/// needs the relative shape: expensive node visits (disk) push the
+/// optimum toward large leaves, cheap ones (memory) toward small leaves —
+/// exactly the monotonicity the tests pin down.
+pub fn plan_for_storage(
+    n: usize,
+    dims: usize,
+    profile: StorageProfile,
+    calibration: StorageCalibration,
+) -> StoragePlan {
+    const CAPS: [usize; 7] = [10, 20, 40, 80, 160, 320, 640];
+    let d = dims as f64;
+    let t_node = calibration.node_visit_ns.max(0.0);
+    let t_byte = calibration.byte_read_ns.max(0.0);
+    let mut candidates = Vec::with_capacity(2 * CAPS.len());
+    for kind in [IndexKind::Kd, IndexKind::Ball] {
+        let corridor = match kind {
+            IndexKind::Kd => 8.0 * (1.0 + d / 16.0),
+            IndexKind::Ball => 12.0,
+        };
+        let nb = node_bytes(kind, dims);
+        for &cap in &CAPS {
+            let c = cap as f64;
+            let levels = ((n as f64 / c).max(2.0)).log2();
+            let descend = corridor * levels * (t_node + nb * t_byte);
+            let leaf_bytes = c * (d + 2.0) * 8.0;
+            let eval_ns = c * (0.5 * d + 3.0);
+            let refine = corridor * (t_node + leaf_bytes * t_byte + eval_ns);
+            candidates.push(StorageCandidate {
+                kind,
+                leaf_capacity: cap,
+                est_cost_ns: descend + refine,
+            });
+        }
+    }
+    // Cheapest first; break ties toward the kd family and the smaller
+    // capacity so the plan is deterministic.
+    candidates.sort_by(|a, b| {
+        a.est_cost_ns
+            .total_cmp(&b.est_cost_ns)
+            .then_with(|| (a.kind == IndexKind::Ball).cmp(&(b.kind == IndexKind::Ball)))
+            .then_with(|| a.leaf_capacity.cmp(&b.leaf_capacity))
+    });
+    let best = candidates[0];
+    StoragePlan {
+        kind: best.kind,
+        leaf_capacity: best.leaf_capacity,
+        profile,
+        calibration,
+        candidates,
     }
 }
 
@@ -525,6 +756,58 @@ mod tests {
         assert_eq!(report.answers.len(), 1);
         let truth = aggregate_exact(&Kernel::gaussian(0.5), &ps, &w, queries.point(0));
         assert!((report.answers[0] - truth).abs() <= 0.3 * truth + 1e-9);
+    }
+
+    #[test]
+    fn storage_plan_moves_to_larger_leaves_on_disk() {
+        let n = 1_000_000;
+        for dims in [2, 4, 8, 32] {
+            let mem = plan_for_storage(
+                n,
+                dims,
+                StorageProfile::Memory,
+                StorageCalibration::canned(StorageProfile::Memory),
+            );
+            let disk = plan_for_storage(
+                n,
+                dims,
+                StorageProfile::Disk,
+                StorageCalibration::canned(StorageProfile::Disk),
+            );
+            // Expensive node visits must never shrink the optimal leaf.
+            assert!(
+                mem.leaf_capacity <= disk.leaf_capacity,
+                "dims {dims}: memory cap {} > disk cap {}",
+                mem.leaf_capacity,
+                disk.leaf_capacity
+            );
+            // The sweep is exhaustive and sorted cheapest-first.
+            assert_eq!(mem.candidates.len(), 14);
+            for pair in mem.candidates.windows(2) {
+                assert!(pair[0].est_cost_ns <= pair[1].est_cost_ns);
+            }
+            assert_eq!(mem.kind, mem.candidates[0].kind);
+            assert_eq!(mem.leaf_capacity, mem.candidates[0].leaf_capacity);
+        }
+    }
+
+    #[test]
+    fn storage_plan_prefers_balls_in_high_dimension() {
+        let cal = StorageCalibration::canned(StorageProfile::Memory);
+        let low = plan_for_storage(1_000_000, 2, StorageProfile::Memory, cal);
+        let high = plan_for_storage(1_000_000, 64, StorageProfile::Memory, cal);
+        assert_eq!(low.kind, IndexKind::Kd);
+        assert_eq!(high.kind, IndexKind::Ball);
+    }
+
+    #[test]
+    fn storage_calibration_probe_is_sane() {
+        let c = StorageCalibration::measure();
+        // A pointer chase is slower per access than a streamed byte, and
+        // both land in a physically plausible window.
+        assert!(c.node_visit_ns >= 1.0 && c.node_visit_ns < 1e6);
+        assert!(c.byte_read_ns > 0.0 && c.byte_read_ns < 1e3);
+        assert!(c.node_visit_ns > c.byte_read_ns);
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! 64-byte-aligned byte arenas and dual-backed typed buffers.
+//!
+//! The zero-copy persistent index (`karl_tree::persist`) loads an entire
+//! on-disk image with **one** bulk read into an [`AlignedBytes`] arena and
+//! then hands out typed views into it. [`Buf<T>`] is the buffer type that
+//! makes this transparent to the rest of the library: it either owns a
+//! plain `Vec<T>` (the build path — nothing changes for freshly built
+//! indexes) or borrows a `[T]` window out of a shared arena (the load
+//! path — zero per-element work). Both flavors deref to `&[T]`, so every
+//! consumer keeps slice semantics.
+//!
+//! Why 64 bytes: it is a multiple of every element alignment we store
+//! (`f64`/`u64`/`u32`/`u16`/`u8`), matches the cache-line size of every
+//! x86-64/aarch64 part we target, and lets the on-disk format guarantee
+//! that a section copied verbatim into an arena is correctly aligned for
+//! its element type without per-section fixups.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::Deref;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+/// Arena alignment (bytes): one cache line, a multiple of every `Pod`
+/// element alignment.
+pub const ARENA_ALIGN: usize = 64;
+
+/// Marker for element types that are valid for **any** bit pattern, so a
+/// byte region read from disk may be reinterpreted as a slice of them.
+///
+/// # Safety
+/// Implementors must be plain-old-data: no padding, no niches, no drop
+/// glue, valid for every bit pattern. The trait is sealed to the built-in
+/// numeric types the frozen index stores.
+pub unsafe trait Pod: sealed::Sealed + Copy + Send + Sync + 'static {}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for u64 {}
+    impl Sealed for u32 {}
+    impl Sealed for u16 {}
+    impl Sealed for u8 {}
+}
+
+unsafe impl Pod for f64 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u8 {}
+
+enum Backing {
+    /// Heap allocation of `layout` (empty arenas carry a dangling pointer
+    /// and no layout).
+    Heap(Option<Layout>),
+    /// A region established by `mmap(2)`; unmapped on drop.
+    #[cfg(feature = "mmap")]
+    Mmap,
+}
+
+/// A fixed-size, 64-byte-aligned byte buffer.
+///
+/// Created mutable (filled once, e.g. by `File::read_exact`), then frozen
+/// behind an `Arc` so any number of [`Buf`] views can borrow windows of it.
+pub struct AlignedBytes {
+    ptr: NonNull<u8>,
+    len: usize,
+    backing: Backing,
+}
+
+// The arena is plain memory with no interior mutability; views only read.
+unsafe impl Send for AlignedBytes {}
+unsafe impl Sync for AlignedBytes {}
+
+impl AlignedBytes {
+    /// Allocates a zero-filled arena of `len` bytes at [`ARENA_ALIGN`].
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: NonNull::<u64>::dangling().cast(),
+                len: 0,
+                backing: Backing::Heap(None),
+            };
+        }
+        let layout = Layout::from_size_align(len, ARENA_ALIGN).expect("arena layout");
+        // SAFETY: layout has non-zero size.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout)
+        };
+        Self {
+            ptr,
+            len,
+            backing: Backing::Heap(Some(layout)),
+        }
+    }
+
+    /// Maps `len` bytes of the open file `fd` read-only starting at offset
+    /// zero. The mapping is page-aligned (pages are ≥ [`ARENA_ALIGN`]) and
+    /// released on drop. Only offered on Linux via direct syscalls so the
+    /// workspace stays registry-free.
+    #[cfg(feature = "mmap")]
+    pub fn map_file(fd: std::os::fd::RawFd, len: usize) -> std::io::Result<Self> {
+        if len == 0 {
+            return Ok(Self {
+                ptr: NonNull::<u64>::dangling().cast(),
+                len: 0,
+                backing: Backing::Heap(None),
+            });
+        }
+        let addr = mmap::map_readonly(fd, len)?;
+        Ok(Self {
+            ptr: NonNull::new(addr as *mut u8).expect("mmap returned null"),
+            len,
+            backing: Backing::Mmap,
+        })
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The whole arena as a byte slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr/len describe our own allocation (or a dangling
+        // pointer with len 0, which from_raw_parts permits).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable access to the whole arena, for filling it after allocation.
+    /// Requires unique ownership (before the arena is wrapped in an `Arc`).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl std::fmt::Debug for AlignedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBytes").field("len", &self.len).finish()
+    }
+}
+
+impl Drop for AlignedBytes {
+    fn drop(&mut self) {
+        match self.backing {
+            Backing::Heap(Some(layout)) => {
+                // SAFETY: allocated with exactly this layout in `zeroed`.
+                unsafe { dealloc(self.ptr.as_ptr(), layout) }
+            }
+            Backing::Heap(None) => {}
+            #[cfg(feature = "mmap")]
+            Backing::Mmap => mmap::unmap(self.ptr.as_ptr(), self.len),
+        }
+    }
+}
+
+/// Direct `mmap`/`munmap` syscalls (Linux x86-64 / aarch64 only) so the
+/// optional `mmap` feature adds no registry dependency.
+#[cfg(feature = "mmap")]
+mod mmap {
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    unsafe fn sys_mmap(len: usize, fd: usize) -> isize {
+        let ret: isize;
+        // SAFETY: mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0); x86-64
+        // syscall ABI clobbers rcx/r11 only.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 9usize => ret, // __NR_mmap
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    unsafe fn sys_munmap(addr: usize, len: usize) -> isize {
+        let ret: isize;
+        // SAFETY: munmap(addr, len).
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 11usize => ret, // __NR_munmap
+                in("rdi") addr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+    unsafe fn sys_mmap(len: usize, fd: usize) -> isize {
+        let ret: isize;
+        // SAFETY: mmap via svc 0; aarch64 syscall ABI.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") 222usize, // __NR_mmap
+                inlateout("x0") 0usize => ret,
+                in("x1") len,
+                in("x2") PROT_READ,
+                in("x3") MAP_PRIVATE,
+                in("x4") fd,
+                in("x5") 0usize,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+    unsafe fn sys_munmap(addr: usize, len: usize) -> isize {
+        let ret: isize;
+        // SAFETY: munmap via svc 0.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") 215usize, // __NR_munmap
+                inlateout("x0") addr => ret,
+                in("x1") len,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    pub fn map_readonly(fd: std::os::fd::RawFd, len: usize) -> std::io::Result<usize> {
+        // SAFETY: requests a fresh read-only private mapping of an open fd.
+        let ret = unsafe { sys_mmap(len, fd as usize) };
+        if (-4095..0).contains(&ret) {
+            Err(std::io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    pub fn unmap(addr: *mut u8, len: usize) {
+        // SAFETY: addr/len came from a successful map_readonly.
+        let _ = unsafe { sys_munmap(addr as usize, len) };
+    }
+}
+
+enum Repr<T: Pod> {
+    Owned(Vec<T>),
+    View {
+        arena: Arc<AlignedBytes>,
+        byte_off: usize,
+        len: usize,
+    },
+}
+
+/// A typed buffer that is either an owned `Vec<T>` (build path) or a
+/// borrowed window of a shared [`AlignedBytes`] arena (zero-copy load
+/// path). Both deref to `&[T]`; mutation (`push`/`extend_from_slice`)
+/// transparently converts a view into an owned copy first.
+pub struct Buf<T: Pod> {
+    repr: Repr<T>,
+}
+
+impl<T: Pod> Buf<T> {
+    /// An empty owned buffer.
+    pub fn new() -> Self {
+        Vec::new().into()
+    }
+
+    /// A zero-copy view of `len` elements starting `byte_off` bytes into
+    /// `arena`. Returns `None` when the window is out of bounds or
+    /// misaligned for `T` (the arena base is [`ARENA_ALIGN`]-aligned, so
+    /// only the offset matters).
+    pub fn view(arena: Arc<AlignedBytes>, byte_off: usize, len: usize) -> Option<Self> {
+        let bytes = len.checked_mul(std::mem::size_of::<T>())?;
+        let end = byte_off.checked_add(bytes)?;
+        if end > arena.len() || !byte_off.is_multiple_of(std::mem::align_of::<T>()) {
+            return None;
+        }
+        Some(Self {
+            repr: Repr::View {
+                arena,
+                byte_off,
+                len,
+            },
+        })
+    }
+
+    /// Whether this buffer borrows an arena (load path) rather than owning
+    /// a `Vec` (build path).
+    pub fn is_view(&self) -> bool {
+        matches!(self.repr, Repr::View { .. })
+    }
+
+    /// Mutable `Vec` access, converting an arena view into an owned copy
+    /// on first use (copy-on-write).
+    pub fn make_mut(&mut self) -> &mut Vec<T> {
+        if let Repr::View { .. } = self.repr {
+            self.repr = Repr::Owned(self.as_ref().to_vec());
+        }
+        match &mut self.repr {
+            Repr::Owned(v) => v,
+            Repr::View { .. } => unreachable!("just converted to owned"),
+        }
+    }
+
+    /// Appends one element (converts a view to owned storage).
+    pub fn push(&mut self, value: T) {
+        self.make_mut().push(value);
+    }
+
+    /// Appends a slice (converts a view to owned storage).
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        self.make_mut().extend_from_slice(values);
+    }
+}
+
+impl<T: Pod> Deref for Buf<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            Repr::View {
+                arena,
+                byte_off,
+                len,
+            } => {
+                // SAFETY: `view` validated bounds and alignment; T is Pod
+                // so any bit pattern is a valid value; the Arc keeps the
+                // arena alive for the borrow's lifetime.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        arena.as_slice().as_ptr().add(*byte_off).cast::<T>(),
+                        *len,
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl<T: Pod> AsRef<[T]> for Buf<T> {
+    #[inline]
+    fn as_ref(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Buf<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self {
+            repr: Repr::Owned(v),
+        }
+    }
+}
+
+impl<T: Pod> Default for Buf<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Pod> Clone for Buf<T> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Owned(v) => Self {
+                repr: Repr::Owned(v.clone()),
+            },
+            Repr::View {
+                arena,
+                byte_off,
+                len,
+            } => Self {
+                repr: Repr::View {
+                    arena: Arc::clone(arena),
+                    byte_off: *byte_off,
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Buf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for Buf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_ref().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_arena_is_aligned_and_zero() {
+        let arena = AlignedBytes::zeroed(200);
+        assert_eq!(arena.len(), 200);
+        assert_eq!(arena.as_slice().as_ptr() as usize % ARENA_ALIGN, 0);
+        assert!(arena.as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_arena_works() {
+        let arena = AlignedBytes::zeroed(0);
+        assert!(arena.is_empty());
+        assert_eq!(arena.as_slice(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn view_reads_typed_values_back() {
+        let mut arena = AlignedBytes::zeroed(64 + 3 * 8);
+        let vals = [1.5f64, -2.0, 3.25];
+        for (i, v) in vals.iter().enumerate() {
+            let b = v.to_ne_bytes();
+            arena.as_mut_slice()[64 + i * 8..64 + (i + 1) * 8].copy_from_slice(&b);
+        }
+        let arena = Arc::new(arena);
+        let buf = Buf::<f64>::view(Arc::clone(&arena), 64, 3).unwrap();
+        assert!(buf.is_view());
+        assert_eq!(&buf[..], &vals);
+    }
+
+    #[test]
+    fn view_rejects_out_of_bounds_and_misaligned() {
+        let arena = Arc::new(AlignedBytes::zeroed(64));
+        assert!(Buf::<f64>::view(Arc::clone(&arena), 0, 9).is_none());
+        assert!(Buf::<f64>::view(Arc::clone(&arena), 4, 1).is_none());
+        assert!(Buf::<u32>::view(Arc::clone(&arena), 60, 1).is_some());
+        assert!(Buf::<u8>::view(Arc::clone(&arena), 64, 0).is_some());
+        assert!(Buf::<u8>::view(arena, usize::MAX, 2).is_none());
+    }
+
+    #[test]
+    fn mutation_converts_view_to_owned() {
+        let arena = Arc::new(AlignedBytes::zeroed(64));
+        let mut buf = Buf::<u32>::view(arena, 0, 4).unwrap();
+        assert!(buf.is_view());
+        buf.push(7);
+        assert!(!buf.is_view());
+        assert_eq!(&buf[..], &[0, 0, 0, 0, 7]);
+        buf.extend_from_slice(&[8, 9]);
+        assert_eq!(buf.len(), 7);
+    }
+
+    #[test]
+    fn owned_and_view_compare_by_contents() {
+        let owned: Buf<u32> = vec![0u32, 0, 0].into();
+        let arena = Arc::new(AlignedBytes::zeroed(12));
+        let view = Buf::<u32>::view(arena, 0, 3).unwrap();
+        assert_eq!(owned, view);
+        assert_eq!(view.clone(), view);
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mmap_arena_matches_file_contents() {
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+
+        let dir = std::env::temp_dir().join("karl_geom_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("arena.bin");
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let arena = AlignedBytes::map_file(file.as_raw_fd(), payload.len()).unwrap();
+        assert_eq!(arena.as_slice(), &payload[..]);
+        drop(arena);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -15,6 +15,7 @@
 //! `γ · dist²` directly.
 
 pub mod ball;
+pub mod buf;
 pub mod dist;
 pub mod error;
 pub mod fused;
@@ -22,6 +23,7 @@ pub mod points;
 pub mod rect;
 
 pub use ball::Ball;
+pub use buf::{AlignedBytes, Buf, Pod, ARENA_ALIGN};
 pub use dist::{dist2, dot, norm2};
 pub use error::GeomError;
 pub use fused::{

@@ -6,14 +6,19 @@
 //! O(d) aggregate evaluations cache-friendly, which matters because the
 //! paper's throughput comparisons are memory-bandwidth bound.
 
+use crate::buf::Buf;
 use crate::dist::norm2;
 use crate::error::GeomError;
 
 /// A dense set of `n` points in `d` dimensions, stored row-major.
+///
+/// The coordinate storage is a [`Buf`], so a point set either owns its
+/// buffer (the usual build path) or borrows a zero-copy window of a loaded
+/// index arena; every accessor sees a plain `&[f64]` either way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointSet {
     dims: usize,
-    data: Vec<f64>,
+    data: Buf<f64>,
 }
 
 impl PointSet {
@@ -31,6 +36,13 @@ impl PointSet {
     /// [`check_finite`](Self::check_finite)) so adversarial inputs can be
     /// constructed for the validated entry points upstream.
     pub fn try_new(dims: usize, data: Vec<f64>) -> Result<Self, GeomError> {
+        Self::try_from_buf(dims, data.into())
+    }
+
+    /// Like [`try_new`](Self::try_new) but accepts any [`Buf`] backing —
+    /// the zero-copy entry point used when reattaching a loaded index
+    /// arena as a point set.
+    pub fn try_from_buf(dims: usize, data: Buf<f64>) -> Result<Self, GeomError> {
         if dims == 0 {
             return Err(GeomError::ZeroDims);
         }
@@ -125,7 +137,8 @@ impl PointSet {
     #[inline]
     pub fn point_mut(&mut self, i: usize) -> &mut [f64] {
         let start = i * self.dims;
-        &mut self.data[start..start + self.dims]
+        let dims = self.dims;
+        &mut self.data.make_mut()[start..start + dims]
     }
 
     /// The raw flat coordinate buffer.
@@ -141,6 +154,13 @@ impl PointSet {
     pub fn push(&mut self, p: &[f64]) {
         assert_eq!(p.len(), self.dims, "pushed point has wrong dimensionality");
         self.data.extend_from_slice(p);
+    }
+
+    /// Whether the coordinate buffer borrows a loaded arena rather than
+    /// owning its storage.
+    #[inline]
+    pub fn is_view(&self) -> bool {
+        self.data.is_view()
     }
 
     /// Iterate over all points as coordinate slices.

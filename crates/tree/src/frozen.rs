@@ -18,7 +18,7 @@
 //! bounds computed from a frozen node are bit-identical to bounds computed
 //! from the pointer node.
 
-use karl_geom::PointSet;
+use karl_geom::{Buf, PointSet};
 
 use crate::tree::{NodeId, NodeShape, Tree};
 
@@ -26,22 +26,25 @@ use crate::tree::{NodeId, NodeShape, Tree};
 pub const NO_CHILD: u32 = u32::MAX;
 
 /// SoA shape buffers of a frozen tree: the per-family node volumes packed
-/// node-major, `d` coordinates per node.
+/// node-major, `d` coordinates per node. The buffers are [`Buf`]s, so a
+/// frozen tree either owns its storage (freshly frozen) or borrows a
+/// loaded index arena (see [`crate::persist`]) — identically shaped either
+/// way.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FrozenShapes {
     /// kd-tree family: rectangle corners, each `nodes × d` long.
     Rect {
         /// Lower corners, node-major.
-        lo: Vec<f64>,
+        lo: Buf<f64>,
         /// Upper corners, node-major.
-        hi: Vec<f64>,
+        hi: Buf<f64>,
     },
     /// ball-tree family: centers (`nodes × d`) and per-node radii.
     Ball {
         /// Ball centers, node-major.
-        center: Vec<f64>,
+        center: Buf<f64>,
         /// Ball radii, one per node.
-        radius: Vec<f64>,
+        radius: Buf<f64>,
     },
 }
 
@@ -54,18 +57,18 @@ pub enum FrozenShapes {
 /// [`NO_CHILD`] marking leaves.
 #[derive(Debug, Clone)]
 pub struct FrozenTree {
-    dims: usize,
-    shapes: FrozenShapes,
-    weight_sum: Vec<f64>,
+    pub(crate) dims: usize,
+    pub(crate) shapes: FrozenShapes,
+    pub(crate) weight_sum: Buf<f64>,
     /// `a_R` for every node, one contiguous `nodes × d` buffer.
-    weighted_sum: Vec<f64>,
-    weighted_norm2: Vec<f64>,
-    count: Vec<u32>,
-    depth: Vec<u16>,
-    start: Vec<u32>,
-    end: Vec<u32>,
-    left: Vec<u32>,
-    right: Vec<u32>,
+    pub(crate) weighted_sum: Buf<f64>,
+    pub(crate) weighted_norm2: Buf<f64>,
+    pub(crate) count: Buf<u32>,
+    pub(crate) depth: Buf<u16>,
+    pub(crate) start: Buf<u32>,
+    pub(crate) end: Buf<u32>,
+    pub(crate) left: Buf<u32>,
+    pub(crate) right: Buf<u32>,
 }
 
 impl FrozenTree {
@@ -100,15 +103,15 @@ impl FrozenTree {
         Self {
             dims: d,
             shapes,
-            weight_sum,
-            weighted_sum,
-            weighted_norm2,
-            count,
-            depth,
-            start,
-            end,
-            left,
-            right,
+            weight_sum: weight_sum.into(),
+            weighted_sum: weighted_sum.into(),
+            weighted_norm2: weighted_norm2.into(),
+            count: count.into(),
+            depth: depth.into(),
+            start: start.into(),
+            end: end.into(),
+            left: left.into(),
+            right: right.into(),
         }
     }
 
@@ -227,22 +230,51 @@ impl FrozenTree {
         &self.shapes
     }
 
-    /// Total heap bytes held by the flat evaluation buffers. Lets callers
+    /// Deepest node depth (root = 0). `0` for a single-leaf tree. Loaded
+    /// trees have no originating pointer [`Tree`] to ask, so this scans
+    /// the flat depth buffer.
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Per-section byte sizes of the flat evaluation buffers, labelled the
+    /// way `karl index info` reports them. Section names are stable (they
+    /// double as regression-review keys): the shape pair is
+    /// `shape.lo`/`shape.hi` for the kd family and
+    /// `shape.center`/`shape.radius` for the ball family.
+    pub fn footprint_sections(&self) -> Vec<(&'static str, usize)> {
+        const F64: usize = std::mem::size_of::<f64>();
+        const U32: usize = std::mem::size_of::<u32>();
+        const U16: usize = std::mem::size_of::<u16>();
+        let mut out = Vec::with_capacity(11);
+        match &self.shapes {
+            FrozenShapes::Rect { lo, hi } => {
+                out.push(("shape.lo", lo.len() * F64));
+                out.push(("shape.hi", hi.len() * F64));
+            }
+            FrozenShapes::Ball { center, radius } => {
+                out.push(("shape.center", center.len() * F64));
+                out.push(("shape.radius", radius.len() * F64));
+            }
+        }
+        out.push(("weight_sum", self.weight_sum.len() * F64));
+        out.push(("weighted_sum", self.weighted_sum.len() * F64));
+        out.push(("weighted_norm2", self.weighted_norm2.len() * F64));
+        out.push(("count", self.count.len() * U32));
+        out.push(("depth", self.depth.len() * U16));
+        out.push(("start", self.start.len() * U32));
+        out.push(("end", self.end.len() * U32));
+        out.push(("left", self.left.len() * U32));
+        out.push(("right", self.right.len() * U32));
+        out
+    }
+
+    /// Total heap bytes held by the flat evaluation buffers (the sum of
+    /// [`footprint_sections`](Self::footprint_sections)). Lets callers
     /// that stack a small front-tier tree on top of a full index (the
     /// coreset cascade) report the extra footprint the tier costs.
     pub fn footprint_bytes(&self) -> usize {
-        let shape_f64s = match &self.shapes {
-            FrozenShapes::Rect { lo, hi } => lo.len() + hi.len(),
-            FrozenShapes::Ball { center, radius } => center.len() + radius.len(),
-        };
-        let f64s =
-            shape_f64s + self.weight_sum.len() + self.weighted_sum.len() + self.weighted_norm2.len();
-        let u32s = self.count.len() + self.start.len() + self.end.len() + self.left.len()
-            + self.right.len();
-        let u16s = self.depth.len();
-        f64s * std::mem::size_of::<f64>()
-            + u32s * std::mem::size_of::<u32>()
-            + u16s * std::mem::size_of::<u16>()
+        self.footprint_sections().iter().map(|(_, b)| b).sum()
     }
 }
 

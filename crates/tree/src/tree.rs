@@ -10,10 +10,33 @@ use crate::stats::NodeStats;
 /// Identifier of a node inside a [`Tree`]'s node arena.
 pub type NodeId = u32;
 
+/// The index family a node volume belongs to — the tag the persistent
+/// index header records so a loader can reject a file built for the other
+/// family before touching any payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeFamily {
+    /// Axis-aligned bounding rectangles (kd-tree).
+    Rect,
+    /// Centroid bounding balls (ball-tree).
+    Ball,
+}
+
+impl std::fmt::Display for ShapeFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeFamily::Rect => write!(f, "kd"),
+            ShapeFamily::Ball => write!(f, "ball"),
+        }
+    }
+}
+
 /// A bounding volume that can be constructed over a contiguous range of a
 /// reordered point buffer. Implemented by [`Rect`] (kd-tree) and [`Ball`]
 /// (ball-tree).
 pub trait NodeShape: BoundingShape + Clone {
+    /// The family tag this shape freezes and persists under.
+    const FAMILY: ShapeFamily;
+
     /// Builds the volume covering `points[start..end]`. `scratch` is a
     /// reusable accumulation buffer shared across an entire tree build, so
     /// constructing thousands of nodes allocates no intermediates.
@@ -32,14 +55,16 @@ pub trait NodeShape: BoundingShape + Clone {
 }
 
 impl NodeShape for Rect {
+    const FAMILY: ShapeFamily = ShapeFamily::Rect;
+
     fn from_range(points: &PointSet, start: usize, end: usize, scratch: &mut Vec<f64>) -> Self {
         Rect::bounding_range_scratch(points, start, end, scratch)
     }
 
     fn frozen_shapes(dims: usize, nodes: usize) -> FrozenShapes {
         FrozenShapes::Rect {
-            lo: Vec::with_capacity(nodes * dims),
-            hi: Vec::with_capacity(nodes * dims),
+            lo: Vec::with_capacity(nodes * dims).into(),
+            hi: Vec::with_capacity(nodes * dims).into(),
         }
     }
 
@@ -55,14 +80,16 @@ impl NodeShape for Rect {
 }
 
 impl NodeShape for Ball {
+    const FAMILY: ShapeFamily = ShapeFamily::Ball;
+
     fn from_range(points: &PointSet, start: usize, end: usize, scratch: &mut Vec<f64>) -> Self {
         Ball::bounding_range_scratch(points, start, end, scratch)
     }
 
     fn frozen_shapes(dims: usize, nodes: usize) -> FrozenShapes {
         FrozenShapes::Ball {
-            center: Vec::with_capacity(nodes * dims),
-            radius: Vec::with_capacity(nodes),
+            center: Vec::with_capacity(nodes * dims).into(),
+            radius: Vec::with_capacity(nodes).into(),
         }
     }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the perf benches and records the merged results as JSON.
 #
-# Produces BENCH_PR7.json at the repo root with two sections plus host
+# Produces BENCH_PR8.json at the repo root with three sections plus host
 # metadata (available_parallelism, uname), so numbers from different
 # machines are interpretable:
 #
@@ -17,18 +17,23 @@
 #   * frozen_bounds — per-node bound-kernel throughput (bounds/s),
 #     pointer vs frozen, kd and ball families, SOTA and KARL methods,
 #     plus the envelope_micro section: envelopes/s for the direct
-#     builder vs a cold (all-miss) and a warm (all-hit) envelope cache.
+#     builder vs a cold (all-miss) and a warm (all-hit) envelope cache;
+#   * cold_start — process cold-start cost at three dataset sizes:
+#     rebuilding the evaluator from raw points vs loading the persisted
+#     index file (one bulk read + checksum walk, zero per-node work),
+#     with the loaded answers re-verified bitwise identical each run.
 #
 # Usage: scripts/bench_json.sh [output.json]
 # Sizing overrides: KARL_BENCH_N (points), KARL_BENCH_QUERIES
-# (end-to-end queries), KARL_BENCH_BOUND_QUERIES (bound-kernel queries).
+# (end-to-end queries), KARL_BENCH_BOUND_QUERIES (bound-kernel queries),
+# KARL_BENCH_COLD_N (largest cold-start size).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # cargo bench runs the bench binary from the package directory, so make
 # the output path absolute before handing it over.
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 case "$out" in
     /*) ;;
     *) out="$(pwd)/$out" ;;
@@ -43,6 +48,9 @@ KARL_BENCH_JSON="$tmpdir/throughput_batch.json" cargo bench -p karl-bench \
 KARL_BENCH_JSON="$tmpdir/frozen_bounds.json" cargo bench -p karl-bench \
     --features criterion-benches --bench frozen_bounds --offline
 
+KARL_BENCH_JSON="$tmpdir/cold_start.json" cargo bench -p karl-bench \
+    --features criterion-benches --bench cold_start --offline
+
 python3 - "$tmpdir" "$out" <<'PY'
 import json, os, platform, sys
 tmpdir, out = sys.argv[1], sys.argv[2]
@@ -50,25 +58,24 @@ with open(os.path.join(tmpdir, "throughput_batch.json")) as f:
     throughput = json.load(f)
 with open(os.path.join(tmpdir, "frozen_bounds.json")) as f:
     bounds = json.load(f)
+with open(os.path.join(tmpdir, "cold_start.json")) as f:
+    cold = json.load(f)
 merged = {
-    "bench": "BENCH_PR7",
+    "bench": "BENCH_PR8",
     "note": (
-        "PR7 adds the certified coreset front tier (Evaluator::"
-        "with_coreset_tier + QueryBatch::coreset). The coreset_cascade "
-        "section runs the tier's profitable workload: the 2-D level-set "
-        "grid with every coordinate quantized to a 0.05 sensor lattice "
-        "(duplicate-heavy metered data), where the grid-snap coreset is a "
-        "certified dedup (measured eps_c ~ 1e-15) an order of magnitude "
-        "smaller than the data. Decisive queries terminate at coarse node "
-        "resolution on either tree; the tau-straddling band must refine "
-        "to leaf scans, where the tier pays compression-fold fewer kernel "
-        "evaluations -- the reported speedup is cascade vs a same-process "
-        "full-tree control differing only in the tier flag. On smooth "
-        "un-quantized data the tier is roughly cost-neutral (refinement "
-        "cost tracks geometric resolution, not point count; see DESIGN.md "
-        "s13). Wall clock on this shared host varies +/-3-10% per row; "
-        "tier-1 decided counts are deterministic. The dual_tkaq section "
-        "and the remaining rows are unchanged from BENCH_PR6 as a "
+        "PR8 adds the persistent zero-copy index (karl index build/info, "
+        "batch --index, Evaluator::from_index_file). The cold_start "
+        "section is the new measurement: at each size, build = full "
+        "Evaluator::build from raw points and load = "
+        "Evaluator::from_index_file on the persisted file (one bulk read "
+        "into a 64-byte-aligned arena + checksum walk + zero-copy section "
+        "views, no per-node work), best-of-5 wall clock, with the loaded "
+        "evaluator re-verified bitwise identical to the fresh build on a "
+        "live query every run. Load cost is O(bytes) and dominated by "
+        "read+checksum bandwidth, so the load-vs-build speedup grows with "
+        "n until the file outruns the page cache. Wall clock on this "
+        "shared host varies +/-3-10% per row. The throughput_batch and "
+        "frozen_bounds sections are unchanged from BENCH_PR7 as a "
         "no-regression control (same benches and sizes)."
     ),
     "host": {
@@ -76,6 +83,7 @@ merged = {
         "available_parallelism": throughput.get("available_parallelism"),
         "uname": " ".join(platform.uname()),
     },
+    "cold_start": cold,
     "throughput_batch": throughput,
     "frozen_bounds": bounds,
 }

@@ -27,6 +27,13 @@ KARL_THREADS=4 cargo test -q --offline -p karl --test batch_equivalence
 echo "==> guard: frozen engine bitwise-identical to pointer at KARL_THREADS=4"
 KARL_THREADS=4 cargo test -q --offline -p karl --test frozen_equivalence
 
+echo "==> guard: persisted index round-trip bitwise-identical at KARL_THREADS=4"
+KARL_THREADS=4 cargo test -q --offline -p karl --test index_persist_equivalence
+
+echo "==> guard: mmap loader passes the round-trip suite (--features mmap)"
+cargo test -q --offline -p karl --features mmap --test index_persist_equivalence
+cargo test -q --offline -p karl-tree --features mmap
+
 echo "==> guard: envelope cache bitwise-neutral at KARL_THREADS=4"
 KARL_THREADS=4 cargo test -q --offline -p karl --test envelope_cache_equivalence
 
@@ -54,8 +61,31 @@ echo "==> guard: release bench smoke (tiny workload, one pass)"
 # A minimal end-to-end run of both bench binaries so a broken bench
 # can never merge green; sizes are tiny so this stays in CI budget.
 KARL_BENCH_N=2000 KARL_BENCH_QUERIES=64 KARL_BENCH_BOUND_QUERIES=4 \
+    KARL_BENCH_COLD_N=8000 \
     cargo bench -p karl-bench --features criterion-benches \
-    --bench throughput_batch --bench frozen_bounds --offline >/dev/null
+    --bench throughput_batch --bench frozen_bounds --bench cold_start \
+    --offline >/dev/null
+
+echo "==> guard: CLI index round trip — batch --index byte-identical to batch --data"
+# End-to-end through the release binary: persist an index, then the
+# loaded evaluator must print byte-identical batch output (comment lines
+# carry timings, so they are stripped before the diff). The root
+# `cargo build` only builds the facade package, so build the binary
+# explicitly.
+cargo build --release -p karl-cli --offline
+cli_tmp="$(mktemp -d)"
+karl=target/release/karl
+"$karl" generate --name home --n 500 --out "$cli_tmp/data.csv" >/dev/null
+# Family and leaf pinned to the in-memory `batch` defaults (kd, 80).
+"$karl" index build "$cli_tmp/data.csv" "$cli_tmp/home.idx" --family kd --leaf 80 >/dev/null
+"$karl" index info "$cli_tmp/home.idx" | grep -q '(verified)'
+"$karl" batch --data "$cli_tmp/data.csv" --queries "$cli_tmp/data.csv" \
+    --tau 0.3 --threads 2 | grep -v '^#' > "$cli_tmp/fresh.out"
+"$karl" batch --index "$cli_tmp/home.idx" --queries "$cli_tmp/data.csv" \
+    --tau 0.3 --threads 2 | grep -v '^#' > "$cli_tmp/loaded.out"
+diff "$cli_tmp/fresh.out" "$cli_tmp/loaded.out"
+rm -rf "$cli_tmp"
+echo "ok: CLI loaded-index output is byte-identical"
 
 echo "==> guard: no registry dependencies in the resolved graph"
 # cargo metadata reports "source": null for path dependencies and a
