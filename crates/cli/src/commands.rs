@@ -12,6 +12,7 @@ use karl_data::{
     by_name, load_csv, load_labeled_csv, load_libsvm, registry, save_csv, LabelColumn,
 };
 use karl_geom::PointSet;
+use karl_geom::{backend_name, set_backend, SimdChoice};
 use karl_kde::scotts_gamma;
 use karl_svm::{load_model, save_model, CSvc, OneClassSvm, SvmType};
 
@@ -185,8 +186,20 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         "deadline-ms",
         "dual",
         "coreset",
+        "simd",
     ])
     .map_err(|e| e.to_string())?;
+    // Resolve the SIMD backend before any kernel work (build or query);
+    // backends are bitwise identical, so this changes speed, never bits.
+    match p.get("simd") {
+        None => {}
+        Some(s) => match SimdChoice::parse(s) {
+            Some(choice) => {
+                set_backend(choice);
+            }
+            None => return Err(format!("unknown simd backend {s:?} (auto|avx2|scalar)")),
+        },
+    }
     let index_path = p.get("index");
     if index_path.is_some() {
         for flag in ["data", "gamma", "method", "leaf", "coreset", "dual"] {
@@ -380,13 +393,14 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
     }
     let _ = writeln!(
         out,
-        "# throughput {:.0} queries/s over {} points (gamma {:.4}, {:?}, leaf {leaf}, threads {}, engine {engine:?}, envelope-cache {})",
+        "# throughput {:.0} queries/s over {} points (gamma {:.4}, {:?}, leaf {leaf}, threads {}, engine {engine:?}, envelope-cache {}, simd {})",
         report.throughput(),
         n,
         gamma,
         method,
         report.threads(),
-        if env_cache { "on" } else { "off" }
+        if env_cache { "on" } else { "off" },
+        backend_name()
     );
     if let Some(cs) = &coreset {
         let _ = writeln!(
@@ -417,7 +431,7 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         let s = report.stats();
         let _ = writeln!(
             out,
-            "# stats nodes_refined {} envelopes_built {} cache_hits {} cache_misses {} curve_value_calls {} dual_pairs_scored {} dual_wholesale_decided {} coreset_decided {} coreset_fallthrough {}",
+            "# stats nodes_refined {} envelopes_built {} cache_hits {} cache_misses {} curve_value_calls {} dual_pairs_scored {} dual_wholesale_decided {} coreset_decided {} coreset_fallthrough {} simd_backend {}",
             s.nodes_refined,
             s.envelopes_built,
             s.cache_hits,
@@ -426,7 +440,8 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
             s.dual_pairs_scored,
             s.dual_wholesale_decided,
             s.coreset_decided,
-            s.coreset_fallthrough
+            s.coreset_fallthrough,
+            s.simd_backend
         );
     }
     Ok(CmdOutput {
@@ -611,6 +626,11 @@ fn index_info(p: &Parsed) -> CmdResult {
         out,
         "format v{}  family {}  dims {}  {} bytes  checksum {:#018x} (verified)",
         info.version, info.family, info.dims, info.file_len, info.checksum
+    );
+    let _ = writeln!(
+        out,
+        "simd backend {} (KARL_SIMD to override; answers are backend-independent)",
+        backend_name()
     );
     match IndexMeta::decode(&info.app_meta) {
         Ok(m) => {

@@ -36,7 +36,7 @@ commands:
             [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
             [--engine frozen|pointer] [--envelope-cache on|off] [--stats]
             [--budget-nodes N] [--budget-leaf P] [--deadline-ms MS]
-            [--dual] [--coreset EPS]
+            [--dual] [--coreset EPS] [--simd auto|avx2|scalar]
             parallel batch engine; KARL_THREADS env sets the default N;
             frozen (default) is the SoA index, bitwise equal to pointer;
             envelope-cache (default off) memoizes exact KARL envelopes,
@@ -58,6 +58,10 @@ commands:
             to the full tree only when undecided — TKAQ decisions are
             identical, eKAQ stays within the requested relative error,
             Within bypasses the tier (bitwise identical);
+            --simd (default auto; KARL_SIMD env sets the default) picks
+            the kernel backend — explicit AVX2 vectors or portable
+            scalar code — a pure perf switch, every backend produces
+            bitwise-identical answers;
             --index FILE answers from a persistent index built by
             `karl index build` instead of --data: the file is loaded
             zero-copy (kernel, method and leaf capacity come from the

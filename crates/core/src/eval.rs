@@ -375,6 +375,11 @@ pub struct RunStats {
     /// Queries that ran the coreset tier but fell through to the full tree
     /// (zero when the cascade is off).
     pub coreset_fallthrough: u64,
+    /// Active SIMD backend name (`"avx2"` / `"scalar"`) the run's kernels
+    /// dispatched to; `""` until a run stamps it. Purely informational —
+    /// backends are bitwise identical — but it records which ISA produced
+    /// the numbers next to them.
+    pub simd_backend: &'static str,
 }
 
 #[cfg(feature = "stats")]
@@ -390,6 +395,9 @@ impl RunStats {
         self.dual_wholesale_decided += other.dual_wholesale_decided;
         self.coreset_decided += other.coreset_decided;
         self.coreset_fallthrough += other.coreset_fallthrough;
+        if self.simd_backend.is_empty() {
+            self.simd_backend = other.simd_backend;
+        }
     }
 }
 
@@ -491,6 +499,7 @@ impl Scratch {
         let mut s = self.stats;
         s.cache_hits = self.env_cache.hits();
         s.cache_misses = self.env_cache.misses();
+        s.simd_backend = karl_geom::backend_name();
         s
     }
 }

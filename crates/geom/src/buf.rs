@@ -42,10 +42,16 @@ mod sealed {
     impl Sealed for u8 {}
 }
 
+// SAFETY: primitive floats and unsigned integers have no padding, no
+// niches, no drop glue, and every bit pattern is a valid value.
 unsafe impl Pod for f64 {}
+// SAFETY: as above.
 unsafe impl Pod for u64 {}
+// SAFETY: as above.
 unsafe impl Pod for u32 {}
+// SAFETY: as above.
 unsafe impl Pod for u16 {}
+// SAFETY: as above.
 unsafe impl Pod for u8 {}
 
 enum Backing {
@@ -67,8 +73,10 @@ pub struct AlignedBytes {
     backing: Backing,
 }
 
-// The arena is plain memory with no interior mutability; views only read.
+// SAFETY: the arena is plain memory with no interior mutability; views
+// only read, so sharing and sending across threads is sound.
 unsafe impl Send for AlignedBytes {}
+// SAFETY: as above.
 unsafe impl Sync for AlignedBytes {}
 
 impl AlignedBytes {
@@ -264,8 +272,173 @@ mod mmap {
     }
 }
 
+/// A growable, always-[`ARENA_ALIGN`]-aligned vector of `Pod` elements.
+///
+/// The owned counterpart of an arena view: freshly **built** buffers get
+/// the same 64-byte base alignment the zero-copy **load** path guarantees,
+/// so the SIMD kernels see identically-placed data either way. Grows by
+/// doubling like `Vec`; elements are `Pod`, so reallocation is a plain
+/// byte copy and dropping never runs element destructors.
+pub struct AlignedVec<T: Pod> {
+    bytes: AlignedBytes,
+    len: usize,
+    _elem: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> AlignedVec<T> {
+    /// An empty vector (no allocation until the first push).
+    pub fn new() -> Self {
+        Self {
+            bytes: AlignedBytes::zeroed(0),
+            len: 0,
+            _elem: std::marker::PhantomData,
+        }
+    }
+
+    /// An empty vector with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            bytes: AlignedBytes::zeroed(cap * std::mem::size_of::<T>()),
+            len: 0,
+            _elem: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of elements the current allocation can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.bytes.len() / std::mem::size_of::<T>()
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: the first `len * size_of::<T>()` bytes of the arena were
+        // written as `T` values (or zeroed, also valid — T is Pod); the
+        // arena base is 64-byte aligned, a multiple of every Pod align.
+        unsafe { std::slice::from_raw_parts(self.bytes.as_slice().as_ptr().cast::<T>(), self.len) }
+    }
+
+    /// The elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as `as_slice`, with uniqueness from `&mut self`.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.bytes.as_mut_slice().as_mut_ptr().cast::<T>(),
+                self.len,
+            )
+        }
+    }
+
+    /// Ensures room for `extra` more elements, doubling on growth so
+    /// repeated pushes stay amortized O(1).
+    pub fn reserve(&mut self, extra: usize) {
+        let needed = self.len.checked_add(extra).expect("capacity overflow");
+        if needed <= self.capacity() {
+            return;
+        }
+        let new_cap = needed.max(self.capacity() * 2).max(8);
+        let mut bytes = AlignedBytes::zeroed(new_cap * std::mem::size_of::<T>());
+        let used = self.len * std::mem::size_of::<T>();
+        bytes.as_mut_slice()[..used].copy_from_slice(&self.bytes.as_slice()[..used]);
+        self.bytes = bytes;
+    }
+
+    /// Appends one element.
+    pub fn push(&mut self, value: T) {
+        self.reserve(1);
+        let len = self.len;
+        self.len += 1;
+        // The new slot is within capacity and zero-initialized, so the
+        // extended slice view is valid before the write.
+        self.as_mut_slice()[len] = value;
+    }
+
+    /// Appends all elements of `values`.
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        self.reserve(values.len());
+        let len = self.len;
+        self.len += values.len();
+        self.as_mut_slice()[len..].copy_from_slice(values);
+    }
+
+    /// Removes all elements (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl<T: Pod> Deref for AlignedVec<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> std::ops::DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for AlignedVec<T> {
+    fn from(v: Vec<T>) -> Self {
+        let mut out = Self::with_capacity(v.capacity());
+        out.extend_from_slice(&v);
+        out
+    }
+}
+
+impl<T: Pod> From<&[T]> for AlignedVec<T> {
+    fn from(v: &[T]) -> Self {
+        let mut out = Self::with_capacity(v.len());
+        out.extend_from_slice(v);
+        out
+    }
+}
+
+impl<T: Pod> Default for AlignedVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Pod> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from(self.as_slice())
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for AlignedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 enum Repr<T: Pod> {
-    Owned(Vec<T>),
+    Owned(AlignedVec<T>),
     View {
         arena: Arc<AlignedBytes>,
         byte_off: usize,
@@ -284,7 +457,9 @@ pub struct Buf<T: Pod> {
 impl<T: Pod> Buf<T> {
     /// An empty owned buffer.
     pub fn new() -> Self {
-        Vec::new().into()
+        Self {
+            repr: Repr::Owned(AlignedVec::new()),
+        }
     }
 
     /// A zero-copy view of `len` elements starting `byte_off` bytes into
@@ -312,11 +487,11 @@ impl<T: Pod> Buf<T> {
         matches!(self.repr, Repr::View { .. })
     }
 
-    /// Mutable `Vec` access, converting an arena view into an owned copy
-    /// on first use (copy-on-write).
-    pub fn make_mut(&mut self) -> &mut Vec<T> {
+    /// Mutable owned-storage access, converting an arena view into an
+    /// owned aligned copy on first use (copy-on-write).
+    pub fn make_mut(&mut self) -> &mut AlignedVec<T> {
         if let Repr::View { .. } = self.repr {
-            self.repr = Repr::Owned(self.as_ref().to_vec());
+            self.repr = Repr::Owned(AlignedVec::from(self.as_ref()));
         }
         match &mut self.repr {
             Repr::Owned(v) => v,
@@ -347,15 +522,13 @@ impl<T: Pod> Deref for Buf<T> {
                 byte_off,
                 len,
             } => {
+                // SAFETY: `view` validated that `byte_off` is in bounds
+                // of the arena.
+                let base = unsafe { arena.as_slice().as_ptr().add(*byte_off) };
                 // SAFETY: `view` validated bounds and alignment; T is Pod
                 // so any bit pattern is a valid value; the Arc keeps the
                 // arena alive for the borrow's lifetime.
-                unsafe {
-                    std::slice::from_raw_parts(
-                        arena.as_slice().as_ptr().add(*byte_off).cast::<T>(),
-                        *len,
-                    )
-                }
+                unsafe { std::slice::from_raw_parts(base.cast::<T>(), *len) }
             }
         }
     }
@@ -370,6 +543,14 @@ impl<T: Pod> AsRef<[T]> for Buf<T> {
 
 impl<T: Pod> From<Vec<T>> for Buf<T> {
     fn from(v: Vec<T>) -> Self {
+        Self {
+            repr: Repr::Owned(v.into()),
+        }
+    }
+}
+
+impl<T: Pod> From<AlignedVec<T>> for Buf<T> {
+    fn from(v: AlignedVec<T>) -> Self {
         Self {
             repr: Repr::Owned(v),
         }
@@ -468,6 +649,53 @@ mod tests {
         assert_eq!(&buf[..], &[0, 0, 0, 0, 7]);
         buf.extend_from_slice(&[8, 9]);
         assert_eq!(buf.len(), 7);
+    }
+
+    #[test]
+    fn aligned_vec_grows_and_round_trips() {
+        let mut v = AlignedVec::<f64>::new();
+        assert!(v.is_empty());
+        for i in 0..100 {
+            v.push(i as f64 * 0.5);
+        }
+        assert_eq!(v.len(), 100);
+        assert!(v.capacity() >= 100);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as f64 * 0.5);
+        }
+        v.extend_from_slice(&[7.0, 8.0]);
+        assert_eq!(v[101], 8.0);
+        let c = v.clone();
+        assert_eq!(c, v);
+        v.as_mut_slice()[0] = -1.0;
+        assert_eq!(v[0], -1.0);
+        assert_eq!(c[0], 0.0);
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn owned_and_view_buffers_are_both_cache_line_aligned() {
+        // Build path: owned storage, grown incrementally.
+        let mut owned = Buf::<f64>::new();
+        for i in 0..33 {
+            owned.push(i as f64);
+        }
+        assert!(!owned.is_view());
+        assert_eq!(owned.as_ref().as_ptr() as usize % ARENA_ALIGN, 0);
+        // From<Vec> conversion path.
+        let converted: Buf<u32> = vec![1u32, 2, 3].into();
+        assert_eq!(converted.as_ref().as_ptr() as usize % ARENA_ALIGN, 0);
+        // Load path: zero-copy arena view at offset 0.
+        let arena = Arc::new(AlignedBytes::zeroed(256));
+        let view = Buf::<f64>::view(arena, 0, 4).unwrap();
+        assert!(view.is_view());
+        assert_eq!(view.as_ref().as_ptr() as usize % ARENA_ALIGN, 0);
+        // COW conversion preserves alignment.
+        let mut cow = view.clone();
+        cow.push(1.0);
+        assert!(!cow.is_view());
+        assert_eq!(cow.as_ref().as_ptr() as usize % ARENA_ALIGN, 0);
     }
 
     #[test]

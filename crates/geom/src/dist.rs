@@ -1,12 +1,19 @@
 //! Dense vector primitives: squared distance, dot product, squared norm.
 //!
 //! These are the innermost loops of every scan and every bound evaluation.
-//! Each reduction runs over `chunks_exact(4)` with four independent partial
-//! sums: a single accumulator serializes every floating-point add behind
-//! the previous one (4–5 cycle latency each), while four independent
-//! chains let LLVM keep the loop in SIMD registers and the adds pipelined.
-//! The summation order is fixed — `(acc0+acc1) + (acc2+acc3) + tail` — so
-//! results are reproducible run-to-run and thread-count-independent.
+//! Each reduction runs 4-wide with four independent partial sums: a single
+//! accumulator serializes every floating-point add behind the previous one
+//! (4–5 cycle latency each), while four independent chains keep the loop
+//! in SIMD registers with the adds pipelined. The summation order is fixed
+//! — `(acc0+acc1) + (acc2+acc3) + tail` — so results are reproducible
+//! run-to-run and thread-count-independent.
+//!
+//! The actual loops live in [`crate::simd`], which executes the canonical
+//! blocked order either as explicit AVX2 vectors or as a portable scalar
+//! backend; the two are bitwise identical, so these wrappers simply run on
+//! the process-global backend.
+
+use crate::simd;
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
@@ -14,27 +21,7 @@
 /// Panics in debug builds if the slices differ in length.
 #[inline]
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let ca = a.chunks_exact(4);
-    let cb = b.chunks_exact(4);
-    let (ra, rb) = (ca.remainder(), cb.remainder());
-    let mut acc = [0.0f64; 4];
-    for (xa, xb) in ca.zip(cb) {
-        let d0 = xa[0] - xb[0];
-        let d1 = xa[1] - xb[1];
-        let d2 = xa[2] - xb[2];
-        let d3 = xa[3] - xb[3];
-        acc[0] += d0 * d0;
-        acc[1] += d1 * d1;
-        acc[2] += d2 * d2;
-        acc[3] += d3 * d3;
-    }
-    let mut tail = 0.0;
-    for (x, y) in ra.iter().zip(rb) {
-        let d = x - y;
-        tail += d * d;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    simd::dist2_with(simd::backend(), a, b)
 }
 
 /// Inner (dot) product of two equal-length slices.
@@ -43,41 +30,13 @@ pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
 /// Panics in debug builds if the slices differ in length.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let ca = a.chunks_exact(4);
-    let cb = b.chunks_exact(4);
-    let (ra, rb) = (ca.remainder(), cb.remainder());
-    let mut acc = [0.0f64; 4];
-    for (xa, xb) in ca.zip(cb) {
-        acc[0] += xa[0] * xb[0];
-        acc[1] += xa[1] * xb[1];
-        acc[2] += xa[2] * xb[2];
-        acc[3] += xa[3] * xb[3];
-    }
-    let mut tail = 0.0;
-    for (x, y) in ra.iter().zip(rb) {
-        tail += x * y;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    simd::dot_with(simd::backend(), a, b)
 }
 
 /// Squared Euclidean norm of a slice.
 #[inline]
 pub fn norm2(a: &[f64]) -> f64 {
-    let ca = a.chunks_exact(4);
-    let ra = ca.remainder();
-    let mut acc = [0.0f64; 4];
-    for xa in ca {
-        acc[0] += xa[0] * xa[0];
-        acc[1] += xa[1] * xa[1];
-        acc[2] += xa[2] * xa[2];
-        acc[3] += xa[3] * xa[3];
-    }
-    let mut tail = 0.0;
-    for x in ra {
-        tail += x * x;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    simd::norm2_with(simd::backend(), a)
 }
 
 #[cfg(test)]

@@ -64,55 +64,10 @@ pub(crate) fn rect_ip_max_term(x: f64, l: f64, h: f64) -> f64 {
 /// `dist::dot(q, a)` computed separately.
 #[inline]
 pub fn rect_dist<const AGG: bool>(q: &[f64], lo: &[f64], hi: &[f64], a: &[f64]) -> (f64, f64, f64) {
-    let d = q.len();
-    debug_assert_eq!(lo.len(), d);
-    debug_assert_eq!(hi.len(), d);
-    debug_assert!(!AGG || a.len() == d);
-    let blocks = d - d % 4;
-    let mut mn = [0.0f64; 4];
-    let mut mx = [0.0f64; 4];
-    let mut qa = [0.0f64; 4];
-    let mut j = 0;
-    while j < blocks {
-        let (x0, l0, h0) = (q[j], lo[j], hi[j]);
-        let (x1, l1, h1) = (q[j + 1], lo[j + 1], hi[j + 1]);
-        let (x2, l2, h2) = (q[j + 2], lo[j + 2], hi[j + 2]);
-        let (x3, l3, h3) = (q[j + 3], lo[j + 3], hi[j + 3]);
-        mn[0] += rect_min_term(x0, l0, h0);
-        mn[1] += rect_min_term(x1, l1, h1);
-        mn[2] += rect_min_term(x2, l2, h2);
-        mn[3] += rect_min_term(x3, l3, h3);
-        mx[0] += rect_max_term(x0, l0, h0);
-        mx[1] += rect_max_term(x1, l1, h1);
-        mx[2] += rect_max_term(x2, l2, h2);
-        mx[3] += rect_max_term(x3, l3, h3);
-        if AGG {
-            qa[0] += x0 * a[j];
-            qa[1] += x1 * a[j + 1];
-            qa[2] += x2 * a[j + 2];
-            qa[3] += x3 * a[j + 3];
-        }
-        j += 4;
-    }
-    let (mut mn_t, mut mx_t, mut qa_t) = (0.0, 0.0, 0.0);
-    while j < d {
-        let (x, l, h) = (q[j], lo[j], hi[j]);
-        mn_t += rect_min_term(x, l, h);
-        mx_t += rect_max_term(x, l, h);
-        if AGG {
-            qa_t += x * a[j];
-        }
-        j += 1;
-    }
-    (
-        (mn[0] + mn[1]) + (mn[2] + mn[3]) + mn_t,
-        (mx[0] + mx[1]) + (mx[2] + mx[3]) + mx_t,
-        if AGG {
-            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
-        } else {
-            0.0
-        },
-    )
+    debug_assert_eq!(lo.len(), q.len());
+    debug_assert_eq!(hi.len(), q.len());
+    debug_assert!(!AGG || a.len() == q.len());
+    crate::simd::rect_dist_with::<AGG>(crate::simd::backend(), q, lo, hi, a)
 }
 
 /// Fused rectangle inner-product probe: `(ip_min, ip_max, q·a)` in one
@@ -120,148 +75,28 @@ pub fn rect_dist<const AGG: bool>(q: &[f64], lo: &[f64], hi: &[f64], a: &[f64]) 
 /// `dist::dot(q, a)` computed separately.
 #[inline]
 pub fn rect_ip<const AGG: bool>(q: &[f64], lo: &[f64], hi: &[f64], a: &[f64]) -> (f64, f64, f64) {
-    let d = q.len();
-    debug_assert_eq!(lo.len(), d);
-    debug_assert_eq!(hi.len(), d);
-    debug_assert!(!AGG || a.len() == d);
-    let blocks = d - d % 4;
-    let mut mn = [0.0f64; 4];
-    let mut mx = [0.0f64; 4];
-    let mut qa = [0.0f64; 4];
-    let mut j = 0;
-    while j < blocks {
-        let (x0, l0, h0) = (q[j], lo[j], hi[j]);
-        let (x1, l1, h1) = (q[j + 1], lo[j + 1], hi[j + 1]);
-        let (x2, l2, h2) = (q[j + 2], lo[j + 2], hi[j + 2]);
-        let (x3, l3, h3) = (q[j + 3], lo[j + 3], hi[j + 3]);
-        mn[0] += rect_ip_min_term(x0, l0, h0);
-        mn[1] += rect_ip_min_term(x1, l1, h1);
-        mn[2] += rect_ip_min_term(x2, l2, h2);
-        mn[3] += rect_ip_min_term(x3, l3, h3);
-        mx[0] += rect_ip_max_term(x0, l0, h0);
-        mx[1] += rect_ip_max_term(x1, l1, h1);
-        mx[2] += rect_ip_max_term(x2, l2, h2);
-        mx[3] += rect_ip_max_term(x3, l3, h3);
-        if AGG {
-            qa[0] += x0 * a[j];
-            qa[1] += x1 * a[j + 1];
-            qa[2] += x2 * a[j + 2];
-            qa[3] += x3 * a[j + 3];
-        }
-        j += 4;
-    }
-    let (mut mn_t, mut mx_t, mut qa_t) = (0.0, 0.0, 0.0);
-    while j < d {
-        let (x, l, h) = (q[j], lo[j], hi[j]);
-        mn_t += rect_ip_min_term(x, l, h);
-        mx_t += rect_ip_max_term(x, l, h);
-        if AGG {
-            qa_t += x * a[j];
-        }
-        j += 1;
-    }
-    (
-        (mn[0] + mn[1]) + (mn[2] + mn[3]) + mn_t,
-        (mx[0] + mx[1]) + (mx[2] + mx[3]) + mx_t,
-        if AGG {
-            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
-        } else {
-            0.0
-        },
-    )
+    debug_assert_eq!(lo.len(), q.len());
+    debug_assert_eq!(hi.len(), q.len());
+    debug_assert!(!AGG || a.len() == q.len());
+    crate::simd::rect_ip_with::<AGG>(crate::simd::backend(), q, lo, hi, a)
 }
 
 /// Fused ball distance probe: `(dist²(q, center), q·a)` in one pass.
 /// Bitwise identical to `dist::dist2(q, center)` / `dist::dot(q, a)`.
 #[inline]
 pub fn ball_dist<const AGG: bool>(q: &[f64], center: &[f64], a: &[f64]) -> (f64, f64) {
-    let d = q.len();
-    debug_assert_eq!(center.len(), d);
-    debug_assert!(!AGG || a.len() == d);
-    let blocks = d - d % 4;
-    let mut ds = [0.0f64; 4];
-    let mut qa = [0.0f64; 4];
-    let mut j = 0;
-    while j < blocks {
-        let (x0, x1, x2, x3) = (q[j], q[j + 1], q[j + 2], q[j + 3]);
-        let d0 = x0 - center[j];
-        let d1 = x1 - center[j + 1];
-        let d2 = x2 - center[j + 2];
-        let d3 = x3 - center[j + 3];
-        ds[0] += d0 * d0;
-        ds[1] += d1 * d1;
-        ds[2] += d2 * d2;
-        ds[3] += d3 * d3;
-        if AGG {
-            qa[0] += x0 * a[j];
-            qa[1] += x1 * a[j + 1];
-            qa[2] += x2 * a[j + 2];
-            qa[3] += x3 * a[j + 3];
-        }
-        j += 4;
-    }
-    let (mut ds_t, mut qa_t) = (0.0, 0.0);
-    while j < d {
-        let x = q[j];
-        let dd = x - center[j];
-        ds_t += dd * dd;
-        if AGG {
-            qa_t += x * a[j];
-        }
-        j += 1;
-    }
-    (
-        (ds[0] + ds[1]) + (ds[2] + ds[3]) + ds_t,
-        if AGG {
-            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
-        } else {
-            0.0
-        },
-    )
+    debug_assert_eq!(center.len(), q.len());
+    debug_assert!(!AGG || a.len() == q.len());
+    crate::simd::ball_dist_with::<AGG>(crate::simd::backend(), q, center, a)
 }
 
 /// Fused ball inner-product probe: `(q·center, q·a)` in one pass.
 /// Bitwise identical to two separate `dist::dot` calls.
 #[inline]
 pub fn ball_ip<const AGG: bool>(q: &[f64], center: &[f64], a: &[f64]) -> (f64, f64) {
-    let d = q.len();
-    debug_assert_eq!(center.len(), d);
-    debug_assert!(!AGG || a.len() == d);
-    let blocks = d - d % 4;
-    let mut qc = [0.0f64; 4];
-    let mut qa = [0.0f64; 4];
-    let mut j = 0;
-    while j < blocks {
-        let (x0, x1, x2, x3) = (q[j], q[j + 1], q[j + 2], q[j + 3]);
-        qc[0] += x0 * center[j];
-        qc[1] += x1 * center[j + 1];
-        qc[2] += x2 * center[j + 2];
-        qc[3] += x3 * center[j + 3];
-        if AGG {
-            qa[0] += x0 * a[j];
-            qa[1] += x1 * a[j + 1];
-            qa[2] += x2 * a[j + 2];
-            qa[3] += x3 * a[j + 3];
-        }
-        j += 4;
-    }
-    let (mut qc_t, mut qa_t) = (0.0, 0.0);
-    while j < d {
-        let x = q[j];
-        qc_t += x * center[j];
-        if AGG {
-            qa_t += x * a[j];
-        }
-        j += 1;
-    }
-    (
-        (qc[0] + qc[1]) + (qc[2] + qc[3]) + qc_t,
-        if AGG {
-            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
-        } else {
-            0.0
-        },
-    )
+    debug_assert_eq!(center.len(), q.len());
+    debug_assert!(!AGG || a.len() == q.len());
+    crate::simd::ball_ip_with::<AGG>(crate::simd::backend(), q, center, a)
 }
 
 /// Batched [`rect_dist`] over a gathered frontier of node ids: for each
@@ -281,10 +116,12 @@ pub fn rect_dist_nodes<const AGG: bool, F: FnMut(f64, f64, f64)>(
     mut emit: F,
 ) {
     let d = q.len();
+    let be = crate::simd::backend();
     for &id in ids {
         let s = id as usize * d;
         let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
-        let (mn, mx, qa) = rect_dist::<AGG>(q, &lo[s..s + d], &hi[s..s + d], an);
+        let (mn, mx, qa) =
+            crate::simd::rect_dist_with::<AGG>(be, q, &lo[s..s + d], &hi[s..s + d], an);
         emit(mn, mx, qa);
     }
 }
@@ -300,10 +137,12 @@ pub fn rect_ip_nodes<const AGG: bool, F: FnMut(f64, f64, f64)>(
     mut emit: F,
 ) {
     let d = q.len();
+    let be = crate::simd::backend();
     for &id in ids {
         let s = id as usize * d;
         let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
-        let (mn, mx, qa) = rect_ip::<AGG>(q, &lo[s..s + d], &hi[s..s + d], an);
+        let (mn, mx, qa) =
+            crate::simd::rect_ip_with::<AGG>(be, q, &lo[s..s + d], &hi[s..s + d], an);
         emit(mn, mx, qa);
     }
 }
@@ -320,10 +159,11 @@ pub fn ball_dist_nodes<const AGG: bool, F: FnMut(f64, f64)>(
     mut emit: F,
 ) {
     let d = q.len();
+    let be = crate::simd::backend();
     for &id in ids {
         let s = id as usize * d;
         let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
-        let (d2, qa) = ball_dist::<AGG>(q, &centers[s..s + d], an);
+        let (d2, qa) = crate::simd::ball_dist_with::<AGG>(be, q, &centers[s..s + d], an);
         emit(d2, qa);
     }
 }
@@ -339,10 +179,11 @@ pub fn ball_ip_nodes<const AGG: bool, F: FnMut(f64, f64)>(
     mut emit: F,
 ) {
     let d = q.len();
+    let be = crate::simd::backend();
     for &id in ids {
         let s = id as usize * d;
         let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
-        let (qc, qa) = ball_ip::<AGG>(q, &centers[s..s + d], an);
+        let (qc, qa) = crate::simd::ball_ip_with::<AGG>(be, q, &centers[s..s + d], an);
         emit(qc, qa);
     }
 }
@@ -401,6 +242,18 @@ impl<'a> RectQueryNode<'a> {
     #[inline]
     pub fn dims(&self) -> usize {
         self.lo.len()
+    }
+
+    /// Hoisted squares of the lower corner (for the pair quadratics).
+    #[inline]
+    pub(crate) fn lo2(&self) -> &[f64] {
+        &self.lo2
+    }
+
+    /// Hoisted squares of the upper corner (for the pair quadratics).
+    #[inline]
+    pub(crate) fn hi2(&self) -> &[f64] {
+        &self.hi2
     }
 }
 
@@ -529,52 +382,7 @@ pub fn rect_rect_dist<const AGG: bool>(
     debug_assert_eq!(lo.len(), d);
     debug_assert_eq!(hi.len(), d);
     debug_assert!(!AGG || a.len() == d);
-    let (qlo, qhi) = (qnode.lo, qnode.hi);
-    let (qlo2, qhi2) = (&qnode.lo2[..], &qnode.hi2[..]);
-    let blocks = d - d % 4;
-    let mut mn = [0.0f64; 4];
-    let mut mx = [0.0f64; 4];
-    let mut gn = [0.0f64; 4];
-    let mut gx = [0.0f64; 4];
-    let mut j = 0;
-    while j < blocks {
-        for k in 0..4 {
-            let (ql, qh, l, h) = (qlo[j + k], qhi[j + k], lo[j + k], hi[j + k]);
-            mn[k] += pair_min_term(ql, qh, l, h);
-            mx[k] += pair_max_term(ql, qh, l, h);
-            if AGG {
-                let (ql2, qh2, aj) = (qlo2[j + k], qhi2[j + k], a[j + k]);
-                gn[k] += quad_min_term(ql, qh, ql2, qh2, aj, w);
-                gx[k] += quad_max_term(ql, qh, ql2, qh2, aj, w);
-            }
-        }
-        j += 4;
-    }
-    let (mut mn_t, mut mx_t, mut gn_t, mut gx_t) = (0.0, 0.0, 0.0, 0.0);
-    while j < d {
-        let (ql, qh, l, h) = (qlo[j], qhi[j], lo[j], hi[j]);
-        mn_t += pair_min_term(ql, qh, l, h);
-        mx_t += pair_max_term(ql, qh, l, h);
-        if AGG {
-            gn_t += quad_min_term(ql, qh, qlo2[j], qhi2[j], a[j], w);
-            gx_t += quad_max_term(ql, qh, qlo2[j], qhi2[j], a[j], w);
-        }
-        j += 1;
-    }
-    (
-        (mn[0] + mn[1]) + (mn[2] + mn[3]) + mn_t,
-        (mx[0] + mx[1]) + (mx[2] + mx[3]) + mx_t,
-        if AGG {
-            (gn[0] + gn[1]) + (gn[2] + gn[3]) + gn_t
-        } else {
-            0.0
-        },
-        if AGG {
-            (gx[0] + gx[1]) + (gx[2] + gx[3]) + gx_t
-        } else {
-            0.0
-        },
-    )
+    crate::simd::rect_rect_dist_with::<AGG>(crate::simd::backend(), qnode, lo, hi, a, w)
 }
 
 /// Fused rectangle-vs-rectangle pair probe for inner-product kernels:
@@ -593,52 +401,7 @@ pub fn rect_rect_ip<const AGG: bool>(
     debug_assert_eq!(lo.len(), d);
     debug_assert_eq!(hi.len(), d);
     debug_assert!(!AGG || a.len() == d);
-    let (qlo, qhi) = (qnode.lo, qnode.hi);
-    let blocks = d - d % 4;
-    let mut mn = [0.0f64; 4];
-    let mut mx = [0.0f64; 4];
-    let mut an = [0.0f64; 4];
-    let mut ax = [0.0f64; 4];
-    let mut j = 0;
-    while j < blocks {
-        for k in 0..4 {
-            let (ql, qh, l, h) = (qlo[j + k], qhi[j + k], lo[j + k], hi[j + k]);
-            mn[k] += pair_ip_min_term(ql, qh, l, h);
-            mx[k] += pair_ip_max_term(ql, qh, l, h);
-            if AGG {
-                let aj = a[j + k];
-                an[k] += (ql * aj).min(qh * aj);
-                ax[k] += (ql * aj).max(qh * aj);
-            }
-        }
-        j += 4;
-    }
-    let (mut mn_t, mut mx_t, mut an_t, mut ax_t) = (0.0, 0.0, 0.0, 0.0);
-    while j < d {
-        let (ql, qh, l, h) = (qlo[j], qhi[j], lo[j], hi[j]);
-        mn_t += pair_ip_min_term(ql, qh, l, h);
-        mx_t += pair_ip_max_term(ql, qh, l, h);
-        if AGG {
-            let aj = a[j];
-            an_t += (ql * aj).min(qh * aj);
-            ax_t += (ql * aj).max(qh * aj);
-        }
-        j += 1;
-    }
-    (
-        (mn[0] + mn[1]) + (mn[2] + mn[3]) + mn_t,
-        (mx[0] + mx[1]) + (mx[2] + mx[3]) + mx_t,
-        if AGG {
-            (an[0] + an[1]) + (an[2] + an[3]) + an_t
-        } else {
-            0.0
-        },
-        if AGG {
-            (ax[0] + ax[1]) + (ax[2] + ax[3]) + ax_t
-        } else {
-            0.0
-        },
-    )
+    crate::simd::rect_rect_ip_with::<AGG>(crate::simd::backend(), qnode, lo, hi, a)
 }
 
 /// Fused ball-vs-ball pair probe for distance kernels:
@@ -656,49 +419,7 @@ pub fn ball_ball_dist<const AGG: bool>(
     let d = qnode.dims();
     debug_assert_eq!(center.len(), d);
     debug_assert!(!AGG || a.len() == d);
-    let q = qnode.center;
-    let blocks = d - d % 4;
-    let mut ds = [0.0f64; 4];
-    let mut qa = [0.0f64; 4];
-    let mut aa = [0.0f64; 4];
-    let mut j = 0;
-    while j < blocks {
-        for k in 0..4 {
-            let x = q[j + k];
-            let dd = x - center[j + k];
-            ds[k] += dd * dd;
-            if AGG {
-                let aj = a[j + k];
-                qa[k] += x * aj;
-                aa[k] += aj * aj;
-            }
-        }
-        j += 4;
-    }
-    let (mut ds_t, mut qa_t, mut aa_t) = (0.0, 0.0, 0.0);
-    while j < d {
-        let x = q[j];
-        let dd = x - center[j];
-        ds_t += dd * dd;
-        if AGG {
-            qa_t += x * a[j];
-            aa_t += a[j] * a[j];
-        }
-        j += 1;
-    }
-    (
-        (ds[0] + ds[1]) + (ds[2] + ds[3]) + ds_t,
-        if AGG {
-            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
-        } else {
-            0.0
-        },
-        if AGG {
-            (aa[0] + aa[1]) + (aa[2] + aa[3]) + aa_t
-        } else {
-            0.0
-        },
-    )
+    crate::simd::ball_ball_dist_with::<AGG>(crate::simd::backend(), qnode, center, a)
 }
 
 /// Fused ball-vs-ball pair probe for inner-product kernels:
@@ -715,51 +436,7 @@ pub fn ball_ball_ip<const AGG: bool>(
     let d = qnode.dims();
     debug_assert_eq!(center.len(), d);
     debug_assert!(!AGG || a.len() == d);
-    let q = qnode.center;
-    let blocks = d - d % 4;
-    let mut qc = [0.0f64; 4];
-    let mut cc = [0.0f64; 4];
-    let mut qa = [0.0f64; 4];
-    let mut aa = [0.0f64; 4];
-    let mut j = 0;
-    while j < blocks {
-        for k in 0..4 {
-            let (x, c) = (q[j + k], center[j + k]);
-            qc[k] += x * c;
-            cc[k] += c * c;
-            if AGG {
-                let aj = a[j + k];
-                qa[k] += x * aj;
-                aa[k] += aj * aj;
-            }
-        }
-        j += 4;
-    }
-    let (mut qc_t, mut cc_t, mut qa_t, mut aa_t) = (0.0, 0.0, 0.0, 0.0);
-    while j < d {
-        let (x, c) = (q[j], center[j]);
-        qc_t += x * c;
-        cc_t += c * c;
-        if AGG {
-            qa_t += x * a[j];
-            aa_t += a[j] * a[j];
-        }
-        j += 1;
-    }
-    (
-        (qc[0] + qc[1]) + (qc[2] + qc[3]) + qc_t,
-        (cc[0] + cc[1]) + (cc[2] + cc[3]) + cc_t,
-        if AGG {
-            (qa[0] + qa[1]) + (qa[2] + qa[3]) + qa_t
-        } else {
-            0.0
-        },
-        if AGG {
-            (aa[0] + aa[1]) + (aa[2] + aa[3]) + aa_t
-        } else {
-            0.0
-        },
-    )
+    crate::simd::ball_ball_ip_with::<AGG>(crate::simd::backend(), qnode, center, a)
 }
 
 /// Batched [`rect_rect_dist`] over a gathered frontier of data node ids:
@@ -779,11 +456,13 @@ pub fn rect_rect_dist_nodes<const AGG: bool, F: FnMut(f64, f64, f64, f64)>(
     mut emit: F,
 ) {
     let d = qnode.dims();
+    let be = crate::simd::backend();
     for &id in ids {
         let s = id as usize * d;
         let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
         let wn = if AGG { w[id as usize] } else { 0.0 };
-        let (mn, mx, gn, gx) = rect_rect_dist::<AGG>(qnode, &lo[s..s + d], &hi[s..s + d], an, wn);
+        let (mn, mx, gn, gx) =
+            crate::simd::rect_rect_dist_with::<AGG>(be, qnode, &lo[s..s + d], &hi[s..s + d], an, wn);
         emit(mn, mx, gn, gx);
     }
 }
@@ -800,10 +479,12 @@ pub fn rect_rect_ip_nodes<const AGG: bool, F: FnMut(f64, f64, f64, f64)>(
     mut emit: F,
 ) {
     let d = qnode.dims();
+    let be = crate::simd::backend();
     for &id in ids {
         let s = id as usize * d;
         let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
-        let (mn, mx, an_v, ax_v) = rect_rect_ip::<AGG>(qnode, &lo[s..s + d], &hi[s..s + d], an);
+        let (mn, mx, an_v, ax_v) =
+            crate::simd::rect_rect_ip_with::<AGG>(be, qnode, &lo[s..s + d], &hi[s..s + d], an);
         emit(mn, mx, an_v, ax_v);
     }
 }
@@ -819,10 +500,11 @@ pub fn ball_ball_dist_nodes<const AGG: bool, F: FnMut(f64, f64, f64)>(
     mut emit: F,
 ) {
     let d = qnode.dims();
+    let be = crate::simd::backend();
     for &id in ids {
         let s = id as usize * d;
         let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
-        let (d2, qa, aa) = ball_ball_dist::<AGG>(qnode, &centers[s..s + d], an);
+        let (d2, qa, aa) = crate::simd::ball_ball_dist_with::<AGG>(be, qnode, &centers[s..s + d], an);
         emit(d2, qa, aa);
     }
 }
@@ -838,10 +520,12 @@ pub fn ball_ball_ip_nodes<const AGG: bool, F: FnMut(f64, f64, f64, f64)>(
     mut emit: F,
 ) {
     let d = qnode.dims();
+    let be = crate::simd::backend();
     for &id in ids {
         let s = id as usize * d;
         let an: &[f64] = if AGG { &a[s..s + d] } else { &[] };
-        let (qc, cc, qa, aa) = ball_ball_ip::<AGG>(qnode, &centers[s..s + d], an);
+        let (qc, cc, qa, aa) =
+            crate::simd::ball_ball_ip_with::<AGG>(be, qnode, &centers[s..s + d], an);
         emit(qc, cc, qa, aa);
     }
 }

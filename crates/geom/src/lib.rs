@@ -13,6 +13,13 @@
 //! All distance work is done on squared Euclidean distances to avoid
 //! unnecessary square roots; the KARL bound machinery consumes
 //! `γ · dist²` directly.
+//!
+//! The hot reductions run on a runtime-dispatched SIMD backend
+//! ([`simd`]) with a bitwise determinism contract: the scalar and vector
+//! paths produce identical bits, so the backend choice (`KARL_SIMD`)
+//! can never change an answer.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod ball;
 pub mod buf;
@@ -21,9 +28,10 @@ pub mod error;
 pub mod fused;
 pub mod points;
 pub mod rect;
+pub mod simd;
 
 pub use ball::Ball;
-pub use buf::{AlignedBytes, Buf, Pod, ARENA_ALIGN};
+pub use buf::{AlignedBytes, AlignedVec, Buf, Pod, ARENA_ALIGN};
 pub use dist::{dist2, dot, norm2};
 pub use error::GeomError;
 pub use fused::{
@@ -34,6 +42,7 @@ pub use fused::{
 };
 pub use points::PointSet;
 pub use rect::Rect;
+pub use simd::{backend, backend_name, set_backend, SimdBackend, SimdChoice, KARL_SIMD_ENV};
 
 /// A bounding volume that can answer the range queries the KARL bound
 /// functions need.

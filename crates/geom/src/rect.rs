@@ -31,19 +31,11 @@ impl Rect {
     /// Panics if `indices` is empty or out of bounds.
     pub fn bounding(points: &PointSet, indices: &[usize]) -> Self {
         assert!(!indices.is_empty(), "bounding rect of an empty set");
-        let d = points.dims();
+        let be = crate::simd::backend();
         let mut lo = points.point(indices[0]).to_vec();
         let mut hi = lo.clone();
         for &i in &indices[1..] {
-            let p = points.point(i);
-            for j in 0..d {
-                if p[j] < lo[j] {
-                    lo[j] = p[j];
-                }
-                if p[j] > hi[j] {
-                    hi[j] = p[j];
-                }
-            }
+            crate::simd::min_max_update_with(be, &mut lo, &mut hi, points.point(i));
         }
         Self { lo, hi }
     }
@@ -66,20 +58,13 @@ impl Rect {
     ) -> Self {
         assert!(start < end && end <= points.len(), "invalid range");
         let d = points.dims();
+        let be = crate::simd::backend();
         scratch.clear();
         scratch.extend_from_slice(points.point(start));
         scratch.extend_from_slice(points.point(start));
         let (lo, hi) = scratch.split_at_mut(d);
         for i in start + 1..end {
-            let p = points.point(i);
-            for j in 0..d {
-                if p[j] < lo[j] {
-                    lo[j] = p[j];
-                }
-                if p[j] > hi[j] {
-                    hi[j] = p[j];
-                }
-            }
+            crate::simd::min_max_update_with(be, lo, hi, points.point(i));
         }
         Self {
             lo: lo.to_vec(),

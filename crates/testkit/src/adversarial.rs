@@ -170,9 +170,84 @@ pub fn adversarial_case(seed: u64) -> AdversarialCase {
     }
 }
 
+/// Generates one *shape-edge* case from `seed`: tiny point counts
+/// (`n = 1..=7`, every tail length of the 4-wide SIMD blocking) crossed
+/// with odd dimensionalities (1, 3, 5, 7 — every coordinate tail), with
+/// the same corruption classes as [`adversarial_case`] so boundary
+/// validation is exercised exactly where the vector kernels switch to
+/// their scalar tails. Weight magnitudes stay mixed-sign.
+pub fn shape_edge_case(seed: u64) -> AdversarialCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a_5a5a_5a5a_5a5a);
+    let dims = [1usize, 3, 5, 7][rng.random_range(0..4usize)];
+    let n = rng.random_range(1..8usize);
+    let mut data: Vec<f64> = (0..n * dims)
+        .map(|_| rng.random_range(-3.0..3.0))
+        .collect();
+    let mut weights: Vec<f64> = (0..n)
+        .map(|_| {
+            let w = rng.random_range(0.1..2.0);
+            if rng.random_bool(0.35) {
+                -w
+            } else {
+                w
+            }
+        })
+        .collect();
+    let gamma = rng.random_range(0.1..2.0);
+    let expected = match rng.random_range(0..5u32) {
+        0 => {
+            let index = rng.random_range(0..n);
+            let dim = rng.random_range(0..dims);
+            data[index * dims + dim] = match rng.random_range(0..3u32) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            Expected::NonFinitePoint { index, dim }
+        }
+        1 => {
+            let index = rng.random_range(0..n);
+            weights[index] = f64::NAN;
+            Expected::NonFiniteWeight { index }
+        }
+        2 => {
+            weights.iter_mut().for_each(|w| *w = 0.0);
+            Expected::AllZeroWeights
+        }
+        _ => Expected::Accept,
+    };
+    AdversarialCase {
+        dims,
+        data,
+        weights,
+        gamma,
+        expected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shape_edge_generator_covers_every_tail_and_odd_dim() {
+        let mut ns = [false; 8];
+        let mut ds = std::collections::BTreeSet::new();
+        for seed in 0..300 {
+            let a = shape_edge_case(seed);
+            let b = shape_edge_case(seed);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.data), bits(&b.data), "seed {seed} not deterministic");
+            assert_eq!(a.expected, b.expected);
+            assert!((1..=7).contains(&a.len()));
+            assert!(a.dims % 2 == 1 && a.dims <= 7);
+            assert_eq!(a.data.len(), a.len() * a.dims);
+            ns[a.len()] = true;
+            ds.insert(a.dims);
+        }
+        assert!(ns[1..=7].iter().all(|&x| x), "every n in 1..=7 generated");
+        assert_eq!(ds.into_iter().collect::<Vec<_>>(), vec![1, 3, 5, 7]);
+    }
 
     #[test]
     fn generator_is_deterministic_and_tags_match_contents() {

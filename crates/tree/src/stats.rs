@@ -1,6 +1,6 @@
 //! Per-node aggregate statistics (Lemma 2 / Lemma 5 of the paper).
 
-use karl_geom::{dot, norm2, PointSet};
+use karl_geom::{dot, simd, PointSet};
 
 /// The precomputed aggregates that make the KARL linear bound functions
 /// evaluable in `O(d)` per node:
@@ -37,6 +37,7 @@ impl NodeStats {
             "weights/points length mismatch"
         );
         let d = points.dims();
+        let be = simd::backend();
         let mut weight_sum = 0.0;
         let mut weighted_sum = vec![0.0; d];
         let mut weighted_norm2 = 0.0;
@@ -44,10 +45,8 @@ impl NodeStats {
             let w = weights[i];
             let p = points.point(i);
             weight_sum += w;
-            for (a, x) in weighted_sum.iter_mut().zip(p) {
-                *a += w * x;
-            }
-            weighted_norm2 += w * norm2(p);
+            simd::axpy_with(be, &mut weighted_sum, w, p);
+            weighted_norm2 += w * simd::norm2_with(be, p);
         }
         Self {
             count: end - start,

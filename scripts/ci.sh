@@ -43,6 +43,18 @@ KARL_THREADS=4 cargo test -q --offline -p karl --test dual_tree_equivalence
 echo "==> guard: coreset cascade answers match the plain engine at KARL_THREADS=4"
 KARL_THREADS=4 cargo test -q --offline -p karl --test coreset_cascade_equivalence
 
+echo "==> guard: SIMD backends bitwise-interchangeable (dispatched run)"
+cargo test -q --offline -p karl --test simd_equivalence
+
+echo "==> guard: tier-1 equivalence suites replayed under KARL_SIMD=scalar"
+# The forced-scalar backend must pass every bitwise gate the dispatched
+# one does — the determinism contract cuts both ways.
+KARL_SIMD=scalar cargo test -q --offline -p karl --test frozen_equivalence
+KARL_SIMD=scalar cargo test -q --offline -p karl --test batch_equivalence
+KARL_SIMD=scalar cargo test -q --offline -p karl --test index_persist_equivalence
+KARL_SIMD=scalar cargo test -q --offline -p karl --test simd_equivalence
+KARL_SIMD=scalar cargo test -q --offline -p karl-geom
+
 echo "==> guard: run counters build and pass under --features stats"
 cargo test -q --offline -p karl-core --features stats
 cargo test -q --offline -p karl-cli --features stats
@@ -54,16 +66,22 @@ cargo test -q --offline -p karl-core --features fault-inject
 echo "==> guard: fault containment replayed at KARL_THREADS=4"
 KARL_THREADS=4 cargo test -q --offline -p karl --features fault-inject --test fault_containment
 
-echo "==> guard: clippy clean across the workspace"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "==> guard: clippy clean across the workspace (incl. unsafe audit)"
+# The unsafe-audit lints keep every unsafe block annotated and small:
+# all unsafe lives in karl_geom::simd behind safe entry points, and each
+# block must carry a SAFETY comment and one operation.
+cargo clippy --workspace --all-targets --offline -- -D warnings \
+    -W clippy::undocumented-unsafe-blocks \
+    -W clippy::multiple-unsafe-ops-per-block
 
 echo "==> guard: release bench smoke (tiny workload, one pass)"
 # A minimal end-to-end run of both bench binaries so a broken bench
 # can never merge green; sizes are tiny so this stays in CI budget.
 KARL_BENCH_N=2000 KARL_BENCH_QUERIES=64 KARL_BENCH_BOUND_QUERIES=4 \
-    KARL_BENCH_COLD_N=8000 \
+    KARL_BENCH_COLD_N=8000 KARL_BENCH_DIMS=8 KARL_BENCH_REPS=1 \
     cargo bench -p karl-bench --features criterion-benches \
     --bench throughput_batch --bench frozen_bounds --bench cold_start \
+    --bench simd_kernels \
     --offline >/dev/null
 
 echo "==> guard: CLI index round trip — batch --index byte-identical to batch --data"
@@ -84,8 +102,18 @@ karl=target/release/karl
 "$karl" batch --index "$cli_tmp/home.idx" --queries "$cli_tmp/data.csv" \
     --tau 0.3 --threads 2 | grep -v '^#' > "$cli_tmp/loaded.out"
 diff "$cli_tmp/fresh.out" "$cli_tmp/loaded.out"
+# The SIMD backend is a pure perf switch: forcing scalar (flag or env)
+# must reproduce the dispatched output byte for byte.
+"$karl" batch --data "$cli_tmp/data.csv" --queries "$cli_tmp/data.csv" \
+    --tau 0.3 --threads 2 --simd scalar | grep -v '^#' > "$cli_tmp/scalar.out"
+diff "$cli_tmp/fresh.out" "$cli_tmp/scalar.out"
+KARL_SIMD=scalar "$karl" batch --data "$cli_tmp/data.csv" \
+    --queries "$cli_tmp/data.csv" --tau 0.3 --threads 2 \
+    | grep -v '^#' > "$cli_tmp/scalar_env.out"
+diff "$cli_tmp/fresh.out" "$cli_tmp/scalar_env.out"
+"$karl" index info "$cli_tmp/home.idx" | grep -q 'simd backend'
 rm -rf "$cli_tmp"
-echo "ok: CLI loaded-index output is byte-identical"
+echo "ok: CLI loaded-index and forced-scalar outputs are byte-identical"
 
 echo "==> guard: no registry dependencies in the resolved graph"
 # cargo metadata reports "source": null for path dependencies and a

@@ -5,8 +5,8 @@
 //! denormals, duplicates, mixed signs, extreme γ and all.
 
 use karl::core::{BoundMethod, Evaluator, KarlError, Kernel, Query, QueryBatch};
-use karl::geom::{PointSet, Rect};
-use karl_testkit::adversarial::{adversarial_case, Expected};
+use karl::geom::{Ball, PointSet, Rect};
+use karl_testkit::adversarial::{adversarial_case, shape_edge_case, Expected};
 use karl_testkit::oracle::exact_sum;
 use karl_testkit::{prop_assert, prop_assert_eq, props};
 
@@ -65,6 +65,84 @@ props! {
             }
         }
     }
+}
+
+props! {
+    /// Shape edges: every SIMD tail length (n = 1..=7) crossed with odd
+    /// dimensionalities, at leaf capacities that make the whole tree one
+    /// tiny leaf or a few near-degenerate nodes. Verdicts must stay typed
+    /// and accepted cases must still bracket the oracle — under both
+    /// bounding families, so the vector kernels' scalar tails are hit on
+    /// every code path.
+    #[test]
+    fn prop_shape_edges_build_and_answer_or_reject_typed(seed in 0u64..300) {
+        let case = shape_edge_case(seed);
+        let points = PointSet::new(case.dims, case.data.clone());
+        let kernel = Kernel::gaussian(case.gamma);
+        for leaf in [1usize, 2, 8] {
+            let rect =
+                Evaluator::<Rect>::try_build(&points, &case.weights, kernel, BoundMethod::Karl, leaf);
+            let ball =
+                Evaluator::<Ball>::try_build(&points, &case.weights, kernel, BoundMethod::Karl, leaf);
+            match case.expected {
+                Expected::Accept => {
+                    let (rect, ball) = match (rect, ball) {
+                        (Ok(r), Ok(b)) => (r, b),
+                        (r, b) => panic!("valid tiny case rejected: {:?} / {:?}",
+                            r.err(), b.err()),
+                    };
+                    let q = points.point(0);
+                    let exact =
+                        exact_sum(points.iter(), &case.weights, q, |a, b| kernel.eval(a, b));
+                    let tol = 1e-5 * (1.0 + exact.abs());
+                    for out in [
+                        rect.run_query(q, Query::Within { tol: 1e-12 }, None),
+                        ball.run_query(q, Query::Within { tol: 1e-12 }, None),
+                    ] {
+                        prop_assert!(out.lb <= exact + tol && exact <= out.ub + tol,
+                            "n={} d={} leaf={leaf}: [{}, {}] misses oracle {exact}",
+                            case.len(), case.dims, out.lb, out.ub);
+                    }
+                }
+                Expected::NonFinitePoint { index, dim } => {
+                    for built in [rect.err(), ball.map(|_| ()).err()] {
+                        match built {
+                            Some(KarlError::NonFinitePoint { index: i, dim: d, value }) => {
+                                prop_assert_eq!(i, index);
+                                prop_assert_eq!(d, dim);
+                                prop_assert!(!value.is_finite());
+                            }
+                            other => panic!("expected NonFinitePoint({index},{dim}), got {other:?}"),
+                        }
+                    }
+                }
+                Expected::NonFiniteWeight { index } => {
+                    for built in [rect.err(), ball.map(|_| ()).err()] {
+                        match built {
+                            Some(KarlError::NonFiniteWeight { index: i, value }) => {
+                                prop_assert_eq!(i, index);
+                                prop_assert!(!value.is_finite());
+                            }
+                            other => panic!("expected NonFiniteWeight({index}), got {other:?}"),
+                        }
+                    }
+                }
+                Expected::AllZeroWeights => {
+                    prop_assert!(matches!(rect, Err(KarlError::AllZeroWeights)));
+                    prop_assert!(matches!(ball, Err(KarlError::AllZeroWeights)));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_ranges_panic_in_geometry_builders() {
+    // Shape satellite: empty index sets are a caller bug, caught loudly at
+    // the geometry boundary rather than producing a garbage rectangle.
+    let points = PointSet::new(3, vec![0.0, 1.0, 2.0]);
+    assert!(std::panic::catch_unwind(|| Rect::bounding(&points, &[])).is_err());
+    assert!(std::panic::catch_unwind(|| Rect::bounding_range(&points, 1, 1)).is_err());
 }
 
 #[test]
