@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 
 use karl_core::{
     plan_for_storage, AnyEvaluator, BoundMethod, Budget, Coreset, Engine, IndexKind, IndexMeta,
-    Kernel, OfflineTuner, Query, QueryBatch, Scan, StorageCalibration, StorageProfile,
+    Kernel, OfflineTuner, Query, QueryBatch, Scan, ServeConfig, Server, StatsSnapshot,
+    StorageCalibration, StorageProfile,
 };
 use karl_data::{
     by_name, load_csv, load_labeled_csv, load_libsvm, registry, save_csv, LabelColumn,
@@ -187,6 +188,7 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         "dual",
         "coreset",
         "simd",
+        "stats-json",
     ])
     .map_err(|e| e.to_string())?;
     // Resolve the SIMD backend before any kernel work (build or query);
@@ -426,6 +428,31 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
     if failed > 0 {
         let _ = writeln!(out, "# failed {failed} of {} queries", report.len());
     }
+    if let Some(path) = p.get("stats-json") {
+        // The shared `karl-stats-v1` schema (`karl serve`'s `stats` verb
+        // emits the same object): one batch is one micro-batch in which
+        // every query was trivially admitted. No timing fields, so two
+        // identical runs write identical bytes.
+        let snap = StatsSnapshot {
+            queries: report.len() as u64,
+            admitted: report.len() as u64,
+            rejected: 0,
+            shed: 0,
+            completed: report.completed_count() as u64,
+            truncated: truncated as u64,
+            faulted: failed as u64,
+            protocol_errors: 0,
+            batches: 1,
+            queue_depth_max: report.len() as u64,
+            threads: report.threads() as u64,
+        };
+        #[cfg(feature = "stats")]
+        let json = karl_core::stats_json_with_run(&snap, &report.stats());
+        #[cfg(not(feature = "stats"))]
+        let json = karl_core::stats_json(&snap);
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("--stats-json {path}: {e}"))?;
+    }
     #[cfg(feature = "stats")]
     if want_stats {
         let s = report.stats();
@@ -448,6 +475,180 @@ pub fn batch(p: &Parsed) -> Result<CmdOutput, String> {
         text: out,
         failed_queries: failed,
     })
+}
+
+/// `karl serve (--stdio | --listen ADDR) (--data FILE | --index FILE) …`
+///
+/// The online query daemon (DESIGN.md §16): newline-delimited JSON
+/// requests in, one typed response line per request out, with bounded
+/// admission (`--queue`), certified load shedding (`--shed`), and
+/// micro-batch coalescing (`--batch`) through the parallel engine. The
+/// response transcript on stdout is deterministic — summary lines go to
+/// stderr — and the process exits 2 when any request faulted inside the
+/// containment boundary, mirroring `batch`'s exit-code contract.
+pub fn serve(p: &Parsed) -> Result<CmdOutput, String> {
+    p.expect_flags(&[
+        "stdio",
+        "listen",
+        "data",
+        "index",
+        "gamma",
+        "method",
+        "leaf",
+        "threads",
+        "queue",
+        "shed",
+        "batch",
+        "budget-nodes",
+        "budget-leaf",
+        "summary-every",
+        "simd",
+    ])
+    .map_err(|e| e.to_string())?;
+    match p.get("simd") {
+        None => {}
+        Some(s) => match SimdChoice::parse(s) {
+            Some(choice) => {
+                set_backend(choice);
+            }
+            None => return Err(format!("unknown simd backend {s:?} (auto|avx2|scalar)")),
+        },
+    }
+
+    let eval = match p.get("index") {
+        Some(path) => {
+            for flag in ["data", "gamma", "method", "leaf"] {
+                if p.has(flag) {
+                    return Err(format!(
+                        "--{flag} conflicts with --index (kernel, method and leaf capacity are recorded in the index file)"
+                    ));
+                }
+            }
+            let (eval, _meta) =
+                AnyEvaluator::from_index_file(Path::new(path)).map_err(|e| e.to_string())?;
+            eval
+        }
+        None => {
+            let data = load_csv(p.required("data").map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            let method = parse_method(p)?;
+            let leaf: usize = p
+                .get_or("leaf", 80, "a leaf capacity")
+                .map_err(|e| e.to_string())?;
+            let gamma = gamma_for(p, &data)?;
+            let n = data.len();
+            let weights = vec![1.0 / n as f64; n];
+            AnyEvaluator::build(
+                IndexKind::Kd,
+                &data,
+                &weights,
+                Kernel::gaussian(gamma),
+                method,
+                leaf,
+            )
+        }
+    };
+
+    let defaults = ServeConfig::default();
+    let budget_nodes: Option<u64> = p
+        .get_parsed("budget-nodes", "a node count")
+        .map_err(|e| e.to_string())?;
+    let budget_leaf: Option<u64> = p
+        .get_parsed("budget-leaf", "a leaf-point count")
+        .map_err(|e| e.to_string())?;
+    let mut budget = Budget::unlimited();
+    if let Some(nodes) = budget_nodes {
+        if nodes == 0 {
+            return Err("--budget-nodes must be at least 1".into());
+        }
+        budget = budget.max_nodes(nodes);
+    }
+    if let Some(points) = budget_leaf {
+        if points == 0 {
+            return Err("--budget-leaf must be at least 1".into());
+        }
+        budget = budget.max_leaf_points(points);
+    }
+    let queue_cap: usize = p
+        .get_or("queue", defaults.queue_cap, "a queue capacity")
+        .map_err(|e| e.to_string())?;
+    let cfg = ServeConfig {
+        queue_cap,
+        // Unless pinned, the shed watermark tracks the queue at 3/4 —
+        // shedding kicks in with headroom left before hard rejection.
+        shed_at: p
+            .get_parsed("shed", "a shed watermark")
+            .map_err(|e| e.to_string())?
+            .unwrap_or((queue_cap * 3 / 4).max(1)),
+        batch_max: p
+            .get_or("batch", defaults.batch_max, "a micro-batch size")
+            .map_err(|e| e.to_string())?,
+        threads: p
+            .get_parsed("threads", "a thread count")
+            .map_err(|e| e.to_string())?,
+        budget,
+        summary_every: p
+            .get_or("summary-every", 0u64, "a request count")
+            .map_err(|e| e.to_string())?,
+    };
+
+    let mut server = Server::new(&eval, cfg).map_err(|e| e.to_string())?;
+    match (p.has("stdio"), p.get("listen")) {
+        (true, Some(_)) => return Err("--stdio conflicts with --listen".into()),
+        (true, None) => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            server
+                .run(stdin.lock(), stdout.lock(), std::io::stderr())
+                .map_err(|e| format!("serve transport error: {e}"))?;
+        }
+        (false, Some(addr)) => serve_tcp(&mut server, addr)?,
+        (false, None) => {
+            return Err(
+                "serve needs a transport: --stdio (newline-delimited JSON on stdin/stdout) \
+                 or --listen ADDR (TCP; needs the `net` build feature)"
+                    .into(),
+            )
+        }
+    }
+    Ok(CmdOutput {
+        text: String::new(),
+        failed_queries: server.stats().faulted as usize,
+    })
+}
+
+/// Serves the stdio protocol over TCP, one connection at a time; the
+/// server (and its counters) persists across connections until a client
+/// sends `shutdown`.
+#[cfg(feature = "net")]
+fn serve_tcp(server: &mut Server<'_>, addr: &str) -> Result<(), String> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("--listen {addr}: {e}"))?;
+    eprintln!("# karl serve listening on {local}");
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| format!("accept on {local}: {e}"))?;
+        let reader = std::io::BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone connection: {e}"))?,
+        );
+        server
+            .run(reader, stream, std::io::stderr())
+            .map_err(|e| format!("serve transport error: {e}"))?;
+        if server.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(not(feature = "net"))]
+fn serve_tcp(_server: &mut Server<'_>, _addr: &str) -> Result<(), String> {
+    Err("--listen requires building karl-cli with the `net` feature (--stdio is always available)"
+        .into())
 }
 
 /// `karl coreset build --data FILE --eps E [--gamma G] [--kernel rbf|laplacian] [--leaf CAP]`

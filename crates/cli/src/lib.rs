@@ -6,6 +6,8 @@
 //! * `generate` — write a registry dataset to CSV.
 //! * `kde` — answer density queries (TKAQ or eKAQ) over a CSV dataset.
 //! * `batch` — the same queries through the parallel batch engine.
+//! * `serve` — the online query daemon: newline-delimited JSON requests
+//!   with admission control, load shedding and graceful degradation.
 //! * `coreset` — build a certified coreset and report its error certificate.
 //! * `index` — build a persistent index file, inspect one, and serve
 //!   `batch --index` queries from it with zero-copy loading.
@@ -37,6 +39,7 @@ commands:
             [--engine frozen|pointer] [--envelope-cache on|off] [--stats]
             [--budget-nodes N] [--budget-leaf P] [--deadline-ms MS]
             [--dual] [--coreset EPS] [--simd auto|avx2|scalar]
+            [--stats-json FILE]
             parallel batch engine; KARL_THREADS env sets the default N;
             frozen (default) is the SoA index, bitwise equal to pointer;
             envelope-cache (default off) memoizes exact KARL envelopes,
@@ -51,7 +54,13 @@ commands:
             a budget stop early and answer from the certified interval
             they reached (TKAQ prints '?' when still undecided); a
             contained per-query failure prints an '# error' line and the
-            process exits 2 (0 = clean, 1 = command error);
+            process exits 2 — exit codes: 0 = clean (budget-truncated
+            answers included), 1 = command error (bad flags, unreadable
+            files, invalid parameters), 2 = contained per-query failures;
+            --stats-json FILE writes the run's counters to FILE as one
+            karl-stats-v1 JSON object — the same schema `karl serve`
+            reports — with no timing fields, so identical runs write
+            identical bytes;
             --coreset EPS (default off) builds a certified coreset with
             per-unit-weight error EPS and answers TKAQ/eKAQ on the small
             tier first, widening by the certificate and falling through
@@ -68,6 +77,26 @@ commands:
             index metadata, so those flags and --gamma are rejected) and
             answers are byte-identical to a --data run with the same
             build parameters
+  serve     (--stdio | --listen ADDR) (--data FILE | --index FILE)
+            [--method karl|sota] [--leaf CAP] [--gamma G] [--threads N]
+            [--queue CAP] [--shed AT] [--batch MAX] [--budget-nodes N]
+            [--budget-leaf P] [--summary-every N] [--simd auto|avx2|scalar]
+            online query daemon: one JSON request per stdin line, one
+            typed response line per request on stdout (DESIGN.md §16 has
+            the grammar); admits up to --queue pending requests (default
+            1024; overflow gets a typed 'rejected' line), sheds load at
+            --shed pending (default 3/4 of the queue) by answering from
+            the certified root interval with zero refinement work, and
+            coalesces micro-batches of --batch requests (default 64)
+            for the parallel engine; a request's 'deadline_ms' shrinks
+            its refinement budget by the time it waited in the queue
+            (already-expired deadlines do zero work); 'shutdown' or EOF
+            drains every admitted request and prints a final summary to
+            stderr; same exit codes as batch (2 = some requests
+            faulted, each with its own typed error line);
+            --listen ADDR serves the identical protocol over TCP, one
+            connection at a time (needs the `net` build feature;
+            --stdio is always available)
   index     build DATA OUT [--profile memory|disk] [--family kd|ball]
             [--leaf CAP] [--gamma G] [--method karl|sota]
             build the evaluator over DATA (weights 1/n, Gaussian kernel)
@@ -96,10 +125,12 @@ commands:
 ";
 
 /// Output of one CLI invocation: the stdout payload plus how many
-/// individual queries failed inside an otherwise-successful `batch`
-/// command (always `0` for the other commands). The binary maps a
-/// nonzero `failed_queries` to exit code 2 so scripts can tell a
-/// partially-poisoned batch from a clean run without parsing stdout.
+/// individual queries failed inside an otherwise-successful `batch` or
+/// `serve` command (always `0` for the other commands). The binary maps
+/// a nonzero `failed_queries` to exit code 2 so scripts can tell a
+/// partially-poisoned run from a clean one without parsing stdout:
+/// 0 = clean (budget-truncated answers included), 1 = command error,
+/// 2 = contained per-query failures.
 #[derive(Debug, Clone)]
 pub struct CmdOutput {
     /// What to print on stdout.
@@ -134,6 +165,7 @@ pub fn run_report(args: &[String]) -> Result<CmdOutput, String> {
     }
     match command {
         Some("batch") => return commands::batch(&parsed),
+        Some("serve") => return commands::serve(&parsed),
         Some("coreset") => commands::coreset(&parsed),
         Some("index") => commands::index(&parsed),
         Some("datasets") => commands::datasets(&parsed),
@@ -773,6 +805,201 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--tau, --eps or --tol"));
+    }
+
+    #[test]
+    fn batch_stats_json_is_byte_stable_and_accounts_every_query() {
+        let data = tmp("stats_json.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "300",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let emit = |path: &PathBuf| {
+            run_vec(&[
+                "batch",
+                "--data",
+                data.to_str().unwrap(),
+                "--queries",
+                data.to_str().unwrap(),
+                "--eps",
+                "0.1",
+                "--threads",
+                "2",
+                "--stats-json",
+                path.to_str().unwrap(),
+            ])
+            .unwrap();
+            std::fs::read_to_string(path).unwrap()
+        };
+        let first = emit(&tmp("stats_run1.json"));
+        let second = emit(&tmp("stats_run2.json"));
+        assert_eq!(
+            first.as_bytes(),
+            second.as_bytes(),
+            "identical runs must write identical stats bytes"
+        );
+        // The shared serve schema with the batch-degenerate admission
+        // counters: every query admitted, none shed or rejected.
+        assert!(first.starts_with("{\"schema\":\"karl-stats-v1\","));
+        for needle in [
+            "\"queries\":300,",
+            "\"admitted\":300,",
+            "\"rejected\":0,",
+            "\"shed\":0,",
+            "\"completed\":300,",
+            "\"truncated\":0,",
+            "\"faulted\":0,",
+            "\"protocol_errors\":0,",
+            "\"batches\":1,",
+            "\"threads\":2",
+        ] {
+            assert!(first.contains(needle), "missing {needle} in {first}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_flag_combinations_up_front() {
+        let data = tmp("serve_flags.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "100",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        // A transport is mandatory; without one the daemon would sit on a
+        // terminal's stdin forever.
+        let err = run_vec(&["serve", "--data", data.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("--stdio"), "{err}");
+        let err = run_vec(&[
+            "serve",
+            "--stdio",
+            "--listen",
+            "127.0.0.1:0",
+            "--data",
+            data.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+        // Index metadata carries kernel/method/leaf, same rule as batch.
+        let err = run_vec(&["serve", "--stdio", "--index", "x.idx", "--leaf", "8"]).unwrap_err();
+        assert!(err.contains("--leaf conflicts with --index"), "{err}");
+        // Watermark/batch validation is typed, not a mid-loop surprise.
+        let err = run_vec(&[
+            "serve",
+            "--stdio",
+            "--data",
+            data.to_str().unwrap(),
+            "--queue",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("invalid serve config"), "{err}");
+        let err = run_vec(&[
+            "serve",
+            "--stdio",
+            "--data",
+            data.to_str().unwrap(),
+            "--simd",
+            "quantum",
+        ])
+        .unwrap_err();
+        assert!(err.contains("auto|avx2|scalar"), "{err}");
+        #[cfg(not(feature = "net"))]
+        {
+            let err = run_vec(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--data",
+                data.to_str().unwrap(),
+            ])
+            .unwrap_err();
+            assert!(err.contains("`net` feature"), "{err}");
+        }
+    }
+
+    #[cfg(feature = "net")]
+    #[test]
+    fn serve_listen_answers_over_tcp_and_shuts_down() {
+        use std::io::{BufRead, BufReader, Write};
+        let data = tmp("serve_net.csv");
+        run_vec(&[
+            "generate",
+            "--name",
+            "home",
+            "--n",
+            "300",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let dims = std::fs::read_to_string(&data)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .split(',')
+            .count();
+        // Grab a free loopback port, release it, and hand it to the
+        // daemon — the rebind window is effectively zero in a test runner.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let args: Vec<String> = [
+            "serve",
+            "--listen",
+            &addr,
+            "--data",
+            data.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let daemon = std::thread::spawn(move || run_report(&args));
+        let mut stream = None;
+        for _ in 0..200 {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let mut stream = stream.expect("daemon must start listening");
+        let q = vec!["0.0"; dims].join(",");
+        write!(
+            stream,
+            "{{\"id\":1,\"op\":\"ekaq\",\"eps\":0.1,\"q\":[{q}]}}\n{{\"id\":2,\"op\":\"shutdown\"}}\n"
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert!(
+            lines.iter().any(|l| l.contains("\"id\":1,\"status\":\"ok\"")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"status\":\"shutdown\",\"admitted\":1,\"drained\":1")),
+            "{lines:?}"
+        );
+        let report = daemon.join().unwrap().unwrap();
+        assert_eq!(report.failed_queries, 0);
     }
 
     #[test]

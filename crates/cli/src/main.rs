@@ -1,9 +1,11 @@
 //! `karl` — the command-line face of the library.
 //!
-//! Exit codes: `0` on a clean run, `1` on a command error (bad flags,
-//! unreadable files, invalid parameters), `2` when the batch engine
-//! contained per-query failures — the healthy answers are still printed,
-//! poisoned queries get `# error` lines.
+//! Exit codes: `0` on a clean run (budget-truncated answers included),
+//! `1` on a command error (bad flags, unreadable files, invalid
+//! parameters), `2` when the engine contained per-query failures — in
+//! `batch`, healthy answers are still printed and poisoned queries get
+//! `# error` lines; in `serve`, every faulted request already got its
+//! own typed `error` response line.
 
 use std::process::ExitCode;
 
@@ -14,7 +16,7 @@ fn main() -> ExitCode {
             print!("{}", out.text);
             if out.failed_queries > 0 {
                 eprintln!(
-                    "warning: {} queries failed (see '# error' lines above)",
+                    "warning: {} queries failed (see the per-query error lines above)",
                     out.failed_queries
                 );
                 ExitCode::from(2)

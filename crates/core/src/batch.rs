@@ -1527,6 +1527,17 @@ impl BatchReport {
             .count()
     }
 
+    /// Number of queries that ran to their normal termination — succeeded
+    /// and were *not* budget-truncated. `completed_count() +
+    /// truncated_count() + failed_indices().len()` always equals
+    /// [`len`](Self::len).
+    pub fn completed_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r, Ok(o) if !o.is_truncated()))
+            .count()
+    }
+
     /// Queries answered per second.
     pub fn throughput(&self) -> f64 {
         self.results.len() as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)

@@ -145,6 +145,26 @@ pub enum KarlError {
     /// The pointer engine was requested on an evaluator restored from a
     /// persistent index, which carries only the frozen representation.
     PointerEngineUnavailable,
+    /// The serving admission queue was at its high watermark, so the
+    /// request was rejected instead of queued (degrade, never collapse:
+    /// the client gets a typed rejection it can retry, not an unbounded
+    /// queue).
+    Overloaded {
+        /// The configured admission-queue capacity.
+        capacity: usize,
+    },
+    /// A malformed request line on the serving wire: not JSON, missing or
+    /// ill-typed fields, or an unknown verb.
+    Protocol {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A serving configuration that cannot run (zero queue capacity or
+    /// zero micro-batch size).
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for KarlError {
@@ -207,6 +227,11 @@ impl fmt::Display for KarlError {
                 f,
                 "pointer engine unavailable: loaded indexes carry only the frozen representation"
             ),
+            KarlError::Overloaded { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            KarlError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            KarlError::InvalidConfig { reason } => write!(f, "invalid serve config: {reason}"),
         }
     }
 }

@@ -155,6 +155,18 @@ impl Budget {
         self
     }
 
+    /// Sets the deadline to whatever is left of `total` after `spent` has
+    /// already elapsed — e.g. time a request waited in a serving admission
+    /// queue before dispatch. Saturates at zero: once `spent >= total` the
+    /// deadline is `Duration::ZERO`, which trips on the very first budget
+    /// probe (iteration 0 is always a probe), so the run performs **zero
+    /// refinement work** and answers from the root interval. It never
+    /// underflows and never spends a frontier pass it no longer has time
+    /// for.
+    pub fn deadline_after(self, total: Duration, spent: Duration) -> Self {
+        self.deadline(total.saturating_sub(spent))
+    }
+
     /// Whether no cap is set (the hot loop skips all checks).
     #[inline]
     pub fn is_unlimited(&self) -> bool {

@@ -11,6 +11,7 @@
 //! concurrently running `#[test]`s cannot interleave their plans; dropping
 //! the guard clears the plan even when the test itself panics.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// What to do to a planned query.
@@ -25,6 +26,7 @@ pub enum Fault {
 
 static PLAN: Mutex<Vec<(usize, Fault)>> = Mutex::new(Vec::new());
 static GATE: Mutex<()> = Mutex::new(());
+static BASE: AtomicUsize = AtomicUsize::new(0);
 
 fn plan() -> MutexGuard<'static, Vec<(usize, Fault)>> {
     // Injected panics unwind through the batch worker while it may hold
@@ -41,6 +43,7 @@ pub struct InjectionGuard {
 impl Drop for InjectionGuard {
     fn drop(&mut self) {
         plan().clear();
+        BASE.store(0, Ordering::SeqCst);
     }
 }
 
@@ -52,16 +55,36 @@ pub fn inject(faults: &[(usize, Fault)]) -> InjectionGuard {
     let mut p = plan();
     p.clear();
     p.extend_from_slice(faults);
+    BASE.store(0, Ordering::SeqCst);
     InjectionGuard { _gate: gate }
 }
 
 /// Removes every planned fault (also done automatically on guard drop).
 pub fn clear_plan() {
     plan().clear();
+    BASE.store(0, Ordering::SeqCst);
 }
 
-/// The fault planned for `index`, if any. Consulted by the batch engine
-/// once per query.
-pub(crate) fn planned(index: usize) -> Option<Fault> {
+/// Offsets subsequent plan lookups: the batch engine consults the plan at
+/// `base + slot` for slot `i` of its query set. A standalone
+/// [`crate::batch::QueryBatch`] run leaves the base at 0, so plan indices
+/// are batch slots; the serve loop sets the base to its dispatch counter
+/// before each micro-batch group, so plan indices address *dispatch
+/// ordinals* — "poison the k-th request handed to the engine" — across
+/// any number of micro-batches. Reset to 0 by [`inject`], [`clear_plan`]
+/// and guard drop.
+pub fn set_base(base: usize) {
+    BASE.store(base, Ordering::SeqCst);
+}
+
+/// The current lookup offset (see [`set_base`]).
+pub fn base() -> usize {
+    BASE.load(Ordering::SeqCst)
+}
+
+/// The fault planned for lookup index `base() + slot`, if any. Consulted
+/// by the batch engine once per query slot.
+pub(crate) fn planned(slot: usize) -> Option<Fault> {
+    let index = BASE.load(Ordering::SeqCst) + slot;
     plan().iter().find(|(i, _)| *i == index).map(|(_, f)| *f)
 }

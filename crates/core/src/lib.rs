@@ -23,6 +23,8 @@
 //!   scratch (deterministic at any thread count).
 //! * [`tuning`] — offline (`KARL_auto`) and in-situ (`KARL_online`) index
 //!   tuning.
+//! * [`serve`] — the online query daemon: NDJSON request loop with
+//!   admission control, load shedding and graceful degradation.
 //!
 //! ## Example
 //!
@@ -59,6 +61,7 @@ pub mod fault;
 pub mod index;
 pub mod kernel;
 pub mod scan;
+pub mod serve;
 pub mod stream;
 pub mod tuning;
 
@@ -80,10 +83,16 @@ pub use eval::{
     Scratch, TierPath, TkaqDecision, TraceStep, TruncateReason,
 };
 #[cfg(feature = "fault-inject")]
-pub use fault::{clear_plan, inject, Fault, InjectionGuard};
+pub use fault::{base, clear_plan, inject, set_base, Fault, InjectionGuard};
 pub use index::{IndexMeta, META_LEN};
 pub use kernel::{aggregate_exact, Kernel};
 pub use scan::{LibSvmScan, Scan};
+#[cfg(feature = "stats")]
+pub use serve::stats_json_with_run;
+pub use serve::{
+    parse_json, push_num, push_str_json, stats_json, Json, LatencyHistogram, ServeConfig,
+    ServeStats, Server, StatsSnapshot,
+};
 pub use stream::StreamingEvaluator;
 pub use tuning::{
     plan_for_storage, AnyEvaluator, CandidateResult, IndexKind, OfflineTuner,

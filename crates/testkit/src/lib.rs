@@ -22,8 +22,13 @@
 //!   with per-case verdict tags, for property-testing the validated
 //!   constructors' typed rejections.
 
+//! * [`serve_script`] — a deterministic scripted client for the serve
+//!   loop's newline-delimited JSON protocol (string assembly only, so the
+//!   dependency graph stays acyclic).
+
 pub mod adversarial;
 pub mod bench;
 pub mod oracle;
 pub mod props;
 pub mod rng;
+pub mod serve_script;

@@ -1,0 +1,188 @@
+//! A deterministic scripted client for the serve-loop protocol.
+//!
+//! [`ScriptBuilder`] assembles the newline-delimited JSON request
+//! transcript a `karl_core::serve::Server` (or a `karl serve --stdio`
+//! process) consumes, and hands out the request ids as it goes so tests
+//! can assert on the matching response lines. It builds *strings only* —
+//! this crate sits below `karl-core` in the dependency graph, so the
+//! protocol knowledge lives here as formatting, not as types.
+//!
+//! Floats are written in Rust's shortest round-trip form (`{}`), the
+//! same form the server uses on the way out, so a scripted coordinate
+//! and its echo can be compared bit-for-bit. Non-finite coordinates are
+//! written as the wire dialect's `NaN` / `Infinity` / `-Infinity`
+//! tokens — scripting a poisoned request is just pushing a NaN.
+
+use std::fmt::Write as _;
+
+use crate::rng::{Rng, StdRng};
+
+/// Builds a serve-protocol request script line by line.
+#[derive(Debug, Default, Clone)]
+pub struct ScriptBuilder {
+    script: String,
+    next_id: u64,
+}
+
+fn push_coords(line: &mut String, q: &[f64]) {
+    line.push('[');
+    for (i, c) in q.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        if c.is_nan() {
+            line.push_str("NaN");
+        } else if *c == f64::INFINITY {
+            line.push_str("Infinity");
+        } else if *c == f64::NEG_INFINITY {
+            line.push_str("-Infinity");
+        } else {
+            let _ = write!(line, "{c}");
+        }
+    }
+    line.push(']');
+}
+
+impl ScriptBuilder {
+    /// An empty script; ids are handed out from 1.
+    pub fn new() -> Self {
+        ScriptBuilder {
+            script: String::new(),
+            next_id: 1,
+        }
+    }
+
+    fn query(&mut self, op: &str, key: &str, param: f64, q: &[f64], deadline_ms: Option<f64>) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let _ = write!(self.script, "{{\"id\":{id},\"op\":\"{op}\",\"{key}\":{param},\"q\":");
+        push_coords(&mut self.script, q);
+        if let Some(ms) = deadline_ms {
+            let _ = write!(self.script, ",\"deadline_ms\":{ms}");
+        }
+        self.script.push_str("}\n");
+        id
+    }
+
+    /// Appends a TKAQ request (`aggregate >= tau`?), returning its id.
+    pub fn tkaq(&mut self, tau: f64, q: &[f64]) -> u64 {
+        self.query("tkaq", "tau", tau, q, None)
+    }
+
+    /// Appends an eKAQ request (relative error `eps`), returning its id.
+    pub fn ekaq(&mut self, eps: f64, q: &[f64]) -> u64 {
+        self.query("ekaq", "eps", eps, q, None)
+    }
+
+    /// Appends a Within request (absolute width `tol`), returning its id.
+    pub fn within(&mut self, tol: f64, q: &[f64]) -> u64 {
+        self.query("within", "tol", tol, q, None)
+    }
+
+    /// Appends a TKAQ request carrying a `deadline_ms`, returning its id.
+    /// A deadline of `0.0` is the deterministic way to force truncation:
+    /// the remaining budget saturates to zero no matter how long the
+    /// request waited in the queue.
+    pub fn tkaq_deadline(&mut self, tau: f64, q: &[f64], deadline_ms: f64) -> u64 {
+        self.query("tkaq", "tau", tau, q, Some(deadline_ms))
+    }
+
+    /// Appends an eKAQ request carrying a `deadline_ms`, returning its id.
+    pub fn ekaq_deadline(&mut self, eps: f64, q: &[f64], deadline_ms: f64) -> u64 {
+        self.query("ekaq", "eps", eps, q, Some(deadline_ms))
+    }
+
+    /// Appends `count` eKAQ requests with coordinates drawn uniformly
+    /// from `range` per dimension — a deterministic load burst. Returns
+    /// the ids in script order.
+    pub fn ekaq_burst(
+        &mut self,
+        count: usize,
+        dims: usize,
+        eps: f64,
+        range: std::ops::Range<f64>,
+        rng: &mut StdRng,
+    ) -> Vec<u64> {
+        (0..count)
+            .map(|_| {
+                let q: Vec<f64> = (0..dims)
+                    .map(|_| rng.random_range(range.clone()))
+                    .collect();
+                self.ekaq(eps, &q)
+            })
+            .collect()
+    }
+
+    /// Appends a `flush` control line (dispatch pending requests now).
+    pub fn flush(&mut self) -> &mut Self {
+        self.script.push_str("{\"op\":\"flush\"}\n");
+        self
+    }
+
+    /// Appends a `stats` request, returning its id.
+    pub fn stats(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let _ = writeln!(self.script, "{{\"id\":{id},\"op\":\"stats\"}}");
+        id
+    }
+
+    /// Appends a `shutdown` request, returning its id.
+    pub fn shutdown(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let _ = writeln!(self.script, "{{\"id\":{id},\"op\":\"shutdown\"}}");
+        id
+    }
+
+    /// Appends a raw line verbatim (plus newline) — for protocol-error
+    /// and comment/blank-line cases the typed builders refuse to write.
+    pub fn raw(&mut self, line: &str) -> &mut Self {
+        self.script.push_str(line);
+        self.script.push('\n');
+        self
+    }
+
+    /// The id the next request will get.
+    pub fn peek_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The assembled script.
+    pub fn build(&self) -> String {
+        self.script.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedableRng;
+
+    #[test]
+    fn script_lines_are_deterministic_and_id_ordered() {
+        let mut a = ScriptBuilder::new();
+        let id1 = a.tkaq(0.25, &[1.0, 2.0]);
+        let id2 = a.ekaq(0.1, &[f64::NAN, 0.5]);
+        a.flush();
+        let id3 = a.shutdown();
+        assert_eq!((id1, id2, id3), (1, 2, 3));
+        let script = a.build();
+        assert_eq!(
+            script,
+            "{\"id\":1,\"op\":\"tkaq\",\"tau\":0.25,\"q\":[1,2]}\n\
+             {\"id\":2,\"op\":\"ekaq\",\"eps\":0.1,\"q\":[NaN,0.5]}\n\
+             {\"op\":\"flush\"}\n\
+             {\"id\":3,\"op\":\"shutdown\"}\n"
+        );
+
+        let mut b = ScriptBuilder::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ids = b.ekaq_burst(4, 2, 0.2, -1.0..1.0, &mut rng);
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut c = ScriptBuilder::new();
+        c.ekaq_burst(4, 2, 0.2, -1.0..1.0, &mut rng2);
+        assert_eq!(b.build(), c.build());
+    }
+}

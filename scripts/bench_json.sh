@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Runs the perf benches and records the merged results as JSON.
 #
-# Produces BENCH_PR9.json at the repo root with four sections plus host
+# Produces BENCH_PR10.json at the repo root with five sections plus host
 # metadata (available_parallelism, uname), so numbers from different
 # machines are interpretable:
 #
+#   * serve_load — the online serving loop driven over an in-memory
+#     transport: steady-state requests/s and p50/p99
+#     admission-to-response latency at 1/2/4/8 worker threads, plus an
+#     overload run whose admit/shed/reject partition is deterministic
+#     admission arithmetic;
 #   * throughput_batch — end-to-end queries/s: sequential pointer engine
 #     (baseline) vs the default frozen engine, scratch reuse, and
 #     QueryBatch at 1/2/4/8 worker threads (eKAQ and TKAQ workloads),
@@ -31,14 +36,15 @@
 # Usage: scripts/bench_json.sh [output.json]
 # Sizing overrides: KARL_BENCH_N (points), KARL_BENCH_QUERIES
 # (end-to-end queries), KARL_BENCH_BOUND_QUERIES (bound-kernel queries),
-# KARL_BENCH_COLD_N (largest cold-start size).
+# KARL_BENCH_COLD_N (largest cold-start size), KARL_BENCH_SERVE_REQS
+# (steady serve requests), KARL_BENCH_SERVE_BURSTS (overload bursts).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # cargo bench runs the bench binary from the package directory, so make
 # the output path absolute before handing it over.
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 case "$out" in
     /*) ;;
     *) out="$(pwd)/$out" ;;
@@ -59,6 +65,9 @@ KARL_BENCH_JSON="$tmpdir/cold_start.json" cargo bench -p karl-bench \
 KARL_BENCH_JSON="$tmpdir/simd_kernels.json" cargo bench -p karl-bench \
     --features criterion-benches --bench simd_kernels --offline
 
+KARL_BENCH_JSON="$tmpdir/serve_load.json" cargo bench -p karl-bench \
+    --features criterion-benches --bench serve_load --offline
+
 python3 - "$tmpdir" "$out" <<'PY'
 import json, os, platform, sys
 tmpdir, out = sys.argv[1], sys.argv[2]
@@ -70,29 +79,29 @@ with open(os.path.join(tmpdir, "cold_start.json")) as f:
     cold = json.load(f)
 with open(os.path.join(tmpdir, "simd_kernels.json")) as f:
     simd = json.load(f)
+with open(os.path.join(tmpdir, "serve_load.json")) as f:
+    serve = json.load(f)
 merged = {
-    "bench": "BENCH_PR9",
+    "bench": "BENCH_PR10",
     "note": (
-        "PR9 adds runtime-dispatched explicit SIMD kernels under a "
-        "bitwise determinism contract (KARL_SIMD / batch --simd; scalar "
-        "and avx2 backends produce identical answers, enforced by "
-        "tests/simd_equivalence.rs). The simd_kernels section is the new "
-        "measurement: same-run scalar-vs-dispatched controls for the "
-        "bound-kernel and leaf-aggregate hot loops at d=8 and d=32, ISA "
-        "recorded per row. At d=8 the non-inlinable target_feature call "
-        "boundary (+vzeroupper) eats most of the 256-bit win; at d=32 "
-        "the vector loop amortizes it and the kd bound kernels and raw "
-        "primitives clear it comfortably. Wall clock on this shared "
-        "host varies +/-3-10% per row. The other sections are carried "
-        "as no-regression controls (same benches and sizes as "
-        "BENCH_PR8); their numbers now flow through the dispatched "
-        "backend by default."
+        "PR10 adds the online serving loop (karl serve): NDJSON "
+        "requests coalesced into deterministic micro-batches behind a "
+        "bounded admission queue with load shedding and per-request "
+        "deadlines. The serve_load section is the new measurement: "
+        "steady-state requests/s and p50/p99 admission-to-response "
+        "latency over an in-memory transport at 1/2/4/8 worker "
+        "threads, plus an overload run whose admit/shed/reject "
+        "partition is deterministic admission arithmetic (identical at "
+        "every thread count). Wall clock on this shared host varies "
+        "+/-3-10% per row. The other sections are carried as "
+        "no-regression controls (same benches and sizes as BENCH_PR9)."
     ),
     "host": {
         # The Rust-side value is cgroup-aware; os.cpu_count() is not.
         "available_parallelism": throughput.get("available_parallelism"),
         "uname": " ".join(platform.uname()),
     },
+    "serve_load": serve,
     "simd_kernels": simd,
     "cold_start": cold,
     "throughput_batch": throughput,

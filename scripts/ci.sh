@@ -66,6 +66,15 @@ cargo test -q --offline -p karl-core --features fault-inject
 echo "==> guard: fault containment replayed at KARL_THREADS=4"
 KARL_THREADS=4 cargo test -q --offline -p karl --features fault-inject --test fault_containment
 
+echo "==> guard: serve loop replayed at KARL_THREADS=4"
+KARL_THREADS=4 cargo test -q --offline -p karl --test serve_loop
+
+echo "==> guard: serve fault quarantine under --features fault-inject"
+cargo test -q --offline -p karl --features fault-inject --test serve_fault
+
+echo "==> guard: TCP transport serves and shuts down (--features net)"
+cargo test -q --offline -p karl-cli --features net
+
 echo "==> guard: clippy clean across the workspace (incl. unsafe audit)"
 # The unsafe-audit lints keep every unsafe block annotated and small:
 # all unsafe lives in karl_geom::simd behind safe entry points, and each
@@ -79,9 +88,10 @@ echo "==> guard: release bench smoke (tiny workload, one pass)"
 # can never merge green; sizes are tiny so this stays in CI budget.
 KARL_BENCH_N=2000 KARL_BENCH_QUERIES=64 KARL_BENCH_BOUND_QUERIES=4 \
     KARL_BENCH_COLD_N=8000 KARL_BENCH_DIMS=8 KARL_BENCH_REPS=1 \
+    KARL_BENCH_SERVE_REQS=64 KARL_BENCH_SERVE_BURSTS=2 \
     cargo bench -p karl-bench --features criterion-benches \
     --bench throughput_batch --bench frozen_bounds --bench cold_start \
-    --bench simd_kernels \
+    --bench simd_kernels --bench serve_load \
     --offline >/dev/null
 
 echo "==> guard: CLI index round trip — batch --index byte-identical to batch --data"
@@ -114,6 +124,81 @@ diff "$cli_tmp/fresh.out" "$cli_tmp/scalar_env.out"
 "$karl" index info "$cli_tmp/home.idx" | grep -q 'simd backend'
 rm -rf "$cli_tmp"
 echo "ok: CLI loaded-index and forced-scalar outputs are byte-identical"
+
+echo "==> guard: serve smoke — overload ladder, fault quarantine, byte-stable replays"
+# One scripted NDJSON session through the release binary exercising the
+# whole degradation ladder: admitted requests, a forced shed (queue 4,
+# shed watermark 3), queue-overflow rejections, a NaN-poisoned request
+# next to a healthy neighbor, an already-expired deadline, a stats probe
+# and a graceful shutdown. The contained fault must surface as exit code
+# 2 (0 = clean, 1 = command error, 2 = contained per-query failures),
+# and the transcript must replay byte-identically under KARL_THREADS=4
+# and KARL_SIMD=scalar — the stats line embeds the resolved thread
+# count (configuration, not data), so that one field is normalized
+# before the diff.
+serve_tmp="$(mktemp -d)"
+"$karl" generate --name home --n 400 --out "$serve_tmp/data.csv" >/dev/null
+dims=$(head -1 "$serve_tmp/data.csv" | awk -F, '{print NF}')
+python3 - "$dims" > "$serve_tmp/requests.ndjson" <<'PY'
+import sys
+d = int(sys.argv[1])
+q = lambda v: "[" + ",".join(str(v) for _ in range(d)) + "]"
+out = []
+# Six queries against queue 4 / shed 3 with no flush in between: ids
+# 1-3 admitted normally, id 4 admitted past the shed watermark, ids
+# 5-6 rejected at capacity.
+for i in range(1, 7):
+    out.append('{"id":%d,"op":"ekaq","eps":0.05,"q":%s}' % (i, q(0.1 * i)))
+out.append('{"op":"flush"}')
+# A poisoned request (NaN coordinate) beside a healthy neighbor and an
+# already-expired deadline; the fault must stay contained to id 7.
+out.append('{"id":7,"op":"ekaq","eps":0.05,"q":[NaN%s]}' % ("," + ",".join("0.2" for _ in range(d - 1)) if d > 1 else ""))
+out.append('{"id":8,"op":"ekaq","eps":0.05,"q":%s}' % q(0.25))
+out.append('{"id":9,"op":"ekaq","eps":0.05,"deadline_ms":0,"q":%s}' % q(0.3))
+out.append('{"op":"flush"}')
+out.append('{"id":10,"op":"stats"}')
+out.append('{"id":11,"op":"shutdown"}')
+print("\n".join(out))
+PY
+serve_run() { # serve_run OUT  (extra env via leading VAR=... in caller)
+    rc=0
+    "$karl" serve --stdio --data "$serve_tmp/data.csv" \
+        --queue 4 --shed 3 < "$serve_tmp/requests.ndjson" \
+        > "$1" 2> "$serve_tmp/serve.log" || rc=$?
+    # The contained NaN fault must map to exit code 2, never 0 or 1.
+    [ "$rc" -eq 2 ] || { echo "serve exit code $rc, expected 2"; exit 1; }
+}
+serve_run "$serve_tmp/t_default.out"
+KARL_THREADS=4 serve_run "$serve_tmp/t_threads4.out"
+KARL_SIMD=scalar serve_run "$serve_tmp/t_scalar.out"
+for f in t_default t_threads4 t_scalar; do
+    sed 's/"threads":[0-9]*/"threads":0/' "$serve_tmp/$f.out" > "$serve_tmp/$f.norm"
+done
+diff "$serve_tmp/t_default.norm" "$serve_tmp/t_threads4.norm"
+diff "$serve_tmp/t_default.norm" "$serve_tmp/t_scalar.norm"
+grep -q '"status":"shed"' "$serve_tmp/t_default.out"
+grep -q '"status":"rejected"' "$serve_tmp/t_default.out"
+grep -q 'admission queue full' "$serve_tmp/t_default.out"
+grep -q '"id":7,"status":"error"' "$serve_tmp/t_default.out"
+grep -q '"id":8,"status":"ok"' "$serve_tmp/t_default.out"
+grep -q '"reason":"deadline"' "$serve_tmp/t_default.out"
+grep -q '"status":"shutdown"' "$serve_tmp/t_default.out"
+# A clean session (no fault, nothing rejected) must exit 0.
+printf '%s\n' '{"id":1,"op":"ekaq","eps":0.05,"q":'"$(python3 -c "import sys;print('['+','.join('0.1' for _ in range(int(sys.argv[1])))+']')" "$dims")"'}' \
+    '{"id":2,"op":"shutdown"}' > "$serve_tmp/clean.ndjson"
+"$karl" serve --stdio --data "$serve_tmp/data.csv" \
+    < "$serve_tmp/clean.ndjson" >/dev/null 2>&1
+echo "ok: serve transcript byte-stable across threads and SIMD; exit codes 2/0 as specified"
+
+echo "==> guard: batch --stats-json byte-stable across runs"
+"$karl" batch --data "$serve_tmp/data.csv" --queries "$serve_tmp/data.csv" \
+    --tau 0.3 --threads 2 --stats-json "$serve_tmp/stats1.json" >/dev/null
+"$karl" batch --data "$serve_tmp/data.csv" --queries "$serve_tmp/data.csv" \
+    --tau 0.3 --threads 2 --stats-json "$serve_tmp/stats2.json" >/dev/null
+diff "$serve_tmp/stats1.json" "$serve_tmp/stats2.json"
+grep -q '"schema":"karl-stats-v1"' "$serve_tmp/stats1.json"
+rm -rf "$serve_tmp"
+echo "ok: batch --stats-json is byte-stable and carries the shared schema"
 
 echo "==> guard: no registry dependencies in the resolved graph"
 # cargo metadata reports "source": null for path dependencies and a

@@ -158,6 +158,56 @@ fn zero_deadline_truncates_deterministically_at_the_root() {
 }
 
 #[test]
+fn deadline_after_saturates_and_expired_deadlines_answer_from_the_root() {
+    let ms = Duration::from_millis;
+    let base = Budget::unlimited();
+    // The serving queue maps "deadline minus time spent queued" through
+    // deadline_after; pin its saturating arithmetic exactly (Budget is Eq).
+    assert_eq!(base.deadline_after(ms(5), ms(0)), base.deadline(ms(5)));
+    assert_eq!(base.deadline_after(ms(7), ms(5)), base.deadline(ms(2)));
+    assert_eq!(base.deadline_after(ms(5), ms(5)), base.deadline(Duration::ZERO));
+    assert_eq!(base.deadline_after(ms(5), ms(600)), base.deadline(Duration::ZERO));
+    assert_eq!(
+        base.deadline_after(Duration::ZERO, Duration::ZERO),
+        base.deadline(Duration::ZERO)
+    );
+
+    // A deadline that expired while queued (spent > total) must do ZERO
+    // refinement work: its certified interval is the root interval, bit
+    // for bit the same one a zero-node budget reports — no frontier pass,
+    // no underflow, only the truncation reason differs.
+    let (eval, ps, _, _) = build(12);
+    let q = ps.point(5);
+    let query = Query::Within { tol: 1e-9 };
+    let expired = eval
+        .run_budgeted(q, query, None, &base.deadline_after(ms(3), ms(9)))
+        .unwrap();
+    let zero_nodes = eval
+        .run_budgeted(q, query, None, &base.max_nodes(0))
+        .unwrap();
+    match (expired, zero_nodes) {
+        (
+            Outcome::Truncated {
+                lb: lb_d,
+                ub: ub_d,
+                reason: r_d,
+            },
+            Outcome::Truncated {
+                lb: lb_n,
+                ub: ub_n,
+                reason: r_n,
+            },
+        ) => {
+            assert_eq!(r_d, TruncateReason::Deadline);
+            assert_eq!(r_n, TruncateReason::NodeBudget);
+            assert_eq!(lb_d.to_bits(), lb_n.to_bits(), "root lb must match");
+            assert_eq!(ub_d.to_bits(), ub_n.to_bits(), "root ub must match");
+        }
+        other => panic!("expired deadline must truncate at the root: {other:?}"),
+    }
+}
+
+#[test]
 fn budgeted_tkaq_is_decided_or_honestly_undecided() {
     let (eval, ps, w, kernel) = build(6);
     let q = ps.point(33).to_vec();
